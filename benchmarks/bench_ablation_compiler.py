@@ -1,0 +1,16 @@
+"""Ablation — the compiler passes of §IV-A: region-size extension
+(unrolling), checkpoint pruning, and region merging.
+
+Each variant recompiles the suite with one pass disabled; the table shows
+the slowdown and (overhead_* columns) the dynamic instrumentation cost."""
+
+from repro.analysis import ablation_compiler
+
+
+def bench_ablation_compiler(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        ablation_compiler, args=(ctx,), rounds=1, iterations=1
+    )
+    record(result, "ablation_compiler.txt")
+    # disabling region-size extension must never help
+    assert result.overall["no-unroll"] >= result.overall["default"] * 0.999

@@ -1,0 +1,17 @@
+"""Ablation — lazy region-level persist ordering vs naive boundary
+stalls.
+
+§III-B's motivation: "naive use of sfence at each region boundary causes
+significant performance overhead".  Both configurations replay the same
+compiled binary; only the ordering mechanism differs, so the gap *is*
+LRPO's contribution."""
+
+from repro.analysis import ablation_lrpo
+
+
+def bench_ablation_lrpo(benchmark, ctx, record):
+    result = benchmark.pedantic(ablation_lrpo, args=(ctx,), rounds=1, iterations=1)
+    record(result, "ablation_lrpo.txt")
+    # LRPO must beat waiting at every boundary, and by a wide margin
+    assert result.overall["LightWSP"] < result.overall["naive-wait"]
+    assert result.overall["naive-wait"] / result.overall["LightWSP"] > 1.3

@@ -1,0 +1,26 @@
+"""§II-C1 quantified — residual-energy budgets: why JIT-checkpointing
+cannot cover whole-system persistence while LightWSP's WPQ battery is a
+rounding error."""
+
+import os
+
+from repro.analysis import battery_compare
+
+
+def bench_battery(benchmark):
+    rows = benchmark.pedantic(battery_compare, rounds=1, iterations=1)
+    lines = ["Residual-energy budgets (II-C1)"]
+    for scheme, row in rows.items():
+        lines.append(
+            "%-22s %12d B  %10.4g J  ATX:%-5s serverPSU:%s"
+            % (scheme, row["bytes"], row["energy_J"],
+               row["fits_ATX"], row["fits_server_PSU"])
+        )
+    text = "\n".join(lines)
+    results = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results, exist_ok=True)
+    with open(os.path.join(results, "battery.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    assert rows["LightWSP"]["fits_ATX"]
+    assert not rows["JIT-checkpoint+DRAM$"]["fits_server_PSU"]

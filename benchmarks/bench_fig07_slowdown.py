@@ -1,0 +1,16 @@
+"""Fig. 7 — slowdown of Capri, PPA, and LightWSP over the memory-mode
+baseline across the application suites.
+
+Paper geomeans: Capri 1.505, PPA 1.081, LightWSP 1.090."""
+
+from repro.analysis import fig7_slowdown
+
+
+def bench_fig07_slowdown(benchmark, ctx, record):
+    result = benchmark.pedantic(fig7_slowdown, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig07_slowdown.txt")
+    overall = result.overall
+    # shape: Capri is the clear loser; PPA and LightWSP are close
+    assert overall["Capri"] > overall["LightWSP"]
+    assert overall["Capri"] > overall["PPA"]
+    assert overall["LightWSP"] < 1.6

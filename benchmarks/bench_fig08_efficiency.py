@@ -1,0 +1,12 @@
+"""Fig. 8 — region-level persistence efficiency (Eq. 1), PPA vs LightWSP.
+
+Paper averages: PPA 89.3%, LightWSP 99.9%."""
+
+from repro.analysis import fig8_efficiency
+
+
+def bench_fig08_efficiency(benchmark, ctx, record):
+    result = benchmark.pedantic(fig8_efficiency, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig08_efficiency.txt")
+    assert result.overall["LightWSP"] > result.overall["PPA"]
+    assert result.overall["LightWSP"] > 90.0

@@ -1,0 +1,13 @@
+"""Fig. 9 — the ideal PSP scheme (no DRAM cache) vs LightWSP on the
+memory-intensive applications.
+
+Paper: PSP-Ideal ~1.51 geomean (2.6 on libquantum), LightWSP ~1.03."""
+
+from repro.analysis import fig9_psp_vs_wsp
+
+
+def bench_fig09_psp_vs_wsp(benchmark, ctx, record):
+    result = benchmark.pedantic(fig9_psp_vs_wsp, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig09_psp_vs_wsp.txt")
+    # the whole point of WSP: the DRAM cache pays for itself
+    assert result.overall["PSP-Ideal"] > result.overall["LightWSP"]

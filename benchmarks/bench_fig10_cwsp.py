@@ -1,0 +1,15 @@
+"""Fig. 10 — LightWSP vs the state-of-the-art cWSP (NPB excluded).
+
+Paper: cWSP 1.057 vs LightWSP 1.085 — cWSP slightly ahead on run time,
+LightWSP matching it with near-zero hardware."""
+
+from repro.analysis import fig10_cwsp
+
+
+def bench_fig10_cwsp(benchmark, ctx, record):
+    result = benchmark.pedantic(fig10_cwsp, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig10_cwsp.txt")
+    assert all(row["suite"] != "NPB" for row in result.rows)
+    # both land in the same modest-overhead band
+    assert result.overall["cWSP"] < 1.5
+    assert result.overall["LightWSP"] < 1.5

@@ -1,0 +1,15 @@
+"""Fig. 11 — WPQ-size sensitivity: 64 (default) / 128 / 256 entries,
+with the store threshold tracking half the WPQ.
+
+Paper: larger WPQs perform best; WPQ-64 is the practical default."""
+
+from repro.analysis import fig11_wpq_size
+
+
+def bench_fig11_wpq_size(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        fig11_wpq_size, args=(ctx,), kwargs={"sizes": (256, 128, 64)},
+        rounds=1, iterations=1,
+    )
+    record(result, "fig11_wpq_size.txt")
+    assert result.overall["WPQ-256"] <= result.overall["WPQ-64"] * 1.05

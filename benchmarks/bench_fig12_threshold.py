@@ -1,0 +1,17 @@
+"""Fig. 12 — store-threshold sensitivity at WPQ 64: thresholds 16/32/64.
+
+Paper: half the WPQ (32) wins by balancing checkpoint overhead against
+WPQ pressure."""
+
+from repro.analysis import fig12_threshold
+
+
+def bench_fig12_threshold(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        fig12_threshold, args=(ctx,), kwargs={"thresholds": (16, 32, 64)},
+        rounds=1, iterations=1,
+    )
+    record(result, "fig12_threshold.txt")
+    series = result.overall
+    # the default must not be the worst of the three
+    assert series["St-Threshold-32"] <= max(series.values())

@@ -1,0 +1,15 @@
+"""Fig. 13 — cache-eviction victim-selection policies under buffer
+snooping: full-scan (default) vs half-scan vs zero (delay).
+
+Paper: no significant difference — conflicts are too rare to matter."""
+
+from repro.analysis import fig13_victim_policy
+
+
+def bench_fig13_victim(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        fig13_victim_policy, args=(ctx,), rounds=1, iterations=1
+    )
+    record(result, "fig13_victim.txt")
+    values = list(result.overall.values())
+    assert max(values) / min(values) < 1.1  # within noise of each other

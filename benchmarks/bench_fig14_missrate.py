@@ -1,0 +1,15 @@
+"""Fig. 14 — L1 miss rate for the three victim policies plus the
+stale-load (snooping disabled) case.
+
+Paper: the stale-load case shows the highest miss rate; snooping keeps
+hot conflicting lines resident."""
+
+from repro.analysis import fig14_miss_rate
+
+
+def bench_fig14_missrate(benchmark, ctx, record):
+    result = benchmark.pedantic(fig14_miss_rate, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig14_missrate.txt")
+    for row in result.rows:
+        for series in result.series:
+            assert 0.0 <= row[series] <= 100.0

@@ -1,0 +1,17 @@
+"""Fig. 15 — persist-path bandwidth sensitivity: 4 (default) / 2 / 1 GB/s.
+
+Paper: lower bandwidth fills the front-end buffer and stalls the core;
+1 GB/s degrades sharply on store-heavy suites."""
+
+from repro.analysis import fig15_bandwidth
+
+
+def bench_fig15_bandwidth(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        fig15_bandwidth, args=(ctx,), kwargs={"bandwidths": (4.0, 2.0, 1.0)},
+        rounds=1, iterations=1,
+    )
+    record(result, "fig15_bandwidth.txt")
+    overall = result.overall
+    assert overall["1GB/s"] >= overall["2GB/s"] * 0.999
+    assert overall["2GB/s"] >= overall["4GB/s"] * 0.999

@@ -1,0 +1,18 @@
+"""Fig. 16 — thread-count sensitivity for the multi-threaded suites,
+plus the §V-F5 WPQ-overflow counts.
+
+Paper: overhead grows with threads (contention on the two shared WPQs);
+overflow stays rare (1.9 per 10k instructions at 64 threads)."""
+
+from repro.analysis import fig16_threads
+
+
+def bench_fig16_threads(benchmark, ctx, record, full_run):
+    counts = (8, 16, 32, 64) if full_run else (8, 16)
+    result = benchmark.pedantic(
+        fig16_threads, args=(ctx,), kwargs={"counts": counts},
+        rounds=1, iterations=1,
+    )
+    record(result, "fig16_threads.txt")
+    for row in result.rows:
+        assert row["suite"] in ("STAMP", "NPB", "SPLASH3", "WHISPER")

@@ -1,0 +1,13 @@
+"""Fig. 17 / Table III — LightWSP over CXL-attached persistent devices.
+
+Paper: below 16% average overhead on every CXL preset."""
+
+from repro.analysis import fig17_cxl, table3_cxl
+
+
+def bench_fig17_cxl(benchmark, ctx, record):
+    record(table3_cxl(), "table3_cxl.txt")
+    result = benchmark.pedantic(fig17_cxl, args=(ctx,), rounds=1, iterations=1)
+    record(result, "fig17_cxl.txt")
+    for series, value in result.overall.items():
+        assert value < 2.0, (series, value)

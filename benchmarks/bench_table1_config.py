@@ -1,0 +1,16 @@
+"""Table I — the simulated system configuration."""
+
+import os
+
+from repro.analysis import format_mapping, table1_config
+
+
+def bench_table1_config(benchmark):
+    table = benchmark.pedantic(table1_config, rounds=1, iterations=1)
+    text = format_mapping("Table I — system configuration", table)
+    os.makedirs(os.path.join(os.path.dirname(__file__), "results"), exist_ok=True)
+    with open(os.path.join(os.path.dirname(__file__), "results", "table1.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    assert "8-core" in table["Processor"]
+    assert "64-entry" in table["Memory Controller"]

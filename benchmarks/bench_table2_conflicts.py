@@ -1,0 +1,15 @@
+"""Table II — front-end buffer conflict rate (permille of L1 evictions).
+
+Paper: ~0 for SPEC; up to 0.0031 permille for NPB — conflicts are rare,
+which is why the victim-selection policy barely matters (Fig. 13)."""
+
+from repro.analysis import table2_conflict_rate
+
+
+def bench_table2_conflicts(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        table2_conflict_rate, args=(ctx,), rounds=1, iterations=1
+    )
+    record(result, "table2_conflicts.txt")
+    for row in result.rows:
+        assert row["conflict_permille"] < 50.0  # rare, as the paper finds

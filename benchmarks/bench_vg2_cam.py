@@ -1,0 +1,18 @@
+"""§V-G2 — CAM search latency of the front-end buffer / WPQ (CACTI-fit
+model).  Paper: 0.99 ns = 2 cycles at 2 GHz for 64 x 8 B at 22 nm."""
+
+import os
+
+from repro.analysis import format_mapping, vg2_cam_latency
+
+
+def bench_vg2_cam(benchmark):
+    result = benchmark.pedantic(vg2_cam_latency, rounds=1, iterations=1)
+    text = format_mapping("V-G2 CAM search latency", result)
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "vg2_cam.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    assert result["search_cycles"] == 2
+    assert 0.8 <= result["search_ns"] <= 1.1

@@ -1,0 +1,14 @@
+"""§V-G3 — dynamic instruction overhead and region statistics.
+
+Paper: +7.03% instructions (checkpoint + boundary stores), 91.33
+instructions and 11.29 stores per region on average."""
+
+from repro.analysis import vg3_region_stats
+
+
+def bench_vg3_region_stats(benchmark, ctx, record):
+    result = benchmark.pedantic(vg3_region_stats, args=(ctx,), rounds=1, iterations=1)
+    record(result, "vg3_region_stats.txt")
+    overhead = result.overall["instrumentation_pct"]
+    assert 0.0 <= overhead < 40.0
+    assert result.overall["insts_per_region"] > 5.0

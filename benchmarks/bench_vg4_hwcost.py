@@ -1,0 +1,18 @@
+"""§V-G4 — hardware cost: LightWSP 0.5 B/core (a 2 B flush ID per MC)
+vs PPA's 337 B/core and Capri's 54 KB/core."""
+
+import os
+
+from repro.analysis import format_mapping, lightwsp_cost, vg4_hw_cost
+from repro.config import SystemConfig
+
+
+def bench_vg4_hwcost(benchmark):
+    costs = benchmark.pedantic(vg4_hw_cost, rounds=1, iterations=1)
+    text = format_mapping("V-G4 hardware cost", costs)
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "vg4_hwcost.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    assert lightwsp_cost(SystemConfig()).per_core_bytes == 0.5

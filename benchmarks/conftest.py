@@ -1,0 +1,64 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — trace-size multiplier (default 0.05; the
+  documented full-size runs in EXPERIMENTS.md used 0.25),
+* ``REPRO_BENCH_FULL=1`` — run all 38 applications instead of the
+  suite-representative subset.
+
+Every bench regenerates one table/figure, prints it, and appends it to
+``benchmarks/results/<figure>.txt`` so a full run leaves the evaluation
+on disk.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentContext, FigureResult, format_figure
+
+#: two applications per suite: keeps the default run quick while every
+#: suite (and both single- and multi-threaded shapes) stays represented
+REPRESENTATIVE = [
+    "lbm", "mcf",            # CPU2006 (memory-bound)
+    "namd", "xz",            # compute-bound + store-heavy
+    "vacation", "ssca2",     # STAMP
+    "cg", "ft",              # NPB
+    "radix", "barnes",       # SPLASH3
+    "rb", "tpcc",            # WHISPER
+]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    benchmarks = (
+        None if os.environ.get("REPRO_BENCH_FULL") == "1" else REPRESENTATIVE
+    )
+    return ExperimentContext(scale=bench_scale(), benchmarks=benchmarks)
+
+
+def _record(result: FigureResult, filename: str) -> str:
+    """Print and persist one figure's rows."""
+    text = format_figure(result)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def record():
+    return _record
+
+
+@pytest.fixture(scope="session")
+def full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL") == "1"

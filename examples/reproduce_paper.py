@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation at a chosen scale.
+
+    python examples/reproduce_paper.py                 # quick subset
+    python examples/reproduce_paper.py --full          # all 38 apps
+    python examples/reproduce_paper.py --scale 0.3     # bigger traces
+    python examples/reproduce_paper.py --figures 7 9   # selected figures
+
+Prints every table and figure of §V with the same rows/series the paper
+reports; EXPERIMENTS.md records a full run next to the paper's numbers.
+"""
+
+import argparse
+import time
+
+from repro.analysis import (
+    ExperimentContext,
+    ablation_compiler,
+    ablation_lrpo,
+    fig7_slowdown,
+    fig8_efficiency,
+    fig9_psp_vs_wsp,
+    fig10_cwsp,
+    fig11_wpq_size,
+    fig12_threshold,
+    fig13_victim_policy,
+    fig14_miss_rate,
+    fig15_bandwidth,
+    fig16_threads,
+    fig17_cxl,
+    fig18_wpq_hits,
+    format_figure,
+    format_mapping,
+    table1_config,
+    table2_conflict_rate,
+    table3_cxl,
+    vg2_cam_latency,
+    vg3_region_stats,
+    vg4_hw_cost,
+)
+
+#: a suite-representative subset for quick runs
+QUICK_SUBSET = [
+    "lbm", "libquan", "mcf", "namd",          # CPU2006
+    "dsjeng", "xz",                            # CPU2017
+    "vacation", "ssca2",                       # STAMP
+    "cg", "ft",                                # NPB
+    "radix", "barnes",                         # SPLASH3
+    "rb", "tpcc",                              # WHISPER
+]
+
+FIGURES = {
+    "7": ("Fig. 7  slowdown vs baseline", fig7_slowdown),
+    "8": ("Fig. 8  persistence efficiency", fig8_efficiency),
+    "9": ("Fig. 9  ideal PSP vs WSP", fig9_psp_vs_wsp),
+    "10": ("Fig. 10 LightWSP vs cWSP", fig10_cwsp),
+    "11": ("Fig. 11 WPQ size", fig11_wpq_size),
+    "12": ("Fig. 12 store threshold", fig12_threshold),
+    "13": ("Fig. 13 victim policies", fig13_victim_policy),
+    "14": ("Fig. 14 miss rates", fig14_miss_rate),
+    "15": ("Fig. 15 persist bandwidth", fig15_bandwidth),
+    "16": ("Fig. 16 thread counts", fig16_threads),
+    "17": ("Fig. 17 CXL devices", fig17_cxl),
+    "18": ("Fig. 18 WPQ hit rate", fig18_wpq_hits),
+    "t2": ("Table II conflict rate", table2_conflict_rate),
+    "g3": ("§V-G3 region statistics", vg3_region_stats),
+    "lrpo": ("Ablation: LRPO", ablation_lrpo),
+    "passes": ("Ablation: compiler passes", ablation_compiler),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="all 38 apps")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--figures", nargs="*", default=None,
+                        help="subset of %s" % ", ".join(FIGURES))
+    args = parser.parse_args()
+
+    print(format_mapping("Table I — system configuration", table1_config()))
+    print()
+    print(format_mapping("§V-G2 — CAM search latency", vg2_cam_latency()))
+    print()
+    print(format_mapping("§V-G4 — hardware cost", vg4_hw_cost()))
+    print()
+    print(format_figure(table3_cxl()))
+    print()
+
+    benchmarks = None if args.full else QUICK_SUBSET
+    ctx = ExperimentContext(scale=args.scale, benchmarks=benchmarks)
+    wanted = args.figures or list(FIGURES)
+    for key in wanted:
+        title, driver = FIGURES[key]
+        t0 = time.time()
+        figure = driver(ctx)
+        print(format_figure(figure))
+        print("[%s in %.1fs]\n" % (title, time.time() - t0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``       — Table I, hardware costs, CAM latency, CXL presets
+* ``run``        — simulate one benchmark under one scheme
+* ``figure``     — regenerate one table/figure
+* ``crash-sweep``— exhaustively crash-test one benchmark
+* ``compile``    — compile a textual-IR (.lir) file and print the
+                   instrumented program (regions, checkpoints)
+* ``list``       — the 38 applications and the available schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ExperimentContext,
+    format_figure,
+    format_mapping,
+    table1_config,
+    table3_cxl,
+    vg2_cam_latency,
+    vg4_hw_cost,
+)
+from .analysis import experiments as E
+from .baselines import ALL_SCHEMES
+from .compiler import compile_program
+from .compiler.textir import parse_program, print_program
+from .config import DEFAULT_CONFIG
+from .core.failure import crash_sweep
+from .core.lightwsp import LIGHTWSP
+from .workloads import BENCHMARKS, SUITES, benchmarks_of
+
+FIGURES = {
+    "fig7": E.fig7_slowdown,
+    "fig8": E.fig8_efficiency,
+    "fig9": E.fig9_psp_vs_wsp,
+    "fig10": E.fig10_cwsp,
+    "fig11": E.fig11_wpq_size,
+    "fig12": E.fig12_threshold,
+    "fig13": E.fig13_victim_policy,
+    "fig14": E.fig14_miss_rate,
+    "fig15": E.fig15_bandwidth,
+    "fig16": E.fig16_threads,
+    "fig17": E.fig17_cxl,
+    "fig18": E.fig18_wpq_hits,
+    "table2": E.table2_conflict_rate,
+    "vg3": E.vg3_region_stats,
+    "ablation-lrpo": E.ablation_lrpo,
+    "ablation-compiler": E.ablation_compiler,
+}
+
+SCHEMES = dict(ALL_SCHEMES)
+SCHEMES[LIGHTWSP.name] = LIGHTWSP
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(format_mapping("Table I — system configuration", table1_config()))
+    print()
+    print(format_mapping("CAM search latency (V-G2)", vg2_cam_latency()))
+    print()
+    print(format_mapping("Hardware cost (V-G4)", vg4_hw_cost()))
+    print()
+    print(format_figure(table3_cxl()))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for suite in SUITES:
+        names = ", ".join(b.name for b in benchmarks_of(suite))
+        print("%-8s  %s" % (suite, names))
+    print("\nschemes: %s" % ", ".join(sorted(SCHEMES)))
+    print("figures: %s" % ", ".join(FIGURES))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.benchmark not in BENCHMARKS:
+        print("unknown benchmark %r (see `list`)" % args.benchmark)
+        return 2
+    if args.scheme not in SCHEMES:
+        print("unknown scheme %r (see `list`)" % args.scheme)
+        return 2
+    ctx = ExperimentContext(scale=args.scale, benchmarks=[args.benchmark])
+    slowdown, result = ctx.slowdown(args.benchmark, SCHEMES[args.scheme])
+    print("%s under %s:" % (args.benchmark, args.scheme))
+    print("  cycles       %12.0f" % result.cycles)
+    print("  slowdown     %12.3f (vs memory-mode)" % slowdown)
+    print("  instructions %12d" % result.instructions)
+    print("  regions      %12d" % result.regions)
+    print("  efficiency   %11.2f%% (Eq. 1)" % result.persistence_efficiency)
+    print("  stalls: fe=%.0f boundary=%.0f lock=%.0f wpq-hit=%.0f" % (
+        result.fe_stall, result.boundary_stall,
+        result.lock_stall, result.wpq_hit_stall))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in FIGURES:
+        print("unknown figure %r (see `list`)" % args.name)
+        return 2
+    ctx = ExperimentContext(
+        scale=args.scale,
+        benchmarks=args.benchmarks if args.benchmarks else None,
+    )
+    print(format_figure(FIGURES[args.name](ctx)))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        program = parse_program(fh.read())
+    from .config import CompilerConfig
+
+    compiled = compile_program(
+        program, CompilerConfig(store_threshold=args.threshold)
+    )
+    print(print_program(compiled.program), end="")
+    stats = compiled.stats
+    print("# boundaries=%d checkpoints=%d (pruned %d) data_stores=%d "
+          "max_region_stores=%d converged=%s"
+          % (stats.boundaries, stats.checkpoint_stores,
+             stats.pruned_checkpoints, stats.data_stores,
+             stats.max_region_stores, stats.converged))
+    return 0
+
+
+def cmd_crash_sweep(args: argparse.Namespace) -> int:
+    if args.benchmark not in BENCHMARKS:
+        print("unknown benchmark %r (see `list`)" % args.benchmark)
+        return 2
+    bench = BENCHMARKS[args.benchmark]
+    prog = bench.build(scale=args.scale, threads=min(bench.threads, 2))
+    compiled = compile_program(prog, DEFAULT_CONFIG.compiler)
+    entries = bench.entries(threads=min(bench.threads, 2))
+    divergent = crash_sweep(compiled, entries=entries, stride=args.stride)
+    if divergent:
+        print("DIVERGED at crash points: %s" % divergent[:20])
+        return 1
+    print("%s: crash-consistent at every probed point (stride %d)"
+          % (args.benchmark, args.stride))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="configuration + cost tables")
+    sub.add_parser("list", help="benchmarks, schemes, figures")
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--scheme", default="LightWSP")
+    p_run.add_argument("--scale", type=float, default=0.1)
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("name")
+    p_fig.add_argument("--scale", type=float, default=0.1)
+    p_fig.add_argument("--benchmarks", nargs="*", default=None)
+
+    p_compile = sub.add_parser("compile", help="compile a .lir file")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--threshold", type=int, default=32)
+
+    p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
+    p_sweep.add_argument("benchmark")
+    p_sweep.add_argument("--scale", type=float, default=0.02)
+    p_sweep.add_argument("--stride", type=int, default=17)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "list": cmd_list,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "compile": cmd_compile,
+        "crash-sweep": cmd_crash_sweep,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Residual-energy / battery sizing — the quantitative version of the
+paper's §II-C1 argument against JIT-checkpointing WSP.
+
+JIT-checkpointing schemes must, on the residual energy of the power
+supply, persist *all* volatile state: every dirty line of every cache
+level plus — fatally — the off-chip DRAM cache.  LightWSP only needs the
+battery to (a) finish draining each MC's tiny WPQ and (b) deliver the
+in-flight bdry/flush ACKs.  This module computes both energy budgets from
+first principles so the orders-of-magnitude gap the paper cites (a
+server PSU covers at most 64 cores x 40 MB of SRAM; nobody covers
+terabytes of DRAM) falls out of the model.
+
+Energy model (deliberately simple, constants documented):
+
+* moving one byte to PM costs ``PM_WRITE_ENERGY_PJ_PER_BYTE`` plus the
+  DRAM/SRAM read to fetch it;
+* the platform burns ``PLATFORM_IDLE_W`` while the flush runs at
+  ``pm.write_bw_gbps`` per memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+
+__all__ = ["EnergyBudget", "lightwsp_budget", "jit_checkpoint_budget", "compare"]
+
+#: energy to write one byte into PM (pJ) — Optane-class media
+PM_WRITE_ENERGY_PJ_PER_BYTE = 500.0
+#: energy to read one byte out of SRAM caches (pJ)
+SRAM_READ_ENERGY_PJ_PER_BYTE = 5.0
+#: energy to read one byte out of DRAM (pJ)
+DRAM_READ_ENERGY_PJ_PER_BYTE = 60.0
+#: platform power while the flush runs (W) — the PSU must keep the whole
+#: board (VRs, fabric, MCs, DIMMs) alive for the flush's duration
+PLATFORM_IDLE_W = 150.0
+#: usable residual energy of a standard ATX PSU after loss of AC (J);
+#: LightPC found it covers at most "32 cores with 16KB cache", which this
+#: budget reproduces (most of the hold-up charge is unusable before
+#: voltage droop)
+ATX_RESIDUAL_J = 0.15
+#: usable residual energy of a server-class PSU (J) — covers "64 cores
+#: with 40MB cache" per LightPC, but never an off-chip DRAM cache
+SERVER_RESIDUAL_J = 35.0
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """What one scheme must persist on residual power."""
+
+    scheme: str
+    bytes_to_flush: int
+    flush_seconds: float
+    energy_joules: float
+
+    def fits(self, residual_joules: float) -> bool:
+        return self.energy_joules <= residual_joules
+
+
+def _flush_energy(n_bytes: int, read_pj_per_byte: float, bw_gbps: float):
+    move_j = n_bytes * (PM_WRITE_ENERGY_PJ_PER_BYTE + read_pj_per_byte) * 1e-12
+    seconds = (n_bytes / (bw_gbps * 1e9)) if n_bytes else 0.0
+    platform_j = seconds * PLATFORM_IDLE_W
+    return move_j + platform_j, seconds
+
+
+def lightwsp_budget(config: SystemConfig = DEFAULT_CONFIG) -> EnergyBudget:
+    """LightWSP's battery: drain every WPQ + the in-flight ACKs (the ACK
+    traffic is a rounding error; we charge one extra WPQ's worth)."""
+    wpq_bytes = config.mc.n_mcs * config.mc.wpq_bytes
+    budget_bytes = wpq_bytes * 2  # entries + protocol slack
+    total_bw = config.pm.write_bw_gbps * config.mc.n_mcs
+    energy, seconds = _flush_energy(
+        budget_bytes, SRAM_READ_ENERGY_PJ_PER_BYTE, total_bw
+    )
+    return EnergyBudget(
+        scheme="LightWSP",
+        bytes_to_flush=budget_bytes,
+        flush_seconds=seconds,
+        energy_joules=energy,
+    )
+
+
+def jit_checkpoint_budget(
+    config: SystemConfig = DEFAULT_CONFIG,
+    dirty_fraction: float = 0.5,
+    include_dram_cache: bool = True,
+) -> EnergyBudget:
+    """A JIT-checkpointing WSP's burden: all dirty SRAM state, plus the
+    DRAM cache when it must survive (Optane memory mode)."""
+    sram_bytes = config.cores * config.l1d.size_bytes + config.l2.size_bytes
+    dirty_sram = int(sram_bytes * dirty_fraction)
+    total_bw = config.pm.write_bw_gbps * config.mc.n_mcs
+
+    energy, seconds = _flush_energy(
+        dirty_sram, SRAM_READ_ENERGY_PJ_PER_BYTE, total_bw
+    )
+    total_bytes = dirty_sram
+    if include_dram_cache:
+        dram_dirty = int(config.dram_cache.size_bytes * dirty_fraction)
+        dram_energy, dram_seconds = _flush_energy(
+            dram_dirty, DRAM_READ_ENERGY_PJ_PER_BYTE, total_bw
+        )
+        energy += dram_energy
+        seconds += dram_seconds
+        total_bytes += dram_dirty
+    return EnergyBudget(
+        scheme="JIT-checkpoint" + ("+DRAM$" if include_dram_cache else ""),
+        bytes_to_flush=total_bytes,
+        flush_seconds=seconds,
+        energy_joules=energy,
+    )
+
+
+def compare(config: SystemConfig = DEFAULT_CONFIG) -> dict:
+    """The §II-C1 table: who fits which power supply."""
+    light = lightwsp_budget(config)
+    jit_sram = jit_checkpoint_budget(config, include_dram_cache=False)
+    jit_full = jit_checkpoint_budget(config, include_dram_cache=True)
+    rows = {}
+    for budget in (light, jit_sram, jit_full):
+        rows[budget.scheme] = {
+            "bytes": budget.bytes_to_flush,
+            "energy_J": budget.energy_joules,
+            "fits_ATX": budget.fits(ATX_RESIDUAL_J),
+            "fits_server_PSU": budget.fits(SERVER_RESIDUAL_J),
+        }
+    return rows

@@ -1,0 +1,42 @@
+"""Aggregation helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["geomean", "slowdown", "per_suite", "overall"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports per-suite and overall geomeans."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def slowdown(cycles: float, baseline_cycles: float) -> float:
+    """Execution slowdown relative to the memory-mode baseline."""
+    if baseline_cycles <= 0:
+        raise ValueError("baseline cycles must be positive")
+    return cycles / baseline_cycles
+
+
+def per_suite(
+    rows: Sequence[Mapping],
+    value_key: str,
+    suite_key: str = "suite",
+) -> Dict[str, float]:
+    """Geomean of ``value_key`` per suite, preserving suite order of first
+    appearance."""
+    groups: Dict[str, List[float]] = {}
+    for row in rows:
+        groups.setdefault(row[suite_key], []).append(row[value_key])
+    return {suite: geomean(vals) for suite, vals in groups.items()}
+
+
+def overall(rows: Sequence[Mapping], value_key: str) -> float:
+    return geomean([row[value_key] for row in rows])

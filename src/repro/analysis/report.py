@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results.
+
+``format_figure`` prints the same rows/series a paper figure shows: one
+line per benchmark, one column per series, then per-suite and overall
+aggregates — the output the benchmark harness tees into bench logs and
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping
+
+from .experiments import FigureResult
+
+__all__ = ["format_figure", "format_mapping"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def format_mapping(title: str, mapping: Mapping) -> str:
+    width = max((len(str(k)) for k in mapping), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in mapping.items():
+        lines.append("%-*s  %s" % (width, key, _fmt(value)))
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult, per_benchmark: bool = True) -> str:
+    """Render one figure's rows and aggregates."""
+    series = list(result.series)
+    name_w = max(
+        [len("benchmark")]
+        + [len(str(r.get("benchmark", ""))) for r in result.rows]
+        + [len(s) for s in result.per_suite]
+    )
+    col_w = max([10] + [len(s) for s in series])
+
+    def line(label: str, values: Iterable[str]) -> str:
+        cells = "".join("%*s" % (col_w + 2, v) for v in values)
+        return "%-*s%s" % (name_w + 2, label, cells)
+
+    out: List[str] = []
+    title = "%s  (%s)" % (result.figure, ", ".join(series))
+    out.append(title)
+    out.append("=" * len(title))
+    if result.notes:
+        out.append(result.notes)
+    out.append(line("benchmark", series))
+    if per_benchmark:
+        for row in result.rows:
+            out.append(
+                line(
+                    str(row.get("benchmark", "")),
+                    [_fmt(row.get(s, "")) for s in series],
+                )
+            )
+    for suite, values in result.per_suite.items():
+        out.append(
+            line("geomean(%s)" % suite, [_fmt(values.get(s, "")) for s in series])
+        )
+    if result.overall:
+        out.append(
+            line("geomean(all)", [_fmt(result.overall.get(s, "")) for s in series])
+        )
+    return "\n".join(out)

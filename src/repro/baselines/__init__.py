@@ -1,0 +1,31 @@
+"""Baseline persistence schemes, as policies over the shared engine.
+
+Each module documents how the paper describes the scheme and which policy
+knobs encode its behaviour; the policies are re-exported here with the
+baseline (memory-mode) policy.
+"""
+
+from .capri import CAPRI, capri_policy
+from .cwsp import CWSP, cwsp_policy
+from .memory_mode import MEMORY_MODE, memory_mode_policy
+from .ppa import PPA, ppa_policy
+from .psp import PSP_IDEAL, psp_ideal_policy
+
+ALL_SCHEMES = {
+    policy.name: policy
+    for policy in (MEMORY_MODE, CAPRI, PPA, CWSP, PSP_IDEAL)
+}
+
+__all__ = [
+    "CAPRI",
+    "capri_policy",
+    "CWSP",
+    "cwsp_policy",
+    "MEMORY_MODE",
+    "memory_mode_policy",
+    "PPA",
+    "ppa_policy",
+    "PSP_IDEAL",
+    "psp_ideal_policy",
+    "ALL_SCHEMES",
+]

@@ -1,0 +1,24 @@
+"""The evaluation baseline: Intel Optane PMem's *memory mode* with the
+original (uninstrumented) binary.
+
+DRAM serves as a direct-mapped cache over PM, exactly as in LightWSP, but
+nothing persists crash-consistently: no persist path, no WPQ gating, no
+region boundaries.  Every slowdown in the evaluation is normalized to this
+configuration (§V-A)."""
+
+from __future__ import annotations
+
+from ..sim.engine import SchemePolicy
+
+__all__ = ["MEMORY_MODE", "memory_mode_policy"]
+
+MEMORY_MODE = SchemePolicy(
+    name="memory-mode",
+    persists=False,
+    uses_dram_cache=True,
+    snoop=False,
+)
+
+
+def memory_mode_policy() -> SchemePolicy:
+    return MEMORY_MODE

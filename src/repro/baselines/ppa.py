@@ -1,0 +1,44 @@
+"""PPA — the Persistent Processor Architecture (MICRO'23), §II-C2.
+
+PPA replays unpersisted stores after a failure, which requires *store
+integrity*: operand registers of committed stores stay pinned in the
+physical register file until the stores persist.  Model mapping:
+
+* **hardware-delineated regions** — a region ends when the PRF can no
+  longer pin registers; we use a fixed store budget
+  (`implicit_region_stores=24`, a PRF-pressure proxy), and the original
+  binary (no compiler instrumentation, no checkpoint stores).
+* **eager writeback** — every store starts persisting as soon as it
+  reaches L1 (`gated=False`): persistence overlaps with the *same*
+  region's execution (in-region ILP only).
+* **boundary stall** — at each implicit boundary the pipeline stalls until
+  all the region's stores are durable (have reached the battery-backed
+  WPQ domain): `boundary_wait=True`.  This is the wait LightWSP's LRPO
+  eliminates, and why PPA's persistence efficiency trails LightWSP's in
+  Fig. 8 whenever regions are short.
+
+Hardware cost (§V-G4): 337 B per core for store-integrity tracking, plus
+the renaming-stage critical-path pressure the paper warns about (not a
+timing effect we model).
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import SchemePolicy
+
+__all__ = ["PPA", "ppa_policy"]
+
+PPA = SchemePolicy(
+    name="PPA",
+    persists=True,
+    entry_factor=1,
+    gated=False,
+    boundary_wait=True,
+    uses_dram_cache=True,
+    snoop=True,
+    implicit_region_stores=24,
+)
+
+
+def ppa_policy() -> SchemePolicy:
+    return PPA

@@ -1,0 +1,32 @@
+"""The *ideal* partial-system-persistence scheme of Fig. 9 (§V-D).
+
+Modeled after an optimized BBB (battery-backed buffers, HPCA'21), whose
+performance approaches Intel eADR: persist barriers are free because the
+entire cache hierarchy is inside the battery-backed persistence domain.
+We grant it zero persistence overhead (`persists=False` — no persist
+path, no boundaries, no stalls).
+
+What ideal PSP *cannot* do is use DRAM as a last-level cache: under PSP
+the DRAM is ordinary volatile main memory (no eADR battery can save
+terabytes of it), and persistent data lives in PM behind the SRAM caches
+only (`uses_dram_cache=False`).  Every L2 miss therefore pays full PM
+latency, which is the entire 51.2% average gap Fig. 9 reports for
+memory-intensive applications — the figure that motivates whole-system
+persistence."""
+
+from __future__ import annotations
+
+from ..sim.engine import SchemePolicy
+
+__all__ = ["PSP_IDEAL", "psp_ideal_policy"]
+
+PSP_IDEAL = SchemePolicy(
+    name="PSP-Ideal",
+    persists=False,
+    uses_dram_cache=False,
+    snoop=False,
+)
+
+
+def psp_ideal_policy() -> SchemePolicy:
+    return PSP_IDEAL

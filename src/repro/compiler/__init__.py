@@ -1,0 +1,42 @@
+"""The LightWSP compiler substrate: IR, analyses, and the region-
+partitioning pass pipeline of Fig. 3."""
+
+from .builder import FunctionBuilder
+from .cfg import CFG, split_block_at
+from .checkpoints import RecoveryPlan
+from .interp import LockTable, ThreadVM, WordMemory, run_single, run_threads
+from .ir import BasicBlock, Function, Instr, Op, Program, WORD_BYTES
+from .liveness import Liveness
+from .loops import NaturalLoop, constant_trip_count, find_loops
+from .opt import OptStats, eliminate_dead_code, fold_constants, optimize_function
+from .pipeline import CompiledProgram, CompileStats, clone_program, compile_program
+
+__all__ = [
+    "FunctionBuilder",
+    "CFG",
+    "split_block_at",
+    "RecoveryPlan",
+    "LockTable",
+    "ThreadVM",
+    "WordMemory",
+    "run_single",
+    "run_threads",
+    "BasicBlock",
+    "Function",
+    "Instr",
+    "Op",
+    "Program",
+    "WORD_BYTES",
+    "Liveness",
+    "NaturalLoop",
+    "OptStats",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize_function",
+    "constant_trip_count",
+    "find_loops",
+    "CompiledProgram",
+    "CompileStats",
+    "clone_program",
+    "compile_program",
+]

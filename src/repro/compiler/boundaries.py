@@ -1,0 +1,205 @@
+"""Initial region-boundary insertion (§IV-A).
+
+The pass inserts ``boundary`` pseudo-instructions:
+
+* at the entry and before every ``ret`` of each function,
+* around every callsite (callsites are region boundaries),
+* at the header of every loop that contains stores,
+* before every synchronization instruction (fence / atomic / lock /
+  unlock), so that the dynamic region-ID sequence reflects the
+  happens-before order of data-race-free programs (§III-D),
+* wherever a straight-line run of stores would otherwise exceed the
+  store-count threshold (half the WPQ size).
+
+A normalization step then splits blocks so that every boundary is the last
+instruction of its block (before the terminator) — "regions always start at
+the beginning of basic blocks", which keeps region live-outs derivable from
+block liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .cfg import CFG, split_block_at
+from .ir import Function, Instr, Op, is_boundary_forcing
+from .loops import find_loops
+
+__all__ = [
+    "insert_initial_boundaries",
+    "enforce_threshold_in_blocks",
+    "normalize_boundaries",
+    "boundary",
+    "strip_boundaries",
+    "max_region_store_count",
+]
+
+#: Boundary kinds that later passes must never remove.
+REQUIRED_KINDS = frozenset({"entry", "exit", "call", "sync", "loop", "io"})
+
+
+def boundary(kind: str) -> Instr:
+    """A fresh boundary instruction of the given kind."""
+    return Instr(Op.BOUNDARY, note=kind)
+
+
+def insert_initial_boundaries(func: Function) -> None:
+    """Insert entry/exit/callsite/loop-header/sync boundaries in place."""
+    # Loop headers first (uses the pre-insertion CFG shape).
+    loops = find_loops(func)
+    headers_needing_boundary: Set[str] = {
+        loop.header for loop in loops if loop.contains_stores(func)
+    }
+
+    for label in list(func.blocks):
+        block = func.blocks[label]
+        new_instrs: List[Instr] = []
+        if label in headers_needing_boundary:
+            new_instrs.append(boundary("loop"))
+        if label == func.entry:
+            # The entry boundary ends the *caller's* region at the callee
+            # prologue; it goes first.
+            new_instrs.insert(0, boundary("entry"))
+        for instr in block.instrs:
+            if instr.op == Op.CALL:
+                new_instrs.append(boundary("call"))
+                new_instrs.append(instr)
+                new_instrs.append(boundary("call"))
+            elif instr.op in Op.IRREVOCABLE:
+                # §IV-A: checkpoint the necessary status before the I/O
+                # starts so an interrupted operation restarts cleanly; the
+                # trailing boundary makes the I/O its own tiny region.
+                new_instrs.append(boundary("io"))
+                new_instrs.append(instr)
+                new_instrs.append(boundary("io"))
+            elif is_boundary_forcing(instr.op):
+                new_instrs.append(boundary("sync"))
+                new_instrs.append(instr)
+            elif instr.op == Op.RET:
+                new_instrs.append(boundary("exit"))
+                new_instrs.append(instr)
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+def enforce_threshold_in_blocks(func: Function, threshold: int) -> None:
+    """Within each block, never allow more than ``threshold`` store-like
+    instructions since the last boundary.  (Cross-block runs are handled by
+    the region-formation fixpoint.)  Boundary instructions themselves are
+    PC-checkpointing stores and count toward the *next* region's budget of
+    the WPQ, but by convention the paper counts data + checkpoint stores of
+    the region against the threshold; we count every store-like
+    instruction."""
+    for block in func.blocks.values():
+        new_instrs: List[Instr] = []
+        count = 0
+        for instr in block.instrs:
+            if instr.op == Op.BOUNDARY:
+                count = 0
+                new_instrs.append(instr)
+                continue
+            if instr.is_store_like():
+                if count + 1 > threshold:
+                    new_instrs.append(boundary("threshold"))
+                    count = 0
+                count += 1
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+def normalize_boundaries(func: Function) -> None:
+    """Split blocks so every boundary is the final instruction before its
+    block's terminator.  Consecutive boundaries are collapsed (the later
+    one is redundant unless it is required)."""
+    _collapse_adjacent(func)
+    changed = True
+    while changed:
+        changed = False
+        for label in list(func.blocks):
+            block = func.blocks[label]
+            for i, instr in enumerate(block.instrs):
+                at_block_end = i == len(block.instrs) - 2 and block.instrs[
+                    -1
+                ].is_terminator()
+                if instr.op == Op.BOUNDARY and not at_block_end and i != len(
+                    block.instrs
+                ) - 1:
+                    split_block_at(func, label, i + 1, hint=label + ".r")
+                    changed = True
+                    break
+            if changed:
+                break
+
+
+def _collapse_adjacent(func: Function) -> None:
+    """Drop a boundary that immediately follows another; keep the one with
+    a required kind (or the first)."""
+    for block in func.blocks.values():
+        out: List[Instr] = []
+        for instr in block.instrs:
+            if (
+                instr.op == Op.BOUNDARY
+                and out
+                and out[-1].op == Op.BOUNDARY
+            ):
+                if instr.note in REQUIRED_KINDS and out[-1].note not in REQUIRED_KINDS:
+                    out[-1] = instr
+                continue
+            out.append(instr)
+        block.instrs = out
+
+
+def strip_boundaries(func: Function) -> None:
+    """Remove all boundary instructions (used by tests and by the baseline
+    build that runs the original binary)."""
+    for block in func.blocks.values():
+        block.instrs = [i for i in block.instrs if i.op != Op.BOUNDARY]
+
+
+def max_region_store_count(func: Function, cap: int = 4096) -> int:
+    """The maximum number of store-like instructions on any boundary-free
+    CFG path — the quantity the threshold bounds.
+
+    Computed by a monotone fixpoint: ``in[b]`` is the largest store count
+    accumulated since the most recent boundary at entry to ``b``.  Counts
+    are clamped at ``cap`` so that cycles without boundaries (which are
+    only legal when they contain no stores) terminate; a result equal to
+    ``cap`` therefore means "unbounded".  Callers that only need a
+    threshold check should pass ``cap=threshold + 1``.
+    """
+    cfg = CFG(func)
+    labels = cfg.reverse_postorder()
+    in_count: Dict[str, int] = {lbl: 0 for lbl in labels}
+    out_count: Dict[str, int] = {}
+    best = 0
+
+    def block_flow(label: str, entering: int) -> int:
+        nonlocal best
+        count = entering
+        for instr in func.blocks[label].instrs:
+            if instr.op == Op.BOUNDARY:
+                # A region's store count excludes its terminating boundary
+                # (the PC-checkpointing store); threshold = WPQ/2 leaves
+                # ample headroom for it, per §IV-A.
+                count = 0
+            elif instr.is_store_like():
+                count = min(cap, count + 1)
+                best = max(best, count)
+        return count
+
+    # Monotone + clamped at `cap`, so this terminates in at most
+    # cap * |blocks| sweeps (each productive sweep raises some in-count).
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            out = block_flow(label, in_count[label])
+            if out_count.get(label) != out:
+                out_count[label] = out
+                changed = True
+            for succ in cfg.succs[label]:
+                if out > in_count[succ]:
+                    in_count[succ] = out
+                    changed = True
+    return best

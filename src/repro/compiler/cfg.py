@@ -1,0 +1,141 @@
+"""Control-flow-graph utilities: predecessors, orders, reachability,
+dominators, and block splitting.
+
+These are the analyses the region-partitioning passes traverse: the paper's
+compiler "counts the number of stores while traversing the control flow
+graph" and combines regions "by traversing CFG again in topological order"
+(§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .ir import Function, Instr, Op
+
+__all__ = [
+    "CFG",
+    "split_block_at",
+]
+
+
+class CFG:
+    """Predecessor/successor maps and derived orders for one function.
+
+    The CFG is a snapshot: recompute after mutating the function.
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.succs: Dict[str, Tuple[str, ...]] = {}
+        self.preds: Dict[str, List[str]] = {lbl: [] for lbl in func.blocks}
+        for label, block in func.blocks.items():
+            succs = block.successors()
+            self.succs[label] = succs
+            for s in succs:
+                self.preds[s].append(label)
+
+    # ------------------------------------------------------------------
+    def reachable(self) -> Set[str]:
+        assert self.func.entry is not None
+        seen: Set[str] = set()
+        stack = [self.func.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.succs[label])
+        return seen
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder from the entry — a topological order whenever
+        the CFG is acyclic, and a sensible traversal order otherwise."""
+        assert self.func.entry is not None
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(label: str) -> None:
+            stack: List[Tuple[str, int]] = [(label, 0)]
+            seen.add(label)
+            while stack:
+                current, idx = stack.pop()
+                succs = self.succs[current]
+                if idx < len(succs):
+                    stack.append((current, idx + 1))
+                    nxt = succs[idx]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(current)
+
+        visit(self.func.entry)
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    def dominators(self) -> Dict[str, Set[str]]:
+        """Iterative dominator sets (small CFGs; clarity over speed)."""
+        assert self.func.entry is not None
+        rpo = self.reverse_postorder()
+        all_blocks = set(rpo)
+        dom: Dict[str, Set[str]] = {lbl: set(all_blocks) for lbl in rpo}
+        dom[self.func.entry] = {self.func.entry}
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.func.entry:
+                    continue
+                preds = [p for p in self.preds[label] if p in all_blocks]
+                if not preds:
+                    new = {label}
+                else:
+                    new = set(all_blocks)
+                    for p in preds:
+                        new &= dom[p]
+                    new.add(label)
+                if new != dom[label]:
+                    dom[label] = new
+                    changed = True
+        return dom
+
+    def back_edges(self) -> List[Tuple[str, str]]:
+        """Edges (tail -> head) where head dominates tail: loop back edges."""
+        dom = self.dominators()
+        edges = []
+        for tail in self.reachable():
+            for head in self.succs[tail]:
+                if head in dom.get(tail, ()):
+                    edges.append((tail, head))
+        return edges
+
+    def exits(self) -> List[str]:
+        """Blocks terminated by ``ret``."""
+        return [
+            lbl
+            for lbl, block in self.func.blocks.items()
+            if block.terminator() is not None
+            and block.terminator().op == Op.RET
+        ]
+
+
+def split_block_at(func: Function, label: str, index: int, hint: str = "split") -> str:
+    """Split ``label`` before instruction ``index``; the tail becomes a new
+    block that the head falls through to.  Returns the new label.
+
+    Used to guarantee that "regions always start at the beginning of basic
+    blocks" (§IV-A), which keeps per-region liveness computable from block
+    boundaries.
+    """
+    block = func.blocks[label]
+    if not 0 < index <= len(block.instrs):
+        raise ValueError("split index %d out of range for %s" % (index, label))
+    new_label = func.fresh_label(hint)
+    tail = block.instrs[index:]
+    block.instrs = block.instrs[:index]
+    block.instrs.append(Instr(Op.BR, targets=(new_label,)))
+    new_block = func.add_block(new_label)
+    new_block.instrs = tail
+    return new_label

@@ -1,0 +1,209 @@
+"""Checkpoint-store insertion and pruning (§IV-A).
+
+For every region boundary, the registers live *after* the boundary are the
+region's live-outs: a power failure in the following region rolls execution
+back to this boundary, so those registers must be reloadable.  The pass
+inserts one ``checkpoint`` pseudo-store per live-out register immediately
+before the boundary (a mild simplification of "right after their last
+update point" — the store count, which drives region partitioning, is
+identical).
+
+Checkpoint pruning removes a checkpoint when the register's value can be
+*reconstructed* at recovery time from immediates and other checkpointed
+registers (§IV-A "Region Size Extension and Checkpoint Pruning").  Each
+boundary's surviving checkpoints and reconstruction recipes are recorded in
+a :class:`RecoveryPlan`, which the recovery runtime interprets
+(:mod:`repro.core.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ir import Function, Instr, Op
+from .liveness import Liveness
+
+__all__ = [
+    "Recipe",
+    "RecoveryPlan",
+    "insert_checkpoints",
+    "strip_checkpoints",
+    "prune_checkpoints",
+    "collect_recovery_plans",
+]
+
+#: A reconstruction recipe for one register:
+#:   ("ckpt",)                      -- reload from the checkpoint array
+#:   ("const", value)               -- rematerialize a constant
+#:   ("expr", op, operands)         -- recompute; each operand is
+#:                                     ("imm", v) or ("ckpt", regname)
+Recipe = Tuple
+
+
+@dataclass
+class RecoveryPlan:
+    """What recovery must do to restore the live-ins of the region that
+    *starts* right after the boundary ``boundary_uid``."""
+
+    boundary_uid: int
+    recipes: Dict[str, Recipe] = field(default_factory=dict)
+
+    def checkpointed(self) -> List[str]:
+        return sorted(r for r, recipe in self.recipes.items() if recipe[0] == "ckpt")
+
+    def pruned(self) -> List[str]:
+        return sorted(r for r, recipe in self.recipes.items() if recipe[0] != "ckpt")
+
+
+def strip_checkpoints(func: Function) -> None:
+    for block in func.blocks.values():
+        block.instrs = [i for i in block.instrs if i.op != Op.CHECKPOINT]
+
+
+def insert_checkpoints(func: Function) -> int:
+    """Insert checkpoint stores before every boundary for its live-out
+    registers.  Returns the number of checkpoints inserted.  Assumes
+    boundaries are normalized (last instruction before the terminator)."""
+    strip_checkpoints(func)
+    live = Liveness(func)
+    inserted = 0
+    for label, block in func.blocks.items():
+        out: List[Instr] = []
+        for idx, instr in enumerate(block.instrs):
+            if instr.op == Op.BOUNDARY:
+                live_out = sorted(live.live_after(label, idx))
+                for reg in live_out:
+                    out.append(Instr(Op.CHECKPOINT, srcs=(reg,), note=reg))
+                    inserted += 1
+            out.append(instr)
+        block.instrs = out
+    return inserted
+
+
+def _local_recipe(
+    block_instrs: Sequence[Instr],
+    boundary_index: int,
+    reg: str,
+    checkpointed: Set[str],
+) -> Optional[Recipe]:
+    """A reconstruction recipe for ``reg`` derivable from the boundary's own
+    block, or None.  ``checkpointed`` is the set of registers guaranteed to
+    remain checkpointed (recipe operands may only reference those)."""
+    # Find the last def of reg before the boundary.
+    def_idx = -1
+    for i in range(boundary_index - 1, -1, -1):
+        if reg in block_instrs[i].defs():
+            def_idx = i
+            break
+    if def_idx < 0:
+        return None
+    instr = block_instrs[def_idx]
+
+    if instr.op == Op.CONST:
+        return ("const", instr.imm)
+
+    if instr.op not in Op.BINOPS and instr.op != Op.MOV:
+        return None
+
+    # Every register operand must be (a) checkpointed and (b) unchanged
+    # between the def and the boundary, so that its checkpointed value (its
+    # value at the boundary) equals its value at the def.
+    operands: List[Tuple] = []
+    for src in instr.srcs:
+        if isinstance(src, int):
+            operands.append(("imm", src))
+            continue
+        if src not in checkpointed or src == reg:
+            return None
+        for j in range(def_idx + 1, boundary_index):
+            if src in block_instrs[j].defs():
+                return None
+        operands.append(("ckpt", src))
+    if instr.op == Op.MOV:
+        return ("expr", Op.ADD, (operands[0], ("imm", 0)))
+    return ("expr", instr.op, tuple(operands))
+
+
+def prune_checkpoints(func: Function) -> Dict[int, RecoveryPlan]:
+    """Remove reconstructible checkpoints and build per-boundary recovery
+    plans.  Returns ``{boundary_uid: RecoveryPlan}``."""
+    plans: Dict[int, RecoveryPlan] = {}
+    for label, block in func.blocks.items():
+        # Locate the boundary (normalized: at most one, before terminator).
+        for b_idx, b_instr in enumerate(block.instrs):
+            if b_instr.op != Op.BOUNDARY:
+                continue
+            ckpt_indices = [
+                i
+                for i in range(b_idx)
+                if block.instrs[i].op == Op.CHECKPOINT
+                and _belongs_to(block.instrs, i, b_idx)
+            ]
+            regs = [block.instrs[i].srcs[0] for i in ckpt_indices]
+            checkpointed: Set[str] = set(regs)
+            plan = RecoveryPlan(boundary_uid=b_instr.uid)
+
+            # Greedy pruning: a register is pruned only if its recipe's
+            # operands stay checkpointed; operands become unprunable.
+            pinned: Set[str] = set()
+            pruned: Dict[str, Recipe] = {}
+            for reg in sorted(regs):
+                if reg in pinned:
+                    continue
+                recipe = _local_recipe(
+                    block.instrs, b_idx, reg, checkpointed - set(pruned) - {reg}
+                )
+                if recipe is None:
+                    continue
+                if recipe[0] == "expr":
+                    for operand in recipe[2]:
+                        if operand[0] == "ckpt":
+                            pinned.add(operand[1])
+                pruned[reg] = recipe
+
+            for reg in regs:
+                plan.recipes[reg] = pruned.get(reg, ("ckpt",))
+            plans[b_instr.uid] = plan
+
+            # Physically remove pruned checkpoint stores.
+            remove = {
+                i
+                for i in ckpt_indices
+                if block.instrs[i].srcs[0] in pruned
+            }
+            if remove:
+                block.instrs = [
+                    instr
+                    for i, instr in enumerate(block.instrs)
+                    if i not in remove
+                ]
+            break  # normalized blocks hold one boundary
+    return plans
+
+
+def _belongs_to(instrs: Sequence[Instr], ckpt_idx: int, boundary_idx: int) -> bool:
+    """True when no other boundary separates the checkpoint from the
+    boundary at ``boundary_idx`` (defensive; normalized blocks cannot
+    trigger this)."""
+    return all(
+        instrs[j].op != Op.BOUNDARY for j in range(ckpt_idx + 1, boundary_idx)
+    )
+
+
+def collect_recovery_plans(func: Function) -> Dict[int, RecoveryPlan]:
+    """Plans for a function where pruning was *not* run: every checkpoint
+    reloads from the array."""
+    plans: Dict[int, RecoveryPlan] = {}
+    for block in func.blocks.values():
+        pending: List[str] = []
+        for instr in block.instrs:
+            if instr.op == Op.CHECKPOINT:
+                pending.append(instr.srcs[0])
+            elif instr.op == Op.BOUNDARY:
+                plan = RecoveryPlan(boundary_uid=instr.uid)
+                for reg in pending:
+                    plan.recipes[reg] = ("ckpt",)
+                plans[instr.uid] = plan
+                pending = []
+    return plans

@@ -1,0 +1,390 @@
+"""A stepping interpreter (VM) for the IR.
+
+The VM executes one instruction per :meth:`ThreadVM.step` call and returns
+a :class:`~repro.sim.trace.TraceEvent`, so it serves three masters:
+
+* trace generation for the timing simulator (run a thread to completion,
+  collect the events),
+* the functional persistence machine, which interposes on every memory
+  write to model WPQ gating and can stop a thread at an arbitrary step to
+  inject a power failure,
+* multi-threaded scheduling: ``step`` returns ``None`` when the thread is
+  blocked on a lock, letting a scheduler interleave threads.
+
+Semantics notes: all arithmetic wraps to signed 64-bit; division/modulo by
+zero yield 0 (no traps — power failure is the only "exception" this system
+cares about); every call frame gets a fresh register file with parameters
+bound (callee-saved-everything, which makes per-function liveness sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.trace import EK, TraceEvent
+from .ir import WORD_BYTES, Instr, Op, Program
+
+__all__ = ["WordMemory", "LockTable", "ThreadVM", "run_single", "run_threads"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 64-bit."""
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _binop(op: str, a: int, b: int) -> int:
+    if op == Op.ADD:
+        return _wrap(a + b)
+    if op == Op.SUB:
+        return _wrap(a - b)
+    if op == Op.MUL:
+        return _wrap(a * b)
+    if op == Op.DIV:
+        return _wrap(a // b) if b else 0
+    if op == Op.MOD:
+        return _wrap(a % b) if b else 0
+    if op == Op.AND:
+        return _wrap(a & b)
+    if op == Op.OR:
+        return _wrap(a | b)
+    if op == Op.XOR:
+        return _wrap(a ^ b)
+    if op == Op.SHL:
+        return _wrap(a << (b & 63))
+    if op == Op.SHR:
+        return _wrap((a & _MASK64) >> (b & 63))
+    if op == Op.MIN:
+        return min(a, b)
+    if op == Op.MAX:
+        return max(a, b)
+    if op == Op.EQ:
+        return int(a == b)
+    if op == Op.NE:
+        return int(a != b)
+    if op == Op.LT:
+        return int(a < b)
+    if op == Op.LE:
+        return int(a <= b)
+    if op == Op.GT:
+        return int(a > b)
+    if op == Op.GE:
+        return int(a >= b)
+    raise ValueError("unknown binop %r" % op)
+
+
+class WordMemory:
+    """Word-granular memory; absent words read as zero."""
+
+    def __init__(self) -> None:
+        self.words: Dict[int, int] = {}
+
+    def read(self, addr: int) -> int:
+        return self.words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.words[addr] = value
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self.words)
+
+
+class LockTable:
+    """Shared lock ownership for multi-threaded runs."""
+
+    def __init__(self) -> None:
+        self.owner: Dict[int, int] = {}
+
+    def try_acquire(self, lock_id: int, tid: int) -> bool:
+        if self.owner.get(lock_id) is None:
+            self.owner[lock_id] = tid
+            return True
+        return False
+
+    def release(self, lock_id: int, tid: int) -> None:
+        if self.owner.get(lock_id) != tid:
+            raise RuntimeError(
+                "thread %d releasing lock %d it does not hold" % (tid, lock_id)
+            )
+        del self.owner[lock_id]
+
+
+@dataclass
+class Frame:
+    """A saved caller context."""
+
+    regs: Dict[str, int]
+    func: str
+    block: str
+    index: int
+    ret_reg: Optional[str]
+
+
+class ThreadVM:
+    """One hardware thread executing a (compiled or plain) program."""
+
+    def __init__(
+        self,
+        program: Program,
+        func_name: str,
+        args: Sequence[int] = (),
+        memory: Optional[WordMemory] = None,
+        tid: int = 0,
+        locks: Optional[LockTable] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else WordMemory()
+        self.tid = tid
+        self.locks = locks if locks is not None else LockTable()
+        func = program.functions[func_name]
+        self.regs: Dict[str, int] = {}
+        for param, arg in zip(func.params, args):
+            self.regs[param] = _wrap(int(arg))
+        self.frames: List[Frame] = []
+        self.func_name = func_name
+        self.block = func.entry
+        self.index = 0
+        self.halted = False
+        self.steps = 0
+        #: externally visible I/O operations performed: (device, payload)
+        self.io_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def _value(self, operand) -> int:
+        if isinstance(operand, int):
+            return operand
+        return self.regs.get(operand, 0)
+
+    def _addr(self, instr: Instr) -> int:
+        return _wrap(self._value(instr.addr) + instr.offset)
+
+    def current_instr(self) -> Optional[Instr]:
+        if self.halted:
+            return None
+        func = self.program.functions[self.func_name]
+        block = func.blocks[self.block]
+        return block.instrs[self.index]
+
+    def position(self) -> Tuple[str, str, int]:
+        return (self.func_name, self.block, self.index)
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[TraceEvent]:
+        """Execute one instruction.  Returns the trace event, ``None``
+        when blocked on a lock, or a HALT event exactly once at the end."""
+        if self.halted:
+            return None
+        instr = self.current_instr()
+        assert instr is not None
+        op = instr.op
+
+        # Locks may refuse to advance the thread.
+        if op == Op.LOCK:
+            if not self.locks.try_acquire(instr.imm, self.tid):
+                return None
+            self._advance()
+            self.steps += 1
+            return TraceEvent(EK.LOCK, tid=self.tid, lock_id=instr.imm)
+
+        self.steps += 1
+        if op == Op.UNLOCK:
+            self.locks.release(instr.imm, self.tid)
+            self._advance()
+            return TraceEvent(EK.UNLOCK, tid=self.tid, lock_id=instr.imm)
+
+        if op == Op.CONST:
+            self.regs[instr.dst] = _wrap(instr.imm)
+            self._advance()
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.MOV:
+            self.regs[instr.dst] = self._value(instr.srcs[0])
+            self._advance()
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op in Op.BINOPS:
+            a = self._value(instr.srcs[0])
+            b = self._value(instr.srcs[1])
+            self.regs[instr.dst] = _binop(op, a, b)
+            self._advance()
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.NOP:
+            self._advance()
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.LOAD:
+            addr = self._addr(instr)
+            self.regs[instr.dst] = self.memory.read(addr)
+            self._advance()
+            return TraceEvent(EK.LOAD, addr=addr * WORD_BYTES, tid=self.tid)
+
+        if op == Op.STORE:
+            addr = self._addr(instr)
+            self.memory.write(addr, self._value(instr.srcs[0]))
+            self._advance()
+            return TraceEvent(EK.STORE, addr=addr * WORD_BYTES, tid=self.tid)
+
+        if op == Op.ATOMIC_RMW:
+            addr = self._addr(instr)
+            old = self.memory.read(addr)
+            operand = self._value(instr.srcs[0])
+            new = operand if instr.rmw_op == "xchg" else _binop(instr.rmw_op, old, operand)
+            self.memory.write(addr, new)
+            if instr.dst is not None:
+                self.regs[instr.dst] = old
+            self._advance()
+            return TraceEvent(EK.ATOMIC, addr=addr * WORD_BYTES, tid=self.tid)
+
+        if op == Op.CHECKPOINT:
+            reg = instr.srcs[0]
+            slot = Program.checkpoint_slot(self.tid, reg)
+            self.memory.write(slot, self.regs.get(reg, 0))
+            self._advance()
+            return TraceEvent(EK.CHECKPOINT, addr=slot * WORD_BYTES, tid=self.tid)
+
+        if op == Op.BOUNDARY:
+            slot = Program.pc_slot(self.tid)
+            self.memory.write(slot, instr.uid)
+            self._advance()
+            return TraceEvent(
+                EK.BOUNDARY,
+                addr=slot * WORD_BYTES,
+                tid=self.tid,
+                boundary_uid=instr.uid,
+            )
+
+        if op == Op.FENCE:
+            self._advance()
+            return TraceEvent(EK.FENCE, tid=self.tid)
+
+        if op == Op.IO:
+            payload = self._value(instr.srcs[0]) if instr.srcs else 0
+            self.io_log.append((instr.imm, payload))
+            self._advance()
+            return TraceEvent(EK.IO, tid=self.tid, lock_id=instr.imm)
+
+        if op == Op.BR:
+            self._jump(instr.targets[0])
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.CBR:
+            taken = self._value(instr.srcs[0]) != 0
+            self._jump(instr.targets[0] if taken else instr.targets[1])
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.CALL:
+            callee = self.program.functions[instr.callee]
+            frame = Frame(
+                regs=self.regs,
+                func=self.func_name,
+                block=self.block,
+                index=self.index + 1,
+                ret_reg=instr.dst,
+            )
+            self.frames.append(frame)
+            new_regs: Dict[str, int] = {}
+            for param, src in zip(callee.params, instr.srcs):
+                new_regs[param] = self._value(src)
+            self.regs = new_regs
+            self.func_name = instr.callee
+            self.block = callee.entry
+            self.index = 0
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        if op == Op.RET:
+            value = self._value(instr.srcs[0]) if instr.srcs else 0
+            if not self.frames:
+                self.halted = True
+                return TraceEvent(EK.HALT, tid=self.tid)
+            frame = self.frames.pop()
+            self.regs = frame.regs
+            if frame.ret_reg is not None:
+                self.regs[frame.ret_reg] = value
+            self.func_name = frame.func
+            self.block = frame.block
+            self.index = frame.index
+            return TraceEvent(EK.ALU, tid=self.tid)
+
+        raise ValueError("unknown opcode %r" % op)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        self.index += 1
+
+    def _jump(self, label: str) -> None:
+        self.block = label
+        self.index = 0
+
+
+def run_single(
+    program: Program,
+    func_name: str = "main",
+    args: Sequence[int] = (),
+    max_steps: int = 2_000_000,
+    memory: Optional[WordMemory] = None,
+) -> Tuple[List[TraceEvent], WordMemory]:
+    """Run one thread to completion; returns (events, memory)."""
+    vm = ThreadVM(program, func_name, args=args, memory=memory)
+    events: List[TraceEvent] = []
+    while not vm.halted:
+        if vm.steps >= max_steps:
+            raise RuntimeError(
+                "execution exceeded %d steps (likely non-terminating)" % max_steps
+            )
+        event = vm.step()
+        if event is None:
+            raise RuntimeError("single thread blocked on a lock: deadlock")
+        events.append(event)
+    return events, vm.memory
+
+
+def run_threads(
+    program: Program,
+    entries: Sequence[Tuple[str, Sequence[int]]],
+    max_steps: int = 4_000_000,
+    schedule_seed: int = 0,
+    quantum: int = 16,
+) -> Tuple[List[TraceEvent], WordMemory]:
+    """Run several threads over shared memory with a deterministic
+    round-robin schedule (``quantum`` instructions per turn).  The schedule
+    seed rotates the starting thread, giving tests cheap schedule
+    diversity while staying reproducible."""
+    memory = WordMemory()
+    locks = LockTable()
+    vms = [
+        ThreadVM(program, fname, args=args, memory=memory, tid=tid, locks=locks)
+        for tid, (fname, args) in enumerate(entries)
+    ]
+    events: List[TraceEvent] = []
+    n = len(vms)
+    turn = schedule_seed % n if n else 0
+    total = 0
+    stalls = 0
+    while any(not vm.halted for vm in vms):
+        vm = vms[turn]
+        turn = (turn + 1) % n
+        if vm.halted:
+            continue
+        progressed = False
+        for _ in range(quantum):
+            if vm.halted:
+                break
+            if total >= max_steps:
+                raise RuntimeError("multi-thread run exceeded %d steps" % max_steps)
+            event = vm.step()
+            if event is None:
+                break  # blocked on a lock; yield the turn
+            progressed = True
+            total += 1
+            events.append(event)
+        if progressed:
+            stalls = 0
+        else:
+            stalls += 1
+            if stalls > 2 * n:
+                raise RuntimeError("all threads blocked: lock deadlock")
+    return events, memory

@@ -1,0 +1,85 @@
+"""Classic backward liveness dataflow over registers.
+
+The checkpoint-insertion pass needs, for every region, the set of registers
+that are *live-out* of the region — those must be checkpointed so that
+re-executing the next region after a power failure sees correct inputs
+(§IV-A "Checkpoint Store Insertion").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .cfg import CFG
+from .ir import BasicBlock, Function
+
+__all__ = ["Liveness", "block_use_def"]
+
+
+def block_use_def(block: BasicBlock) -> Tuple[Set[str], Set[str]]:
+    """(use, def) sets of one block: ``use`` holds registers read before
+    any write within the block."""
+    use: Set[str] = set()
+    defs: Set[str] = set()
+    for instr in block.instrs:
+        for reg in instr.uses():
+            if reg not in defs:
+                use.add(reg)
+        defs.update(instr.defs())
+    return use, defs
+
+
+class Liveness:
+    """Per-block live-in/live-out sets, plus per-instruction queries."""
+
+    def __init__(self, func: Function, cfg: CFG = None) -> None:
+        self.func = func
+        self.cfg = cfg or CFG(func)
+        self.live_in: Dict[str, Set[str]] = {}
+        self.live_out: Dict[str, Set[str]] = {}
+        self._use: Dict[str, Set[str]] = {}
+        self._def: Dict[str, Set[str]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        labels = list(self.func.blocks)
+        for label in labels:
+            use, defs = block_use_def(self.func.blocks[label])
+            self._use[label] = use
+            self._def[label] = defs
+            self.live_in[label] = set(use)
+            self.live_out[label] = set()
+        # Iterate to fixpoint; postorder-ish sweeps converge quickly on the
+        # small functions we compile.
+        changed = True
+        while changed:
+            changed = False
+            for label in reversed(labels):
+                out: Set[str] = set()
+                for succ in self.cfg.succs[label]:
+                    out |= self.live_in[succ]
+                new_in = self._use[label] | (out - self._def[label])
+                if out != self.live_out[label] or new_in != self.live_in[label]:
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+    # ------------------------------------------------------------------
+    def live_after(self, label: str, index: int) -> Set[str]:
+        """Registers live immediately *after* instruction ``index`` of block
+        ``label`` (before index+1)."""
+        block = self.func.blocks[label]
+        live = set(self.live_out[label])
+        for instr in reversed(block.instrs[index + 1 :]):
+            live -= set(instr.defs())
+            live |= set(instr.uses())
+        return live
+
+    def last_def_index(self, label: str, reg: str) -> int:
+        """Index of the last instruction in ``label`` defining ``reg``;
+        -1 when the block never defines it."""
+        block = self.func.blocks[label]
+        for i in range(len(block.instrs) - 1, -1, -1):
+            if reg in block.instrs[i].defs():
+                return i
+        return -1

@@ -1,0 +1,143 @@
+"""Scalar optimizations — the "Other Code Optimizations" stage of Fig. 3.
+
+Two classic passes run after region formation:
+
+* **constant folding / propagation** (block-local): ``const`` values
+  propagate through ``mov`` and binops whose operands are all known;
+  folded instructions become ``const`` definitions.  Folding is
+  region-aware: it never moves a computation across a boundary, so
+  recovery plans stay valid.
+* **dead code elimination**: instructions whose destination register is
+  never used before being redefined (and which have no side effects) are
+  dropped.  Stores, checkpoints, boundaries, calls, and synchronization
+  are always live.
+
+Both passes preserve the region structure — they only ever *remove*
+non-store instructions or simplify ALU work, so the store-count threshold
+can never be violated by running them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .interp import _binop, _wrap
+from .ir import Function, Instr, Op
+from .liveness import Liveness
+
+__all__ = ["fold_constants", "eliminate_dead_code", "optimize_function", "OptStats"]
+
+
+class OptStats:
+    """Counts of what the scalar passes changed."""
+
+    def __init__(self) -> None:
+        self.folded = 0
+        self.eliminated = 0
+
+    def __repr__(self) -> str:
+        return "OptStats(folded=%d, eliminated=%d)" % (self.folded, self.eliminated)
+
+
+def fold_constants(func: Function) -> int:
+    """Block-local constant propagation + folding.  Returns the number of
+    instructions folded to ``const``."""
+    folded = 0
+    for block in func.blocks.values():
+        known: Dict[str, int] = {}
+        for i, instr in enumerate(block.instrs):
+            op = instr.op
+
+            def value_of(operand) -> Optional[int]:
+                if isinstance(operand, int):
+                    return operand
+                return known.get(operand)
+
+            if op == Op.CONST:
+                known[instr.dst] = _wrap(instr.imm)
+                continue
+            if op == Op.MOV:
+                val = value_of(instr.srcs[0])
+                if val is not None:
+                    block.instrs[i] = Instr(Op.CONST, dst=instr.dst, imm=val)
+                    known[instr.dst] = val
+                    folded += 1
+                else:
+                    known.pop(instr.dst, None)
+                continue
+            if op in Op.BINOPS:
+                a = value_of(instr.srcs[0])
+                b = value_of(instr.srcs[1])
+                if a is not None and b is not None:
+                    val = _binop(op, a, b)
+                    block.instrs[i] = Instr(Op.CONST, dst=instr.dst, imm=val)
+                    known[instr.dst] = val
+                    folded += 1
+                else:
+                    known.pop(instr.dst, None)
+                continue
+            # Any other def invalidates; calls clobber the whole file
+            if op == Op.CALL:
+                known.clear()
+            else:
+                for reg in instr.defs():
+                    known.pop(reg, None)
+    return folded
+
+
+#: opcodes that must never be eliminated regardless of liveness
+_SIDE_EFFECTS = frozenset(
+    {
+        Op.STORE,
+        Op.CHECKPOINT,
+        Op.BOUNDARY,
+        Op.ATOMIC_RMW,
+        Op.FENCE,
+        Op.LOCK,
+        Op.UNLOCK,
+        Op.CALL,
+        Op.BR,
+        Op.CBR,
+        Op.RET,
+    }
+)
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove pure instructions whose results are dead.  Iterates to a
+    fixpoint (removing one dead instruction can kill its inputs).
+    Returns the number of instructions removed."""
+    removed_total = 0
+    while True:
+        live = Liveness(func)
+        removed = 0
+        for label, block in func.blocks.items():
+            keep: List[Instr] = []
+            # scan backwards, tracking liveness within the block
+            live_now: Set[str] = set(live.live_out[label])
+            for instr in reversed(block.instrs):
+                if instr.op in _SIDE_EFFECTS or instr.op == Op.NOP:
+                    keep.append(instr)
+                    live_now -= set(instr.defs())
+                    live_now |= set(instr.uses())
+                    continue
+                dst = instr.dst
+                if dst is not None and dst not in live_now:
+                    removed += 1
+                    continue
+                keep.append(instr)
+                live_now -= set(instr.defs())
+                live_now |= set(instr.uses())
+            keep.reverse()
+            block.instrs = keep
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def optimize_function(func: Function) -> OptStats:
+    """Run folding then DCE (folding creates dead ``const`` chains)."""
+    stats = OptStats()
+    stats.folded = fold_constants(func)
+    stats.eliminated = eliminate_dead_code(func)
+    return stats

@@ -1,0 +1,157 @@
+"""Region formation: combining small regions and repartitioning oversized
+ones until no region exceeds the store threshold (§IV-A).
+
+This pass resolves the circular dependence between boundary placement and
+checkpoint insertion: checkpoints are stores, so inserting them can push a
+region over the threshold, which forces a new boundary, which changes the
+live-out sets...  The paper's strategy — iterate combine/repartition to a
+fixpoint — is implemented literally here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .boundaries import (
+    REQUIRED_KINDS,
+    boundary,
+    max_region_store_count,
+    normalize_boundaries,
+)
+from .cfg import CFG
+from .checkpoints import insert_checkpoints
+from .ir import Function, Instr, Op
+
+__all__ = ["form_regions", "enforce_threshold_global", "RegionFormationStats"]
+
+
+@dataclass
+class RegionFormationStats:
+    merged_boundaries: int = 0
+    added_boundaries: int = 0
+    iterations: int = 0
+    final_max_stores: int = 0
+    #: True when the fixpoint converged within the threshold; False means a
+    #: region still exceeds it (still crash-safe while <= WPQ size, since
+    #: threshold is WPQ/2, but worth surfacing).
+    converged: bool = True
+
+
+def enforce_threshold_global(func: Function, threshold: int) -> int:
+    """Insert boundaries wherever any boundary-free CFG path accumulates
+    more than ``threshold`` store-like instructions.  Returns the number of
+    boundaries added.  Uses the same monotone max-propagation as
+    :func:`max_region_store_count`, then patches blocks locally."""
+    cfg = CFG(func)
+    labels = cfg.reverse_postorder()
+    in_count: Dict[str, int] = {lbl: 0 for lbl in labels}
+    cap = threshold + 1
+
+    def out_of(label: str) -> int:
+        count = in_count[label]
+        for instr in func.blocks[label].instrs:
+            if instr.op == Op.BOUNDARY:
+                count = 0
+            elif instr.is_store_like():
+                count = min(cap, count + 1)
+        return count
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            out = out_of(label)
+            for succ in cfg.succs[label]:
+                if out > in_count[succ]:
+                    in_count[succ] = out
+                    changed = True
+
+    added = 0
+    for label in labels:
+        block = func.blocks[label]
+        count = in_count[label]
+        out: List[Instr] = []
+        for instr in block.instrs:
+            if instr.op == Op.BOUNDARY:
+                count = 0
+            elif instr.is_store_like():
+                # Split only before *data* stores.  Splitting inside a
+                # checkpoint group would give the new boundary its own
+                # checkpoints and diverge (each iteration multiplying the
+                # groups); a region whose live-out checkpoints alone exceed
+                # the threshold is reported via `converged=False` instead.
+                splittable = instr.op in (Op.STORE, Op.ATOMIC_RMW)
+                if (
+                    splittable
+                    and count + 1 > threshold
+                    and not (out and out[-1].op == Op.BOUNDARY)
+                ):
+                    out.append(boundary("threshold"))
+                    added += 1
+                    count = 0
+                count += 1
+            out.append(instr)
+        block.instrs = out
+    return added
+
+
+def _try_merge(func: Function, threshold: int) -> int:
+    """Remove removable ("threshold") boundaries whose removal keeps every
+    region within the threshold, traversing in topological order.  Each
+    removal is validated with checkpoints re-inserted, because merging can
+    *shrink* store counts (live-outs that the next region redefines stop
+    being live-outs) but can also concatenate two regions' data stores."""
+    cfg = CFG(func)
+    merged = 0
+    for label in cfg.reverse_postorder():
+        block = func.blocks[label]
+        idx = next(
+            (
+                i
+                for i, ins in enumerate(block.instrs)
+                if ins.op == Op.BOUNDARY and ins.note not in REQUIRED_KINDS
+            ),
+            None,
+        )
+        if idx is None:
+            continue
+        removed = block.instrs.pop(idx)
+        insert_checkpoints(func)
+        if max_region_store_count(func, cap=threshold + 1) <= threshold:
+            merged += 1
+        else:
+            # insert_checkpoints mutated the block, so the saved index is
+            # stale; restore the boundary to its normalized position —
+            # immediately before the terminator.
+            term = block.terminator()
+            pos = len(block.instrs) - 1 if term is not None else len(block.instrs)
+            block.instrs.insert(pos, removed)
+            insert_checkpoints(func)
+    return merged
+
+
+def form_regions(
+    func: Function, threshold: int, merge: bool = True, max_iterations: int = 12
+) -> RegionFormationStats:
+    """Run the combine/repartition fixpoint.  On return the function has
+    checkpoints inserted and (usually) no region above the threshold."""
+    stats = RegionFormationStats()
+    if merge:
+        stats.merged_boundaries = _try_merge(func, threshold)
+
+    for iteration in range(max_iterations):
+        stats.iterations = iteration + 1
+        insert_checkpoints(func)
+        worst = max_region_store_count(func, cap=threshold + 1)
+        if worst <= threshold:
+            break
+        added = enforce_threshold_global(func, threshold)
+        stats.added_boundaries += added
+        if added == 0:
+            break  # only checkpoint groups exceed the threshold: give up
+        normalize_boundaries(func)
+    insert_checkpoints(func)
+    stats.final_max_stores = max_region_store_count(func)
+    stats.converged = stats.final_max_stores <= threshold
+    return stats

@@ -1,0 +1,135 @@
+"""Region-size extension via loop unrolling (§IV-A).
+
+Boundaries at loop headers turn every iteration into a region; for loops
+with few stores per iteration this yields many tiny regions and therefore
+many live-out checkpoints.  Two remedies, both from the paper:
+
+* **static unrolling** when the trip count is a known constant: the body is
+  replicated ``u`` times (``u`` divides the trip count), and intermediate
+  exit checks are dropped;
+* **speculative unrolling** otherwise: the body *and its exit check* are
+  replicated, so any copy may leave the loop — the duplication merely makes
+  the common path longer.
+
+Both are restricted to the canonical single-block self-loop our builder
+emits (header == latch, ``cbr`` terminator back to the header); anything
+fancier is left alone, exactly as a conservative production pass would.
+
+The factor is chosen so ``u * stores_per_iteration <= threshold`` and
+``u <= unroll_limit`` — unrolling must never force the region partitioner
+to split mid-iteration, or the checkpoint savings evaporate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ir import Function, Instr, Op
+from .loops import NaturalLoop, constant_trip_count, find_loops
+
+__all__ = ["unroll_loops", "UnrollStats"]
+
+
+@dataclass
+class UnrollStats:
+    static_unrolled: int = 0
+    speculative_unrolled: int = 0
+    total_factor: int = 0
+
+
+def _self_loop(func: Function, loop: NaturalLoop) -> Optional[Instr]:
+    """The back-edge ``cbr`` of a single-block self-loop, or None."""
+    if loop.body != {loop.header} or len(loop.latches) != 1:
+        return None
+    block = func.blocks[loop.header]
+    term = block.terminator()
+    if term is None or term.op != Op.CBR:
+        return None
+    if loop.header not in term.targets:
+        return None
+    return term
+
+
+def _pick_factor(stores_per_iter: int, threshold: int, limit: int) -> int:
+    """Largest factor whose unrolled body stays within 3/4 of the store
+    threshold — the remaining quarter is headroom for the checkpoint
+    stores the partitioner will add, so unrolling never forces a
+    mid-iteration split (which would forfeit the checkpoint savings)."""
+    if stores_per_iter == 0:
+        return limit
+    budget = max(1, (3 * threshold) // 4)
+    return max(1, min(limit, budget // max(1, stores_per_iter)))
+
+
+def unroll_loops(
+    func: Function, threshold: int, limit: int = 4, speculative: bool = True
+) -> UnrollStats:
+    """Unroll eligible loops in place."""
+    stats = UnrollStats()
+    for loop in find_loops(func):
+        term = _self_loop(func, loop)
+        if term is None:
+            continue
+        block = func.blocks[loop.header]
+        stores = block.store_count()
+        if stores == 0:
+            continue  # header boundary will be skipped anyway
+        factor = _pick_factor(stores, threshold, limit)
+        if factor < 2:
+            continue
+        exit_target = next((t for t in term.targets if t != loop.header), None)
+        if exit_target is None:
+            continue  # no loop exit: nothing to speculate on
+        trip = constant_trip_count(func, loop)
+
+        if trip is not None and trip > 0 and trip % factor == 0:
+            _unroll_static(block, factor)
+            stats.static_unrolled += 1
+            stats.total_factor += factor
+        elif speculative:
+            _unroll_speculative(func, loop.header, factor, exit_target)
+            stats.speculative_unrolled += 1
+            stats.total_factor += factor
+    return stats
+
+
+def _unroll_static(block, factor: int) -> None:
+    """Replicate the body ``factor`` times, keeping only the final exit
+    check.  Safe because the caller verified the trip count is a multiple
+    of the factor (the dropped checks could never fire)."""
+    body = block.instrs[:-1]
+    term = block.instrs[-1]
+    new_instrs: List[Instr] = []
+    for _ in range(factor):
+        new_instrs.extend(instr.copy() for instr in body)
+    new_instrs.append(term)
+    block.instrs = new_instrs
+
+
+def _unroll_speculative(func: Function, header: str, factor: int, exit_target: str) -> None:
+    """Replicate body + exit check: copy ``k`` falls through to copy
+    ``k+1`` when the loop continues, and to the exit otherwise.  The last
+    copy branches back to the header."""
+    block = func.blocks[header]
+    body = block.instrs[:-1]
+    term = block.instrs[-1]
+    cond = term.srcs[0]
+    continue_first = term.targets[0] == header
+
+    copy_labels = [
+        func.fresh_label("%s.u%d" % (header, k)) for k in range(1, factor)
+    ]
+    chain = copy_labels + [header]
+
+    def exit_check(next_label: str) -> Instr:
+        if continue_first:
+            return Instr(Op.CBR, srcs=(cond,), targets=(next_label, exit_target))
+        return Instr(Op.CBR, srcs=(cond,), targets=(exit_target, next_label))
+
+    block.instrs = [instr.copy() for instr in body] + [exit_check(chain[0])]
+    for k, label in enumerate(copy_labels):
+        new_block = func.add_block(label)
+        new_block.instrs = [instr.copy() for instr in body] + [
+            exit_check(chain[k + 1])
+        ]

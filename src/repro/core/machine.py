@@ -1,0 +1,411 @@
+"""The functional persistence machine: LightWSP's whole-system-persistence
+semantics, executable and crash-injectable.
+
+:class:`PersistentMachine` runs a compiled program (one or more threads)
+while maintaining *two* memory images:
+
+* the **volatile** image — what the caches and store buffers make visible
+  to executing code (always up to date);
+* the **PM** image — what has actually persisted: stores sit quarantined
+  in per-MC functional WPQs until their region commits (boundary broadcast
+  + all older regions committed), at which point they flush in bulk.
+
+Power failure can be injected after any instruction
+(:meth:`PersistentMachine.crash`): quarantined entries of committed
+regions are flushed by battery, everything else is discarded, undo logs of
+overflow-flushed regions are rolled back, and every thread is resumed from
+its latest committed boundary with registers rebuilt from the checkpoint
+array and the compiler's recovery plans (§IV-F).  Resumed execution must
+reproduce the failure-free PM image — the crash-consistency invariant the
+property tests check.
+
+Simplifications (documented in DESIGN.md): the continuation restored at a
+boundary (call frames, block/index, held locks) stands in for state that a
+real system keeps in persistent memory anyway (the PM-resident stack, the
+lock words); *register* values are deliberately NOT snapshotted — they
+must be reconstructed through the checkpoint array, so a compiler bug in
+liveness, checkpoint placement, or pruning makes the property tests fail.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.interp import LockTable, ThreadVM, WordMemory
+from ..compiler.ir import Program
+from ..compiler.pipeline import CompiledProgram
+from ..config import SystemConfig, DEFAULT_CONFIG
+from ..sim.trace import EK, TraceEvent
+from .recovery import rebuild_registers
+from .regionid import RegionIdAllocator
+from .wpq import FunctionalWPQ, WPQFullError
+
+__all__ = ["PersistentMachine", "Continuation", "MachineStats"]
+
+
+@dataclass
+class Continuation:
+    """A resume point: where the thread restarts after a power failure in
+    the region that follows this boundary."""
+
+    func: str
+    block: str
+    index: int
+    frames: List
+    held_locks: Set[int]
+    boundary_uid: int = -1
+    #: for the thread-start pseudo-boundary: the initial register file
+    initial_regs: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class MachineStats:
+    steps: int = 0
+    stores: int = 0
+    boundaries: int = 0
+    commits: int = 0
+    overflow_events: int = 0
+    undo_writes: int = 0
+    crashes: int = 0
+    max_wpq_occupancy: int = 0
+
+
+class _HookedMemory(WordMemory):
+    """Volatile memory that routes every write through the machine's
+    persistence model."""
+
+    def __init__(self, machine: "PersistentMachine") -> None:
+        super().__init__()
+        self._machine = machine
+
+    def write(self, addr: int, value: int) -> None:
+        super().write(addr, value)
+        self._machine._on_store(addr, value)
+
+
+class PersistentMachine:
+    """Functional LightWSP machine over a compiled program."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        entries: Sequence[Tuple[str, Sequence[int]]] = (("main", ()),),
+        config: SystemConfig = DEFAULT_CONFIG,
+        quantum: int = 16,
+        schedule_seed: int = 0,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.compiled = compiled
+        self.config = config
+        self.quantum = quantum
+        self.max_steps = max_steps
+        self.stats = MachineStats()
+
+        self.pm: Dict[int, int] = {}
+        self.volatile = _HookedMemory(self)
+        self.locks = LockTable()
+        self.allocator = RegionIdAllocator()
+        self.wpqs = [
+            FunctionalWPQ(config.mc.wpq_entries) for _ in range(config.mc.n_mcs)
+        ]
+        #: regions whose boundary has been broadcast
+        self.boundary_issued: Set[int] = set()
+        #: next region the (global) flush ID expects
+        self.committed_upto = 0
+        #: region -> {word: pre-overwrite PM value} (overflow fallback)
+        self.undo_log: Dict[int, Dict[int, int]] = {}
+
+        self.vms: List[ThreadVM] = []
+        #: per-thread boundary history: (ended_region, Continuation)
+        self.history: List[List[Tuple[int, Continuation]]] = []
+        #: irrevocable operations performed: [tid, device, region] — the
+        #: durable log; entries of power-interrupted regions are dropped
+        #: at recovery (the re-executed region re-issues them: LightWSP's
+        #: restartable-I/O semantics are at-least-once at the wire, §IV-A)
+        self.io_log: List[List[int]] = []
+        self._stepping_tid = 0
+        self._turn = schedule_seed
+        self._halted_closed: Set[int] = set()
+
+        for tid, (fname, args) in enumerate(entries):
+            vm = ThreadVM(
+                compiled.program,
+                fname,
+                args=args,
+                memory=self.volatile,
+                tid=tid,
+                locks=self.locks,
+            )
+            self.vms.append(vm)
+            self.allocator.start_thread(tid)
+            start = Continuation(
+                func=vm.func_name,
+                block=vm.block,
+                index=vm.index,
+                frames=[],
+                held_locks=set(),
+                initial_regs=dict(vm.regs),
+            )
+            self.history.append([(-1, start)])
+
+    # ------------------------------------------------------------------
+    # persistence model hooks
+    # ------------------------------------------------------------------
+    def _mc_of_word(self, word: int) -> int:
+        return ((word * 8) // 64) % len(self.wpqs)
+
+    def _on_store(self, word: int, value: int) -> None:
+        tid = self._stepping_tid
+        region = self.allocator.region_of(tid)
+        wpq = self.wpqs[self._mc_of_word(word)]
+        self.stats.stores += 1
+        try:
+            wpq.put(region, word, value)
+        except WPQFullError:
+            self._resolve_full(wpq, region, word, value)
+        self.stats.max_wpq_occupancy = max(self.stats.max_wpq_occupancy, len(wpq))
+
+    def _resolve_full(
+        self, wpq: FunctionalWPQ, region: int, word: int, value: int
+    ) -> None:
+        """§IV-D deadlock fallback: flush the *oldest region present* in
+        this WPQ to PM with undo logging, then quarantine the incoming
+        store normally.
+
+        The flush-ID region is the preferred victim (the paper's rule);
+        when it has no entries here (e.g. it belongs to a lock-blocked
+        thread), the oldest present region generalizes it safely: per
+        word, all conflicting writes of *older* regions have already
+        arrived (DRF + the sync-refresh ID ordering), so flushing the
+        oldest present never lets an older value overwrite a newer one —
+        and the undo log covers crash rollback."""
+        self.stats.overflow_events += 1
+        present = wpq.regions_present()
+        victim = (
+            self.committed_upto
+            if self.committed_upto in present
+            else min(present)
+        )
+        entries = wpq.pop_region(victim)
+        undo = self.undo_log.setdefault(victim, {})
+        for entry in entries:
+            undo.setdefault(entry.word, self.pm.get(entry.word, 0))
+            self.pm[entry.word] = entry.value
+            self.stats.undo_writes += 1
+        wpq.put(region, word, value)
+
+    def _boundary_executed(self, tid: int, boundary_uid: int) -> None:
+        vm = self.vms[tid]
+        ended = self.allocator.boundary(tid)
+        self.boundary_issued.add(ended)
+        self.stats.boundaries += 1
+        continuation = Continuation(
+            func=vm.func_name,
+            block=vm.block,
+            index=vm.index,
+            frames=copy.deepcopy(vm.frames),
+            held_locks=set(
+                lock for lock, owner in self.locks.owner.items() if owner == tid
+            ),
+            boundary_uid=boundary_uid,
+        )
+        self.history[tid].append((ended, continuation))
+        self._try_commit()
+
+    def _sync_refresh(self, tid: int) -> None:
+        """End the thread's current region at a synchronization point and
+        hand it a fresh ID from the global counter — without creating a
+        resume point (the compiler's boundary just before the sync
+        instruction provides that)."""
+        ended = self.allocator.boundary(tid)
+        self.boundary_issued.add(ended)
+        self._try_commit()
+
+    def _thread_halted(self, tid: int) -> None:
+        """Close the trailing (empty) region so later IDs can commit; the
+        compiler's exit boundary guarantees it holds no stores."""
+        if tid in self._halted_closed:
+            return
+        self._halted_closed.add(tid)
+        ended = self.allocator.region_of(tid)
+        self.boundary_issued.add(ended)
+        self._try_commit()
+
+    def _try_commit(self) -> None:
+        while self.committed_upto in self.boundary_issued:
+            region = self.committed_upto
+            for wpq in self.wpqs:
+                for entry in wpq.pop_region(region):
+                    self.pm[entry.word] = entry.value
+            self.undo_log.pop(region, None)
+            self.boundary_issued.discard(region)
+            self.committed_upto += 1
+            self.stats.commits += 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[TraceEvent]:
+        """One instruction of the round-robin schedule; None when all
+        threads have halted."""
+        from ..compiler.ir import Op
+
+        n = len(self.vms)
+        for _ in range(2 * n):
+            tid = self._turn % n
+            vm = self.vms[tid]
+            if vm.halted:
+                self._turn += 1
+                continue
+            self._stepping_tid = tid
+            # A conflicting-sync instruction must tag its (and the critical
+            # section's) stores with a region ID allocated *now* — after
+            # any happens-before predecessor's release — or the commit
+            # order would not respect happens-before (§IV-C).  The atomic
+            # global counter refresh models Fig. 4's ID handout.
+            instr = vm.current_instr()
+            if instr is not None and instr.op in (Op.ATOMIC_RMW, Op.FENCE):
+                self._sync_refresh(tid)
+            event = vm.step()
+            if event is None:
+                self._turn += 1  # blocked on a lock: rotate
+                continue
+            self.stats.steps += 1
+            if self.stats.steps % self.quantum == 0:
+                self._turn += 1
+            if event.kind == EK.BOUNDARY:
+                self._boundary_executed(tid, event.boundary_uid)
+            elif event.kind == EK.IO:
+                self.io_log.append(
+                    [tid, event.lock_id, self.allocator.region_of(tid)]
+                )
+            elif event.kind == EK.LOCK:
+                # successful acquire: the critical section's stores belong
+                # to a region whose ID postdates the previous release
+                self._sync_refresh(tid)
+            elif event.kind == EK.HALT:
+                self._thread_halted(tid)
+            return event
+        if all(vm.halted for vm in self.vms):
+            return None
+        raise RuntimeError("all live threads blocked on locks: deadlock")
+
+    def run(self, steps: Optional[int] = None) -> bool:
+        """Execute up to ``steps`` instructions (or to completion).
+        Returns True when the program has finished."""
+        budget = steps if steps is not None else self.max_steps
+        for _ in range(budget):
+            if self.step() is None:
+                return True
+            if self.stats.steps >= self.max_steps:
+                raise RuntimeError("machine exceeded max_steps")
+        return all(vm.halted for vm in self.vms)
+
+    @property
+    def finished(self) -> bool:
+        return all(vm.halted for vm in self.vms)
+
+    # ------------------------------------------------------------------
+    # power failure + recovery (§IV-F)
+    # ------------------------------------------------------------------
+    def crash(self) -> Dict[str, int]:
+        """Power fails *now*.  Performs the six-step recovery protocol and
+        leaves the machine ready to resume.  Returns a small report."""
+        self.stats.crashes += 1
+        report = {"flushed": 0, "discarded": 0, "undone": 0, "io_replayed": 0}
+
+        # Steps 1-5: commit every region whose boundary broadcast happened
+        # (battery covers in-flight ACKs), in flush-ID order.
+        before = self.committed_upto
+        self._try_commit()
+        report["flushed"] = self.committed_upto - before
+
+        # Roll back overflow-flushed writes of uncommitted regions,
+        # youngest region first so the oldest pre-image wins.
+        for region in sorted(self.undo_log, reverse=True):
+            for word, old in self.undo_log[region].items():
+                self.pm[word] = old
+                report["undone"] += 1
+        self.undo_log.clear()
+
+        # Step 6: everything still quarantined is lost with the power.
+        for wpq in self.wpqs:
+            report["discarded"] += wpq.discard_all()
+
+        # Irrevocable operations of interrupted regions will re-execute;
+        # drop them from the durable log (they were not "completed").
+        before_io = len(self.io_log)
+        self.io_log = [
+            entry for entry in self.io_log if entry[2] < self.committed_upto
+        ]
+        report["io_replayed"] = before_io - len(self.io_log)
+
+        self._restore_threads()
+        return report
+
+    def _restore_threads(self) -> None:
+        committed = self.committed_upto
+        self.volatile.words = dict(self.pm)  # caches are gone
+        self.locks = LockTable()
+        self.boundary_issued.clear()
+        self._halted_closed.clear()
+
+        for tid, vm in enumerate(self.vms):
+            # latest boundary whose *ended* region committed
+            resume: Optional[Continuation] = None
+            for ended, continuation in reversed(self.history[tid]):
+                if ended < committed:
+                    resume = continuation
+                    break
+            assert resume is not None  # the thread-start sentinel has -1
+            # trim history past the resume point
+            while self.history[tid] and self.history[tid][-1][1] is not resume:
+                self.history[tid].pop()
+
+            vm.locks = self.locks
+            vm.func_name = resume.func
+            vm.block = resume.block
+            vm.index = resume.index
+            vm.frames = copy.deepcopy(resume.frames)
+            vm.halted = False
+            vm.regs = self._rebuild_registers(tid, resume)
+            for lock in resume.held_locks:
+                if not self.locks.try_acquire(lock, tid):
+                    raise RuntimeError(
+                        "lock %d held by two threads at recovery" % lock
+                    )
+
+        # Dead region IDs (allocated to interrupted regions) will never be
+        # re-broadcast; re-executed code gets fresh IDs.  Footnote 7: the
+        # region ID register is reseeded from the flush ID domain.
+        self.committed_upto = self.allocator.allocated
+        for tid in range(len(self.vms)):
+            self.allocator.start_thread(tid)
+            if self.vms[tid].halted:
+                self._thread_halted(tid)
+
+    def _rebuild_registers(self, tid: int, resume: Continuation) -> Dict[str, int]:
+        """Registers come ONLY from the checkpoint array + recovery plans
+        (or the initial arguments for the thread-start sentinel)."""
+        if resume.initial_regs is not None:
+            return dict(resume.initial_regs)
+        plan = self.compiled.plan_for(resume.boundary_uid)
+        return rebuild_registers(
+            plan, lambda reg: self.pm.get(Program.checkpoint_slot(tid, reg), 0)
+        )
+
+    # ------------------------------------------------------------------
+    def pm_data(self, min_word: Optional[int] = None) -> Dict[int, int]:
+        """The persisted image restricted to data words (checkpoint array
+        excluded) with zeros dropped."""
+        floor = (
+            min_word
+            if min_word is not None
+            else Program.CHECKPOINT_WORDS_PER_CORE * Program.MAX_CONTEXTS
+        )
+        return {w: v for w, v in self.pm.items() if w >= floor and v != 0}
+
+    def wpq_occupancy(self) -> List[int]:
+        return [len(w) for w in self.wpqs]

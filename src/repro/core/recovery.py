@@ -1,0 +1,51 @@
+"""Register reconstruction for power-failure recovery (§IV-A, §IV-F).
+
+After a failure, a thread resumes at its latest committed boundary.  Its
+live-in registers are rebuilt from the PM-resident checkpoint array —
+indexed by register number — and, for checkpoints the compiler pruned,
+recomputed from the recorded reconstruction recipes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..compiler.checkpoints import Recipe, RecoveryPlan
+from ..compiler.interp import _binop, _wrap
+
+__all__ = ["evaluate_recipe", "rebuild_registers"]
+
+#: reads one register's checkpoint-array slot for the recovering context
+CkptReader = Callable[[str], int]
+
+
+def evaluate_recipe(recipe: Recipe, reg: str, read_ckpt: CkptReader) -> int:
+    """The recovered value of ``reg`` according to its recipe."""
+    tag = recipe[0]
+    if tag == "ckpt":
+        return read_ckpt(reg)
+    if tag == "const":
+        return _wrap(recipe[1])
+    if tag == "expr":
+        _, op, operands = recipe
+        values = []
+        for operand in operands:
+            if operand[0] == "imm":
+                values.append(operand[1])
+            elif operand[0] == "ckpt":
+                values.append(read_ckpt(operand[1]))
+            else:
+                raise ValueError("unknown recipe operand %r" % (operand,))
+        return _binop(op, values[0], values[1])
+    raise ValueError("unknown recipe %r" % (recipe,))
+
+
+def rebuild_registers(plan: RecoveryPlan, read_ckpt: CkptReader) -> Dict[str, int]:
+    """All live-in registers of the region following ``plan``'s boundary.
+    Registers absent from the plan were dead at the boundary; the caller
+    should leave them unset (reading one is a compiler liveness bug that
+    the crash-consistency tests will surface as divergence)."""
+    return {
+        reg: evaluate_recipe(recipe, reg, read_ckpt)
+        for reg, recipe in sorted(plan.recipes.items())
+    }

@@ -1,0 +1,73 @@
+"""Region-ID management (§IV-B, §IV-C).
+
+The paper's hardware manages region IDs with a global atomic counter: at
+every region boundary the executing thread broadcasts the ID of the region
+it is ending and obtains a fresh ID with an atomic fetch-and-increment.
+Because the compiler places a boundary before every synchronization
+instruction, the ID allocation points of conflicting threads are ordered
+by the synchronization itself, so the ID sequence respects the program's
+happens-before order — the property lazy region-level persist ordering
+relies on to flush conflicting stores in the right order.
+
+Each thread *owns* its current ID (all-or-nothing recovery is per thread
+region), and the ID is saved/restored across context switches — the
+"virtualization" of §IV-C — which this class models with an explicit
+save/restore API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["RegionIdAllocator"]
+
+
+class RegionIdAllocator:
+    """Global atomic counter + per-thread current region IDs."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.current: Dict[int, int] = {}
+        self._saved: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def start_thread(self, tid: int) -> int:
+        """A new hardware context claims its first region ID."""
+        rid = self._next
+        self._next += 1
+        self.current[tid] = rid
+        return rid
+
+    def boundary(self, tid: int) -> int:
+        """End ``tid``'s current region: returns the ended region's ID and
+        atomically assigns the thread a fresh one."""
+        ended = self.current[tid]
+        self.current[tid] = self._next
+        self._next += 1
+        return ended
+
+    def region_of(self, tid: int) -> int:
+        return self.current[tid]
+
+    @property
+    def allocated(self) -> int:
+        """Total IDs handed out (the exclusive upper bound of the ID
+        space — the commit pipeline walks [0, allocated))."""
+        return self._next
+
+    # ------------------------------------------------------------------
+    # Context-switch virtualization (§IV-C): without this, a thread that
+    # was scheduled out mid-region would tag its stores with whatever ID
+    # the core's hardware register happened to hold.
+    # ------------------------------------------------------------------
+    def save(self, tid: int) -> int:
+        """Context-switch out: save the thread's region ID."""
+        self._saved[tid] = self.current[tid]
+        return self._saved[tid]
+
+    def restore(self, tid: int) -> int:
+        """Context-switch in: restore the saved region ID."""
+        if tid not in self._saved:
+            raise KeyError("no saved region ID for thread %d" % tid)
+        self.current[tid] = self._saved.pop(tid)
+        return self.current[tid]

@@ -1,0 +1,10 @@
+"""Front-end buffer snooping (§IV-G) — public API.
+
+The implementation lives in :mod:`repro.sim.snoop` (the timing engine uses
+it directly, and importing it through the ``repro.core`` package would
+create an import cycle); this module is the stable public name.
+"""
+
+from ..sim.snoop import make_victim_selector
+
+__all__ = ["make_victim_selector"]

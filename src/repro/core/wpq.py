@@ -1,0 +1,94 @@
+"""The functional write-pending-queue redo buffer (§III-A).
+
+This is the *semantic* model of LightWSP's central trick: every store is
+quarantined in its target MC's battery-backed WPQ, tagged with its region
+ID, and reaches PM only when the region commits.  Power failure discards
+everything still quarantined, so PM is never corrupted by the stores of a
+power-interrupted region.
+
+The timing counterpart lives in :mod:`repro.sim.mc`; this class is used by
+the functional :class:`~repro.core.machine.PersistentMachine`, whose
+crash-consistency property tests are the proof that the protocol recovers
+correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["WPQEntry", "FunctionalWPQ", "WPQFullError"]
+
+
+class WPQFullError(Exception):
+    """Raised when a store cannot be quarantined; the §IV-D deadlock
+    fallback must run."""
+
+
+@dataclass
+class WPQEntry:
+    region: int
+    word: int
+    value: int
+
+
+class FunctionalWPQ:
+    """One MC's WPQ: a bounded redo buffer, FIFO within each region."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("WPQ capacity must be positive")
+        self.capacity = capacity
+        self.entries: List[WPQEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def put(self, region: int, word: int, value: int) -> None:
+        if self.full:
+            raise WPQFullError(
+                "WPQ full (%d entries) on store to word %d" % (self.capacity, word)
+            )
+        self.entries.append(WPQEntry(region, word, value))
+
+    # ------------------------------------------------------------------
+    def regions_present(self) -> List[int]:
+        return sorted({e.region for e in self.entries})
+
+    def has_region(self, region: int) -> bool:
+        return any(e.region == region for e in self.entries)
+
+    def pop_region(self, region: int) -> List[WPQEntry]:
+        """Remove and return the region's entries in arrival (FIFO) order —
+        the bulk flush that commits the region to PM."""
+        taken = [e for e in self.entries if e.region == region]
+        self.entries = [e for e in self.entries if e.region != region]
+        return taken
+
+    def discard_region(self, region: int) -> int:
+        """Drop a power-interrupted region's entries (they vanish with the
+        failure).  Returns how many were dropped."""
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.region != region]
+        return before - len(self.entries)
+
+    def discard_all(self) -> int:
+        dropped = len(self.entries)
+        self.entries = []
+        return dropped
+
+    # ------------------------------------------------------------------
+    def search(self, word: int) -> Optional[int]:
+        """CAM search (§IV-H): the *youngest* matching entry's value, or
+        None on a miss."""
+        for entry in reversed(self.entries):
+            if entry.word == word:
+                return entry.value
+        return None
+
+    def snapshot(self) -> List[Tuple[int, int, int]]:
+        return [(e.region, e.word, e.value) for e in self.entries]

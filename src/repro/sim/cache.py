@@ -1,0 +1,238 @@
+"""Set-associative cache models and the three-level hierarchy of Table I.
+
+The hierarchy is functional about *placement* (tags, LRU, dirty bits,
+evictions) and analytic about *timing* (fixed per-level latencies): that
+is all the evaluation's effects need — miss rates, dirty-eviction streams
+for buffer snooping (§IV-G), and LLC misses for WPQ searches (§IV-H).
+
+The DRAM cache (LLC) is direct-mapped over PM, as in Intel Optane's memory
+mode; the ideal-PSP configuration simply omits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..config import CacheConfig, SystemConfig
+
+__all__ = ["Cache", "AccessResult", "CacheHierarchy", "LevelStats"]
+
+#: Victim selector: receives the candidate block addresses of a full set in
+#: LRU order (least recent first) and returns the index to evict, or None
+#: to signal "delay the eviction" (zero-victim policy).
+VictimSelector = Callable[[List[int]], Optional[int]]
+
+
+@dataclass
+class AccessResult:
+    hit: bool
+    #: (block_address, was_dirty) for an eviction this access caused
+    evicted: Optional[Tuple[int, bool]] = None
+    #: the eviction was delayed by the victim selector (zero-victim)
+    eviction_delayed: bool = False
+
+
+@dataclass
+class LevelStats:
+    accesses: int = 0
+    misses: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative level with LRU replacement and dirty bits."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        self.block = config.block_bytes
+        # per-set list of [block_addr, dirty], LRU order (index 0 oldest)
+        self.sets: List[List[List]] = [[] for _ in range(self.n_sets)]
+        self.stats = LevelStats()
+
+    def block_of(self, addr: int) -> int:
+        return addr // self.block
+
+    def _set_of(self, block_addr: int) -> int:
+        return block_addr % self.n_sets
+
+    def access(
+        self,
+        addr: int,
+        write: bool,
+        victim_selector: Optional[VictimSelector] = None,
+    ) -> AccessResult:
+        """Look up ``addr``; allocate on miss (write-allocate).  Returns
+        hit/miss and any eviction performed."""
+        self.stats.accesses += 1
+        block_addr = self.block_of(addr)
+        cache_set = self.sets[self._set_of(block_addr)]
+
+        for i, line in enumerate(cache_set):
+            if line[0] == block_addr:
+                cache_set.append(cache_set.pop(i))  # move to MRU
+                if write:
+                    line[1] = True
+                return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        evicted = None
+        delayed = False
+        if len(cache_set) >= self.ways:
+            candidates = [line[0] for line in cache_set]
+            idx = 0 if victim_selector is None else victim_selector(candidates)
+            if idx is None:
+                # Zero-victim: the caller delays this eviction; we still
+                # must make room, so evict LRU but flag the delay so the
+                # engine charges the wait.
+                idx = 0
+                delayed = True
+            victim = cache_set.pop(idx)
+            if victim[1]:
+                self.stats.dirty_evictions += 1
+            evicted = (victim[0], victim[1])
+        cache_set.append([block_addr, write])
+        return AccessResult(hit=False, evicted=evicted, eviction_delayed=delayed)
+
+    def contains(self, addr: int) -> bool:
+        block_addr = self.block_of(addr)
+        return any(
+            line[0] == block_addr for line in self.sets[self._set_of(block_addr)]
+        )
+
+    def invalidate(self, addr: int) -> bool:
+        block_addr = self.block_of(addr)
+        cache_set = self.sets[self._set_of(block_addr)]
+        for i, line in enumerate(cache_set):
+            if line[0] == block_addr:
+                cache_set.pop(i)
+                return True
+        return False
+
+
+@dataclass
+class HierarchyOutcome:
+    """Result of one hierarchy access, consumed by the timing engine."""
+
+    latency: float
+    llc_miss: bool = False          # reached PM
+    l1_eviction: Optional[Tuple[int, bool]] = None  # (block, dirty) from L1
+    l1_eviction_delayed: bool = False
+    l1_hit: bool = False
+
+
+class CacheHierarchy:
+    """Private L1D (we model the data side only), shared L2, shared
+    direct-mapped DRAM cache.
+
+    Each level is scaled down by its entry of ``scale`` so that the modest
+    synthetic footprints (tens of KB to a few MB) exercise the same miss
+    behaviour the full-size hierarchy shows on full-size workloads: the
+    default leaves 8 KB of L1, 32 KB of L2, and 4 MB of DRAM cache — a
+    hierarchy where a ~100 KB-working-set kernel is "memory-intensive"
+    (L2-missing, DRAM-cache-served) just like a ~100 MB one on the real
+    machine."""
+
+    DEFAULT_SCALE = (8, 512, 1024)
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cores: Optional[int] = None,
+        scale: Tuple[int, int, int] = DEFAULT_SCALE,
+    ) -> None:
+        self.config = config
+        cores = cores if cores is not None else config.cores
+        self.scale = scale
+        self.l1 = [
+            Cache(self._scaled(config.l1d, scale[0]), name="l1d%d" % c)
+            for c in range(cores)
+        ]
+        self.l2 = Cache(self._scaled(config.l2, scale[1]), name="l2")
+        self.l3: Optional[Cache] = (
+            Cache(self._scaled(config.dram_cache, scale[2]), name="dram-cache")
+            if config.dram_cache_enabled
+            else None
+        )
+
+    @staticmethod
+    def _scaled(cache: CacheConfig, factor: int) -> CacheConfig:
+        size = max(cache.ways * cache.block_bytes, cache.size_bytes // factor)
+        return CacheConfig(
+            size_bytes=size,
+            ways=cache.ways,
+            block_bytes=cache.block_bytes,
+            latency_cycles=cache.latency_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        core: int,
+        addr: int,
+        victim_selector: Optional[VictimSelector] = None,
+    ) -> HierarchyOutcome:
+        return self._access(core, addr, write=False, victim_selector=victim_selector)
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        victim_selector: Optional[VictimSelector] = None,
+    ) -> HierarchyOutcome:
+        return self._access(core, addr, write=True, victim_selector=victim_selector)
+
+    def _access(
+        self,
+        core: int,
+        addr: int,
+        write: bool,
+        victim_selector: Optional[VictimSelector],
+    ) -> HierarchyOutcome:
+        cfg = self.config
+        l1 = self.l1[core]
+        r1 = l1.access(addr, write, victim_selector=victim_selector)
+        outcome = HierarchyOutcome(latency=float(l1.config.latency_cycles))
+        if r1.evicted is not None and r1.evicted[1]:
+            outcome.l1_eviction = r1.evicted
+            outcome.l1_eviction_delayed = r1.eviction_delayed
+            # dirty L1 victims are written back into L2
+            self.l2.access(r1.evicted[0] * l1.block, True)
+        if r1.hit:
+            outcome.l1_hit = True
+            return outcome
+
+        r2 = self.l2.access(addr, write)
+        outcome.latency = float(self.l2.config.latency_cycles)
+        if r2.hit:
+            return outcome
+
+        if self.l3 is not None:
+            r3 = self.l3.access(addr, write)
+            outcome.latency = float(self.l3.config.latency_cycles)
+            if r3.hit:
+                return outcome
+            # DRAM-cache miss: fill from PM.  (Dirty LLC evictions are
+            # handled by the engine: dropped under WSP snooping, written
+            # back under memory mode.)
+            outcome.latency += cfg.pm_read_cycles
+            outcome.llc_miss = True
+            return outcome
+
+        # No DRAM cache (ideal PSP): L2 miss goes straight to PM.
+        outcome.latency = float(self.l2.config.latency_cycles) + cfg.pm_read_cycles
+        outcome.llc_miss = True
+        return outcome
+
+    # ------------------------------------------------------------------
+    def l1_miss_rate(self) -> float:
+        accesses = sum(c.stats.accesses for c in self.l1)
+        misses = sum(c.stats.misses for c in self.l1)
+        return misses / accesses if accesses else 0.0

@@ -1,0 +1,680 @@
+"""The timing engine: replays a dynamic trace against a machine
+configuration under a persistence *scheme policy*.
+
+One engine serves every scheme in the paper; the policies differ only in a
+handful of knobs (persist-path entry granularity, WPQ gating vs eager
+drain, whether the core stalls at region boundaries, per-entry drain
+inflation for undo logging, DRAM cache availability).  See
+:mod:`repro.core.lightwsp` and :mod:`repro.baselines` for the instances.
+
+The model is a deterministic multi-core discrete-event replay:
+
+* cores advance a cycle clock over their trace slice, paying cache
+  latencies for loads and queueing delays for persist-path back-pressure;
+* each store places ``entry_factor`` 8-byte entries on its core's persist
+  path (a bandwidth-limited serial pipe) into the target MC's WPQ;
+* gated WPQs quarantine entries per region; the commit pipeline flushes
+  regions in allocation order after their boundary broadcast + ACK
+  exchange (LRPO, §IV-B); eager WPQs drain on arrival;
+* a core whose front-end buffer fills with entries whose WPQ admission is
+  still unknown parks; if every runnable core parks, the §IV-D deadlock
+  fallback force-flushes the oldest region with undo logging;
+* L1 dirty evictions snoop the front-end buffer and re-select victims per
+  the configured policy (§IV-G); LLC load misses search the WPQ (§IV-H).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig, VictimPolicy
+from .snoop import make_victim_selector
+from .cache import CacheHierarchy
+from .mc import CommitPipeline, MemoryController
+from .memory import AddressMap
+from .queues import SerialServer
+from .trace import EK, TraceEvent
+
+__all__ = ["SchemePolicy", "SimResult", "TimingEngine", "simulate"]
+
+#: fraction of post-L1 load latency exposed to the core (OoO/MLP hiding)
+LOAD_EXPOSURE = 0.35
+#: fixed cost of a lock/unlock operation (cycles)
+LOCK_OP_CYCLES = 6.0
+#: fixed device latency of an irrevocable I/O operation (cycles) — an
+#: MMIO doorbell write, not a full block transfer
+IO_OP_CYCLES = 300.0
+
+
+@dataclass(frozen=True)
+class SchemePolicy:
+    """What distinguishes one persistence scheme from another."""
+
+    name: str
+    persists: bool = True
+    entry_factor: int = 1
+    gated: bool = True
+    boundary_wait: bool = False
+    drain_factor: float = 1.0
+    region_comm_cycles: float = 0.0
+    uses_dram_cache: bool = True
+    snoop: bool = True
+    #: synthesize a region boundary every N store-like events (hardware-
+    #: delineated regions: PPA's PRF pressure, Capri's buffer capacity).
+    implicit_region_stores: Optional[int] = None
+    #: what a boundary_wait core polls (eager schemes): "arrival" = the
+    #: region's entries reached the battery-backed WPQ (PPA's durability
+    #: point), "flush" = they landed in PM (Capri stops its persist-path
+    #: traffic until then).
+    wait_for: str = "arrival"
+
+
+@dataclass
+class SimResult:
+    """Everything the experiment drivers read off one simulation."""
+
+    scheme: str
+    cycles: float = 0.0
+    instructions: int = 0
+    # stall breakdown (cycles)
+    fe_stall: float = 0.0
+    boundary_stall: float = 0.0
+    eviction_stall: float = 0.0
+    wpq_hit_stall: float = 0.0
+    lock_stall: float = 0.0
+    # persistence-efficiency accounting (Eq. 1)
+    persist_exposed: float = 0.0     # Tp
+    persist_waited: float = 0.0      # Twait
+    # event counters
+    loads: int = 0
+    stores: int = 0
+    persist_entries: int = 0
+    regions: int = 0
+    l1_evictions: int = 0
+    buffer_conflicts: int = 0
+    stale_loads: int = 0
+    wpq_hits: int = 0
+    wpq_probes: int = 0
+    llc_misses: int = 0
+    overflow_flushes: int = 0
+    undo_logged_entries: int = 0
+    deadlock_events: int = 0
+    l1_miss_rate: float = 0.0
+
+    @property
+    def persistence_efficiency(self) -> float:
+        """Eq. 1: ((Tp - Twait) / Tp) * 100."""
+        if self.persist_exposed <= 0.0:
+            return 100.0
+        eff = (self.persist_exposed - self.persist_waited) / self.persist_exposed
+        return max(0.0, min(1.0, eff)) * 100.0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Buffer conflicts per L1 eviction."""
+        if not self.l1_evictions:
+            return 0.0
+        return self.buffer_conflicts / self.l1_evictions
+
+    def wpq_hits_per_minst(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.wpq_hits / (self.instructions / 1e6)
+
+
+@dataclass
+class _Core:
+    cid: int
+    events: List[TraceEvent]
+    index: int = 0
+    time: float = 0.0
+    region: int = -1
+    stores_in_region: int = 0
+    region_start_time: float = 0.0
+    done: bool = False
+    parked: bool = False
+    # front-end buffer: deque of entry records [departure_or_None, block]
+    fe: Deque[List] = field(default_factory=deque)
+    path: SerialServer = None  # type: ignore[assignment]
+    #: block -> count of in-flight persist entries (conflict window)
+    inflight: Dict[int, int] = field(default_factory=dict)
+    #: records pending WPQ admission: [entry_record, mc, region, word, arr]
+    waiting: List[List] = field(default_factory=list)
+    #: parked reason: "fe" | "commit" | "lock"
+    park_reason: str = ""
+    park_region: int = -1
+    park_lock: int = -1
+
+
+class TimingEngine:
+    """Replays one trace under one policy.  Single-use."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: SchemePolicy,
+        cache_scale=None,
+        hardware_cores: Optional[int] = None,
+    ) -> None:
+        if policy.gated and policy.boundary_wait:
+            raise ValueError(
+                "gated + boundary_wait is not a modelled scheme: the global "
+                "flush-ID pipeline belongs to LRPO (no waits); region-"
+                "waiting schemes (Capri, PPA) persist eagerly per region"
+            )
+        if not policy.uses_dram_cache:
+            config = config.without_dram_cache()
+        self.config = config
+        self.policy = policy
+        self.amap = AddressMap(config)
+        self.mcs = [
+            MemoryController(
+                config, m, drain_factor=policy.drain_factor, eager=not policy.gated
+            )
+            for m in range(config.mc.n_mcs)
+        ]
+        self.pipeline = CommitPipeline(config, self.mcs)
+        self.cache_scale = cache_scale or CacheHierarchy.DEFAULT_SCALE
+        #: software threads beyond this many hardware contexts time-share
+        #: cores (the Fig. 16 oversubscription setup: 64 threads, 8 cores)
+        self.hardware_cores = hardware_cores
+        self.result = SimResult(scheme=policy.name)
+        self._next_region = 0
+        self._lock_owner: Dict[int, Optional[int]] = {}
+        self._lock_release: Dict[int, float] = {}
+        self._region_issue_time: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, events: Sequence[TraceEvent]) -> SimResult:
+        by_tid: Dict[int, List[TraceEvent]] = {}
+        cores_cap = self.hardware_cores
+        for ev in events:
+            key = ev.tid if cores_cap is None else ev.tid % cores_cap
+            by_tid.setdefault(key, []).append(ev)
+        n_cores = max(1, len(by_tid))
+        self.hierarchy = CacheHierarchy(
+            self.config, cores=n_cores, scale=self.cache_scale
+        )
+        cores = [
+            _Core(
+                cid=i,
+                events=by_tid.get(tid, []),
+                path=SerialServer(
+                    self.config.persist_entry_cycles * self.policy.entry_factor
+                ),
+            )
+            for i, tid in enumerate(sorted(by_tid))
+        ]
+        for core in cores:
+            core.region = self._alloc_region(core)
+
+        ready: List[Tuple[float, int]] = [(0.0, c.cid) for c in cores]
+        heapq.heapify(ready)
+        self.cores = cores
+
+        while ready or any(c.parked for c in cores):
+            if not ready:
+                # Every runnable core is parked: WPQ deadlock (§IV-D).
+                now = max(c.time for c in cores)
+                self.result.deadlock_events += 1
+                self.pipeline.force_overflow(now)
+                # The MC keeps accepting the currently-persisting region's
+                # stores (undo-logged) even while full.  If the flush-ID
+                # region is an *empty* region owned by a lock-blocked
+                # thread (boundary-before-lock + a lost acquire race), the
+                # fallback generalizes to the oldest region actually
+                # waiting — still crash-safe: every overflow write is
+                # undo-logged.
+                woken = False
+                while not woken:
+                    current = self.pipeline.next_commit
+                    waiting_regions = [
+                        item[2] for core in cores for item in core.waiting
+                    ]
+                    if not waiting_regions:
+                        raise RuntimeError(
+                            "timing deadlock not resolved by overflow "
+                            "fallback: lock-only cycle in the replay"
+                        )
+                    target = (
+                        current
+                        if current in waiting_regions
+                        else min(waiting_regions)
+                    )
+                    for core in cores:
+                        still: List[List] = []
+                        for item in core.waiting:
+                            record, mc_id, region, word, arr = item
+                            if region == target:
+                                grant = self.mcs[mc_id].overflow_admit(
+                                    region, word, arr
+                                )
+                                record[2] = grant
+                                record[0] = (
+                                    grant
+                                    + self.amap.path_latency_cycles(
+                                        core.cid, mc_id
+                                    )
+                                )
+                            else:
+                                still.append(item)
+                        core.waiting = still
+                    woken = self._wake_parked(ready)
+                continue
+            _, cid = heapq.heappop(ready)
+            core = cores[cid]
+            if core.done or core.parked:
+                continue
+            progressed = self._step(core)
+            if core.done:
+                continue
+            if core.parked:
+                continue
+            heapq.heappush(ready, (core.time, core.cid))
+            if progressed:
+                self._wake_parked(ready)
+
+        self.result.cycles = max((c.time for c in cores), default=0.0)
+        self._finalize()
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _alloc_region(self, core: _Core) -> int:
+        region = self._next_region
+        self._next_region += 1
+        core.stores_in_region = 0
+        core.region_start_time = core.time
+        return region
+
+    def _step(self, core: _Core) -> bool:
+        """Process one trace event for ``core``.  Returns True when the
+        event may have unblocked other cores (boundary, unlock)."""
+        if core.index >= len(core.events):
+            core.done = True
+            self._thread_finished(core)
+            return True
+        ev = core.events[core.index]
+        kind = ev.kind
+        woke_others = False
+
+        if kind == EK.HALT:
+            # One software thread finished: close its trailing region so
+            # the commit pipeline can drain past it.  Under
+            # oversubscription more threads' events may follow on this
+            # core, so the core itself is only done at stream end.
+            core.index += 1
+            self._thread_finished(core)
+            core.region = self._alloc_region(core)
+            if core.index >= len(core.events):
+                core.done = True
+            return True
+
+        self.result.instructions += 1
+        cpi = self.config.base_cpi
+
+        if kind == EK.ALU:
+            core.time += cpi
+        elif kind == EK.FENCE:
+            core.time += cpi
+        elif kind == EK.IO:
+            core.time += cpi + IO_OP_CYCLES
+        elif kind == EK.LOCK:
+            # Under core oversubscription (Fig. 16) the merged per-core
+            # streams already encode a valid serialization of critical
+            # sections, and re-enforcing mutual exclusion against the
+            # per-core total order can fabricate cycles the real OS
+            # scheduler would never create — locks become cost-only.
+            if self.hardware_cores is None and not self._try_lock(
+                core, ev.lock_id
+            ):
+                self.result.instructions -= 1  # retried later
+                return False
+            core.time += cpi + LOCK_OP_CYCLES
+        elif kind == EK.UNLOCK:
+            if self.hardware_cores is None:
+                self._unlock(core, ev.lock_id)
+                woke_others = True
+            core.time += cpi + LOCK_OP_CYCLES
+        elif kind == EK.LOAD:
+            core.time += cpi + self._load(core, ev.addr)
+            self.result.loads += 1
+        elif kind in (EK.STORE, EK.CHECKPOINT, EK.ATOMIC, EK.BOUNDARY):
+            # Reserve the front-end slot *before* any side effect so a
+            # parked store can be re-processed from scratch on wake-up.
+            if self.policy.persists and not self._ensure_fe_slot(core):
+                self.result.instructions -= 1
+                return False
+            if kind == EK.ATOMIC:
+                core.time += cpi + self._load(core, ev.addr)
+                self.result.loads += 1
+            else:
+                core.time += cpi
+            self._store(core, ev.addr)
+            self.result.stores += 1
+            core.stores_in_region += 1
+            if self.policy.persists:
+                if kind == EK.BOUNDARY and not self.policy.implicit_region_stores:
+                    woke_others = self._boundary(core)
+                elif (
+                    self.policy.implicit_region_stores
+                    and core.stores_in_region
+                    >= self.policy.implicit_region_stores
+                ):
+                    woke_others = self._boundary(core, implicit=True)
+        else:
+            core.time += cpi
+
+        if core.parked:
+            return False
+        core.index += 1
+        return woke_others
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+    def _victim_selector(self, core: _Core):
+        if not self.policy.persists or not self.policy.snoop:
+            return None
+        self._prune_inflight(core)
+
+        def on_conflict() -> None:
+            self.result.buffer_conflicts += 1
+
+        return make_victim_selector(
+            self.config.victim_policy, core.inflight, on_conflict
+        )
+
+    def _load(self, core: _Core, addr: int) -> float:
+        outcome = self.hierarchy.load(
+            core.cid, addr, victim_selector=self._victim_selector(core)
+        )
+        self._post_access(core, outcome, addr)
+        latency = outcome.latency
+        penalty = 0.0
+        if not outcome.l1_hit:
+            penalty = (latency - self.hierarchy.l1[core.cid].config.latency_cycles)
+            penalty *= LOAD_EXPOSURE
+        if outcome.llc_miss:
+            self.result.llc_misses += 1
+            if self.policy.persists:
+                penalty += self._wpq_search(core, addr)
+        # stale-load detection: the block is being re-fetched from PM while
+        # its latest store is still in flight on the persist path
+        if (
+            self.policy.persists
+            and self.config.victim_policy == VictimPolicy.STALE_LOAD
+            and not outcome.l1_hit
+        ):
+            self._prune_inflight(core)
+            block = addr // self.config.l1d.block_bytes
+            if block in core.inflight:
+                self.result.stale_loads += 1
+        return float(self.hierarchy.l1[core.cid].config.latency_cycles) + penalty
+
+    def _wpq_search(self, core: _Core, addr: int) -> float:
+        mc = self.mcs[self.amap.mc_of(addr)]
+        hit, ready = mc.search(addr // 8, core.time)
+        self.result.wpq_probes += 1
+        if not hit:
+            return 0.0
+        self.result.wpq_hits += 1
+        if ready is None:
+            wait = mc.drain_interval  # flush not yet scheduled: conservative
+        else:
+            wait = max(0.0, ready - core.time)
+        # drop the first PM load, re-load after the entry lands (§IV-H)
+        stall = wait + self.config.pm_read_cycles * LOAD_EXPOSURE
+        self.result.wpq_hit_stall += stall
+        return stall
+
+    def _store(self, core: _Core, addr: int) -> None:
+        outcome = self.hierarchy.store(
+            core.cid, addr, victim_selector=self._victim_selector(core)
+        )
+        self._post_access(core, outcome, addr)
+        if not self.policy.persists:
+            return
+        self._persist_enqueue(core, addr)
+
+    def _post_access(self, core: _Core, outcome, addr: int) -> None:
+        if outcome.l1_eviction is not None:
+            self.result.l1_evictions += 1
+            if outcome.l1_eviction_delayed and self.policy.persists:
+                stall = self._conflict_drain_wait(core, outcome.l1_eviction[0])
+                core.time += stall
+                self.result.eviction_stall += stall
+
+    def _conflict_drain_wait(self, core: _Core, block: int) -> float:
+        """Zero-victim delay: wait until the conflicting front-end entry
+        reaches its WPQ."""
+        best: Optional[float] = None
+        for record in core.fe:
+            if record[1] == block and record[0] is not None:
+                best = record[0] if best is None else min(best, record[0])
+        if best is None:
+            return self.config.persist_latency_cycles
+        return max(0.0, best - core.time)
+
+    # ------------------------------------------------------------------
+    # persist path
+    # ------------------------------------------------------------------
+    def _ensure_fe_slot(self, core: _Core) -> bool:
+        """Free or wait for a front-end buffer slot.  Returns False after
+        parking the core when the head entry's WPQ admission is unknown."""
+        fe_cap = self.config.persist_path.fe_entries
+        while core.fe and core.fe[0][0] is not None and core.fe[0][0] <= core.time:
+            self._inflight_remove(core, core.fe.popleft()[1])
+        if len(core.fe) < fe_cap:
+            return True
+        head = core.fe[0]
+        if head[0] is None:
+            self._park(core, "fe")
+            return False
+        stall = max(0.0, head[0] - core.time)
+        core.time += stall
+        self.result.fe_stall += stall
+        self.result.persist_waited += stall
+        self._inflight_remove(core, core.fe.popleft()[1])
+        return True
+
+    def _persist_enqueue(self, core: _Core, addr: int) -> None:
+        self.result.persist_entries += 1
+        dep = core.path.service(core.time)
+        mc_id = self.amap.mc_of(addr)
+        path_latency = self.amap.path_latency_cycles(core.cid, mc_id)
+        arr = dep + path_latency
+        word = addr // 8
+        block = addr // self.config.l1d.block_bytes
+        # record: [fe-slot free time (WPQ-arrival ACK), block, WPQ arrival]
+        record = [None, block, None]
+        core.fe.append(record)
+        core.inflight[block] = core.inflight.get(block, 0) + 1
+
+        grant = self.mcs[mc_id].admit(core.region, word, arr)
+        if grant is None:
+            core.waiting.append([record, mc_id, core.region, word, arr])
+        else:
+            record[2] = grant
+            record[0] = grant + path_latency  # ACK returns to the buffer
+            # The path is a pipeline: only the extra time the entry waited
+            # at the WPQ (grant - arr) blocks entries behind it.
+            core.path.next_free = max(
+                core.path.next_free, dep + (grant - arr)
+            )
+
+    def _inflight_remove(self, core: _Core, block: int) -> None:
+        count = core.inflight.get(block, 0)
+        if count <= 1:
+            core.inflight.pop(block, None)
+        else:
+            core.inflight[block] = count - 1
+
+    def _prune_inflight(self, core: _Core) -> None:
+        while core.fe and core.fe[0][0] is not None and core.fe[0][0] <= core.time:
+            self._inflight_remove(core, core.fe.popleft()[1])
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+    def _boundary(self, core: _Core, implicit: bool = False) -> bool:
+        """End the core's current region.  Returns True when the commit
+        pipeline advanced (slot releases published)."""
+        region = core.region
+        issue = core.time
+        self._region_issue_time[region] = issue
+        self.result.regions += 1
+        core.time += self.policy.region_comm_cycles
+        # Eq. 1's Tp: the persistence latency a scheme with *no* hiding
+        # would expose at this boundary — serially pushing the region's
+        # entries down the path and into PM.
+        self.result.persist_exposed += (
+            self.config.persist_latency_cycles
+            + self.config.pm_write_cycles
+            + core.stores_in_region
+            * self.config.persist_entry_cycles
+            * self.policy.entry_factor
+        )
+
+        if self.policy.gated:
+            # broadcast = boundary entry's WPQ arrival + NoC hop; the last
+            # appended FE record is the boundary store (explicit case) —
+            # for implicit regions use the core clock.
+            broadcast = issue + self.config.noc_cycles
+            if not implicit and core.fe:
+                last = core.fe[-1][2]
+                if last is not None:
+                    broadcast = last + self.config.noc_cycles
+            before = self.pipeline.next_commit
+            self.pipeline.boundary(region, broadcast)
+            advanced = self.pipeline.next_commit != before
+            if self.policy.boundary_wait:
+                end = self.pipeline.commit_end.get(region)
+                if end is None:
+                    core.region = self._alloc_region(core)
+                    self._park(core, "commit", region=region)
+                    return advanced
+                stall = max(0.0, end - core.time)
+                core.time += stall
+                self.result.boundary_stall += stall
+                self.result.persist_waited += stall
+        else:
+            source = (
+                "eager_flush_done" if self.policy.wait_for == "flush" else "eager_done"
+            )
+            done = max(
+                (getattr(mc, source).pop(region, 0.0) for mc in self.mcs),
+                default=0.0,
+            )
+            advanced = False
+            if self.policy.boundary_wait:
+                stall = max(0.0, done - core.time)
+                core.time += stall
+                self.result.boundary_stall += stall
+                self.result.persist_waited += stall
+
+        core.region = self._alloc_region(core)
+        return advanced
+
+    def _thread_finished(self, core: _Core) -> None:
+        """Close the trailing region so the commit pipeline can drain."""
+        if self.policy.persists and self.policy.gated:
+            self.pipeline.boundary(core.region, core.time + self.config.noc_cycles)
+            self._retry_waiting()
+
+    # ------------------------------------------------------------------
+    # parking / waking
+    # ------------------------------------------------------------------
+    def _park(self, core: _Core, reason: str, region: int = -1, lock: int = -1) -> None:
+        core.parked = True
+        core.park_reason = reason
+        core.park_region = region
+        core.park_lock = lock
+
+    def _retry_waiting(self) -> None:
+        """Retry pending WPQ admissions after slot releases."""
+        for core in self.cores:
+            still: List[List] = []
+            for item in core.waiting:
+                record, mc_id, region, word, arr = item
+                grant = self.mcs[mc_id].admit(region, word, arr)
+                if grant is None:
+                    still.append(item)
+                else:
+                    record[2] = grant
+                    record[0] = grant + self.amap.path_latency_cycles(
+                        core.cid, mc_id
+                    )
+            core.waiting = still
+
+    def _wake_parked(self, ready: List[Tuple[float, int]]) -> bool:
+        self._retry_waiting()
+        woke = False
+        for core in self.cores:
+            if not core.parked:
+                continue
+            if core.park_reason == "fe":
+                if core.fe and core.fe[0][0] is not None:
+                    core.parked = False
+                    heapq.heappush(ready, (core.time, core.cid))
+                    woke = True
+            elif core.park_reason == "commit":
+                end = self.pipeline.commit_end.get(core.park_region)
+                if end is not None:
+                    stall = max(0.0, end - core.time)
+                    core.time += stall
+                    self.result.boundary_stall += stall
+                    self.result.persist_waited += stall
+                    core.parked = False
+                    core.index += 1  # the boundary event completes now
+                    heapq.heappush(ready, (core.time, core.cid))
+                    woke = True
+            elif core.park_reason == "lock":
+                owner = self._lock_owner.get(core.park_lock)
+                if owner is None:
+                    release = self._lock_release.get(core.park_lock, core.time)
+                    stall = max(0.0, release - core.time)
+                    core.time += stall
+                    self.result.lock_stall += stall
+                    core.parked = False
+                    heapq.heappush(ready, (core.time, core.cid))
+                    woke = True
+        return woke
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def _try_lock(self, core: _Core, lock_id: int) -> bool:
+        owner = self._lock_owner.get(lock_id)
+        if owner is None:
+            self._lock_owner[lock_id] = core.cid
+            return True
+        self._park(core, "lock", lock=lock_id)
+        return False
+
+    def _unlock(self, core: _Core, lock_id: int) -> None:
+        self._lock_owner[lock_id] = None
+        self._lock_release[lock_id] = core.time
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        res = self.result
+        res.l1_miss_rate = self.hierarchy.l1_miss_rate()
+        for mc in self.mcs:
+            res.overflow_flushes += mc.stats.overflow_flushes
+            res.undo_logged_entries += mc.stats.undo_logged_entries
+
+
+def simulate(
+    events: Sequence[TraceEvent],
+    config: SystemConfig,
+    policy: SchemePolicy,
+    cache_scale=None,
+    hardware_cores: Optional[int] = None,
+) -> SimResult:
+    """Convenience wrapper: run one trace under one policy."""
+    return TimingEngine(
+        config, policy, cache_scale=cache_scale, hardware_cores=hardware_cores
+    ).run(events)

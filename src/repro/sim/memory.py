@@ -1,0 +1,42 @@
+"""Address mapping and the PM backend timing helpers.
+
+Physical addresses are interleaved across memory controllers at cacheline
+granularity, and each core has a *near* MC: stores targeting the far MC
+pay an extra NUMA hop on the persist path — the source of the out-of-order
+persist arrivals that lazy region-level persist ordering tolerates
+(§II-B, §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+
+__all__ = ["AddressMap"]
+
+#: extra one-way persist-path latency to the far MC (ns)
+FAR_MC_EXTRA_NS = 12.0
+
+
+@dataclass
+class AddressMap:
+    """Maps byte addresses to MCs and computes core->MC path latencies."""
+
+    config: SystemConfig
+    interleave_bytes: int = 64
+
+    def mc_of(self, addr: int) -> int:
+        return (addr // self.interleave_bytes) % self.config.mc.n_mcs
+
+    def near_mc(self, core: int) -> int:
+        n_mcs = self.config.mc.n_mcs
+        cores = max(1, self.config.cores)
+        return min(n_mcs - 1, core * n_mcs // cores)
+
+    def path_latency_cycles(self, core: int, mc: int) -> float:
+        """One-way persist-path latency from ``core`` to ``mc``."""
+        base = self.config.persist_latency_cycles
+        if mc != self.near_mc(core):
+            base += self.config.ns_to_cycles(FAR_MC_EXTRA_NS)
+        return base

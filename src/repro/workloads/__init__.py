@@ -1,0 +1,15 @@
+"""Workloads: archetype kernels and the 38-application synthetic suite
+standing in for SPEC CPU2006/2017, STAMP, NPB, SPLASH3, and WHISPER."""
+
+from . import archetypes, randprog
+from .suite import BENCHMARKS, MEMORY_INTENSIVE, SUITES, Benchmark, benchmarks_of
+
+__all__ = [
+    "archetypes",
+    "randprog",
+    "BENCHMARKS",
+    "MEMORY_INTENSIVE",
+    "SUITES",
+    "Benchmark",
+    "benchmarks_of",
+]

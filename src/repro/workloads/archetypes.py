@@ -1,0 +1,575 @@
+"""Workload archetypes: parameterized IR kernels.
+
+Each factory builds a :class:`~repro.compiler.ir.Program` whose dynamic
+behaviour (instruction mix, store density, footprint, locality, and — for
+the multi-threaded archetypes — synchronization frequency) is set by its
+parameters.  The 38-application suite (:mod:`repro.workloads.suite`) maps
+every benchmark of the paper's evaluation onto one of these archetypes
+with per-benchmark parameters.
+
+All kernels are written against the registers ``r1``..``r12`` (within the
+checkpoint array's 32 architectural slots) and are guaranteed to
+terminate; sizes are in 8-byte words.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import FunctionBuilder
+from ..compiler.ir import Program
+
+__all__ = [
+    "streaming",
+    "stencil",
+    "random_update",
+    "pointer_chase",
+    "reduction",
+    "compute_bound",
+    "histogram",
+    "blocked_matrix",
+    "transactional",
+    "parallel_for",
+    "producer_consumer",
+    "sort_kernel",
+    "strided",
+]
+
+#: multiplicative hash constant for the synthetic RNG (Knuth)
+_HASH = 2654435761
+
+
+def _lcg(fb: FunctionBuilder, state: str, tmp: str, modulo: int) -> None:
+    """tmp = next pseudo-random index in [0, modulo); state advances."""
+    fb.mul(state, state, _HASH)
+    fb.add(state, state, 12345)
+    fb.shr(tmp, state, 16)
+    fb.mod(tmp, tmp, modulo)
+
+
+def streaming(
+    n_words: int = 32768,
+    sweeps: int = 2,
+    stores_per_element: int = 1,
+    compute_per_element: int = 2,
+) -> Program:
+    """Sequential sweeps over a large array: read x[i], compute, write
+    y[i].  The lbm / libquantum shape — memory-intensive, low reuse, high
+    store density."""
+    prog = Program("streaming")
+    x = prog.array("x", n_words)
+    y = prog.array("y", n_words * stores_per_element)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r5", 0)  # sweep counter
+    fb.br("sweep")
+    fb.block("sweep")
+    fb.const("r1", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.load("r2", "r1", base=x)
+    for k in range(compute_per_element):
+        fb.add("r2", "r2", k + 1)
+    for s in range(stores_per_element):
+        fb.store("r2", "r1", base=y + s * n_words)
+    fb.add("r1", "r1", 1)
+    fb.lt("r3", "r1", n_words)
+    fb.cbr("r3", "loop", "next_sweep")
+    fb.block("next_sweep")
+    fb.add("r5", "r5", 1)
+    fb.lt("r6", "r5", sweeps)
+    fb.cbr("r6", "sweep", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def stencil(n_words: int = 16384, sweeps: int = 2) -> Program:
+    """3-point stencil: y[i] = x[i-1] + x[i] + x[i+1] — milc / mg / sp
+    shape: moderate reuse, one store per three loads."""
+    prog = Program("stencil")
+    x = prog.array("x", n_words + 2)
+    y = prog.array("y", n_words + 2)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r5", 0)
+    fb.br("sweep")
+    fb.block("sweep")
+    fb.const("r1", 1)
+    fb.br("loop")
+    fb.block("loop")
+    fb.sub("r6", "r1", 1)
+    fb.load("r2", "r6", base=x)
+    fb.load("r3", "r1", base=x)
+    fb.add("r2", "r2", "r3")
+    fb.add("r6", "r1", 1)
+    fb.load("r3", "r6", base=x)
+    fb.add("r2", "r2", "r3")
+    fb.store("r2", "r1", base=y)
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", n_words)
+    fb.cbr("r4", "loop", "next")
+    fb.block("next")
+    fb.add("r5", "r5", 1)
+    fb.lt("r6", "r5", sweeps)
+    fb.cbr("r6", "sweep", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def random_update(n_words: int = 32768, ops: int = 8192, read_ratio: int = 1) -> Program:
+    """Random read-modify-writes over a table — mcf / vacation / tatp
+    shape: poor locality, frequent RMW."""
+    prog = Program("random_update")
+    table = prog.array("table", n_words)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r7", 12345)  # rng state
+    fb.br("loop")
+    fb.block("loop")
+    _lcg(fb, "r7", "r2", n_words)
+    fb.load("r3", "r2", base=table)
+    for _ in range(read_ratio):
+        _lcg(fb, "r7", "r4", n_words)
+        fb.load("r5", "r4", base=table)
+        fb.add("r3", "r3", "r5")
+    fb.add("r3", "r3", 1)
+    fb.store("r3", "r2", base=table)
+    fb.add("r1", "r1", 1)
+    fb.lt("r6", "r1", ops)
+    fb.cbr("r6", "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def pointer_chase(n_words: int = 16384, hops: int = 20000, stride: int = 7919) -> Program:
+    """Dependent loads around a permutation cycle with occasional stores —
+    the mcf / barnes shape: latency-bound, very low store density.
+
+    The "pointers" are computed as (i + stride) % n so the init loop is
+    cheap; a store happens every 16 hops.  The chase always makes at least
+    two full traversals of the ring (hops >= 2n), so the second traversal
+    exercises DRAM-cache reuse — the effect Fig. 9 measures."""
+    hops = max(hops, 2 * n_words + n_words // 4)
+    prog = Program("pointer_chase")
+    ring = prog.array("ring", n_words)
+    out = prog.array("out", max(1, hops // 16 + 1))
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.br("init")
+    fb.block("init")
+    fb.add("r2", "r1", stride)
+    fb.mod("r2", "r2", n_words)
+    fb.mul("r4", "r2", 3)       # extra work keeps the init phase's store
+    fb.xor("r4", "r4", "r1")    # density realistic (~1 store / 9 instrs)
+    fb.add("r4", "r4", 5)
+    fb.store("r2", "r1", base=ring)
+    fb.add("r1", "r1", 1)
+    fb.lt("r3", "r1", n_words)
+    fb.cbr("r3", "init", "chase_pre")
+    fb.block("chase_pre")
+    fb.const("r1", 0)   # hop counter
+    fb.const("r2", 0)   # current node
+    fb.const("r8", 0)   # accumulator
+    fb.br("chase")
+    fb.block("chase")
+    fb.load("r2", "r2", base=ring)
+    fb.add("r8", "r8", "r2")
+    fb.mod("r4", "r1", 16)
+    fb.eq("r4", "r4", 15)
+    fb.cbr("r4", "emit", "advance")
+    fb.block("emit")
+    fb.div("r5", "r1", 16)
+    fb.store("r8", "r5", base=out)
+    fb.br("advance")
+    fb.block("advance")
+    fb.add("r1", "r1", 1)
+    fb.lt("r6", "r1", hops)
+    fb.cbr("r6", "chase", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def reduction(n_words: int = 16384, sweeps: int = 3) -> Program:
+    """Load-heavy reduction with a single result store per sweep — the
+    hmmer / nab / ep shape: high compute, negligible store traffic."""
+    prog = Program("reduction")
+    x = prog.array("x", n_words)
+    out = prog.array("out", max(1, sweeps))
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r5", 0)
+    fb.br("sweep")
+    fb.block("sweep")
+    fb.const("r1", 0)
+    fb.const("r2", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.load("r3", "r1", base=x)
+    fb.mul("r3", "r3", 3)
+    fb.add("r2", "r2", "r3")
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", n_words)
+    fb.cbr("r4", "loop", "done")
+    fb.block("done")
+    fb.store("r2", "r5", base=out)
+    fb.add("r5", "r5", 1)
+    fb.lt("r6", "r5", sweeps)
+    fb.cbr("r6", "sweep", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def compute_bound(iterations: int = 20000, alu_per_iter: int = 12, n_words: int = 2048) -> Program:
+    """ALU-dominated kernel with a small working set — the namd / leela /
+    dsjeng shape: caches absorb almost everything."""
+    prog = Program("compute_bound")
+    x = prog.array("x", n_words)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r2", 1)
+    fb.br("loop")
+    fb.block("loop")
+    fb.mod("r3", "r1", n_words)
+    fb.load("r4", "r3", base=x)
+    for k in range(alu_per_iter):
+        if k % 3 == 0:
+            fb.mul("r2", "r2", 3)
+        elif k % 3 == 1:
+            fb.xor("r2", "r2", "r4")
+        else:
+            fb.add("r2", "r2", k)
+    fb.store("r2", "r3", base=x)
+    fb.add("r1", "r1", 1)
+    fb.lt("r5", "r1", iterations)
+    fb.cbr("r5", "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def histogram(n_buckets: int = 8192, ops: int = 12000) -> Program:
+    """Scattered increments — the radix / ssca2 / is shape: store-heavy
+    with medium locality."""
+    prog = Program("histogram")
+    buckets = prog.array("buckets", n_buckets)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r7", 777)
+    fb.br("loop")
+    fb.block("loop")
+    _lcg(fb, "r7", "r2", n_buckets)
+    fb.load("r3", "r2", base=buckets)
+    fb.add("r3", "r3", 1)
+    fb.store("r3", "r2", base=buckets)
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", ops)
+    fb.cbr("r4", "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def blocked_matrix(dim: int = 48, block: int = 8) -> Program:
+    """Blocked matrix multiply C += A*B — the cholesky / lu / imagick
+    shape: strong reuse inside blocks, bursts of stores at block ends."""
+    prog = Program("blocked_matrix")
+    a = prog.array("A", dim * dim)
+    b = prog.array("B", dim * dim)
+    c = prog.array("C", dim * dim)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)  # i
+    fb.br("iloop")
+    fb.block("iloop")
+    fb.const("r2", 0)  # j
+    fb.br("jloop")
+    fb.block("jloop")
+    fb.const("r3", 0)  # k
+    fb.const("r4", 0)  # acc
+    fb.br("kloop")
+    fb.block("kloop")
+    fb.mul("r5", "r1", dim)
+    fb.add("r5", "r5", "r3")
+    fb.load("r6", "r5", base=a)
+    fb.mul("r5", "r3", dim)
+    fb.add("r5", "r5", "r2")
+    fb.load("r7", "r5", base=b)
+    fb.mul("r6", "r6", "r7")
+    fb.add("r4", "r4", "r6")
+    fb.add("r3", "r3", 1)
+    fb.lt("r8", "r3", dim)
+    fb.cbr("r8", "kloop", "kdone")
+    fb.block("kdone")
+    fb.mul("r5", "r1", dim)
+    fb.add("r5", "r5", "r2")
+    fb.store("r4", "r5", base=c)
+    fb.add("r2", "r2", 1)
+    fb.lt("r8", "r2", dim)
+    fb.cbr("r8", "jloop", "jdone")
+    fb.block("jdone")
+    fb.add("r1", "r1", 1)
+    fb.lt("r8", "r1", dim)
+    fb.cbr("r8", "iloop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+# ----------------------------------------------------------------------
+# multi-threaded archetypes: each defines a "worker" entry (param r11 =
+# thread id); suite.py builds the entries list.
+# ----------------------------------------------------------------------
+
+def transactional(
+    n_threads: int = 8,
+    txns_per_thread: int = 200,
+    table_words: int = 16384,
+    writes_per_txn: int = 4,
+    n_locks: int = 8,
+    reads_per_txn: int = 8,
+) -> Program:
+    """Lock-protected multi-word transactions over a shared table — the
+    STAMP / WHISPER (rb, tatp, tpcc) shape.  Each transaction scans
+    ``reads_per_txn`` random words *outside* the critical section (index
+    lookups / validation reads), then takes one of ``n_locks`` striped
+    locks and performs a read-modify-write burst."""
+    prog = Program("transactional")
+    table = prog.array("table", table_words)
+    fb = FunctionBuilder(prog, "worker", params=("r11",))
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.mul("r7", "r11", 99991)
+    fb.add("r7", "r7", 7)
+    fb.br("txn")
+    fb.block("txn")
+    # read phase (no lock held): the PM-latency-sensitive part
+    for _ in range(reads_per_txn):
+        _lcg(fb, "r7", "r2", table_words)
+        fb.load("r3", "r2", base=table)
+        fb.add("r12", "r12", "r3")
+    _lcg(fb, "r7", "r2", n_locks)
+    fb.mov("r10", "r2")  # lock-stripe id
+    # Striped locks: one lock instruction per stripe (static lock ids),
+    # dispatched on r10 via a comparison chain.  The lock instructions
+    # themselves force the §III-D boundaries.
+    for lock in range(n_locks):
+        fb.eq("r3", "r10", lock)
+        fb.cbr("r3", "lock%d" % lock, "chk%d" % lock)
+        fb.block("chk%d" % lock)
+    fb.br("after")  # unreachable fallback
+    for lock in range(n_locks):
+        fb.block("lock%d" % lock)
+        fb.lock(lock)
+        for w in range(writes_per_txn):
+            _lcg(fb, "r7", "r4", table_words // n_locks)
+            fb.mul("r5", "r10", table_words // n_locks)
+            fb.add("r4", "r4", "r5")
+            fb.load("r6", "r4", base=table)
+            fb.add("r6", "r6", 1)
+            fb.store("r6", "r4", base=table)
+        fb.unlock(lock)
+        fb.br("after")
+    fb.block("after")
+    fb.add("r1", "r1", 1)
+    fb.lt("r8", "r1", txns_per_thread)
+    fb.cbr("r8", "txn", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def parallel_for(
+    n_threads: int = 8,
+    words_per_thread: int = 4096,
+    compute: int = 3,
+    stores_per_elem: int = 1,
+    sweeps: int = 1,
+) -> Program:
+    """Data-parallel partitioned loop with an atomic progress counter —
+    the NPB (cg, ft, lu, mg, sp) and SPLASH3 (ocean, water) shape.
+    ``sweeps`` re-traverses each partition (iterative solvers), creating
+    the DRAM-cache-level reuse the memory-intensive variants need."""
+    prog = Program("parallel_for")
+    data = prog.array("data", n_threads * words_per_thread * (1 + stores_per_elem))
+    progress = prog.array("progress", 1)
+    fb = FunctionBuilder(prog, "worker", params=("r11",))
+    fb.block("entry")
+    fb.mul("r9", "r11", words_per_thread)
+    fb.const("r8", 0)
+    fb.br("sweep")
+    fb.block("sweep")
+    fb.const("r1", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.add("r2", "r9", "r1")
+    fb.load("r3", "r2", base=data)
+    for k in range(compute):
+        fb.add("r3", "r3", k + 1)
+    for s in range(stores_per_elem):
+        fb.store(
+            "r3", "r2", base=data + (s + 1) * n_threads * words_per_thread
+        )
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", words_per_thread)
+    fb.cbr("r4", "loop", "next_sweep")
+    fb.block("next_sweep")
+    fb.add("r8", "r8", 1)
+    fb.lt("r4", "r8", sweeps)
+    fb.cbr("r4", "sweep", "done")
+    fb.block("done")
+    fb.atomic_rmw("r5", 0, 1, op="add", base=progress)
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def producer_consumer(
+    n_threads: int = 8,
+    items_per_thread: int = 400,
+    queue_words: int = 1024,
+) -> Program:
+    """Threads alternate producing into and consuming from a shared ring
+    protected by one lock — the intruder / raytrace shape: high
+    synchronization frequency, small critical sections."""
+    prog = Program("producer_consumer")
+    ring = prog.array("ring", queue_words)
+    cursor = prog.array("cursor", 2)
+    fb = FunctionBuilder(prog, "worker", params=("r11",))
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.lock(0)
+    fb.load("r2", 0, base=cursor)       # head
+    fb.mod("r3", "r2", queue_words)
+    fb.add("r4", "r2", "r11")
+    fb.store("r4", "r3", base=ring)     # produce
+    fb.add("r2", "r2", 1)
+    fb.store("r2", 0, base=cursor)
+    fb.load("r5", 1, base=cursor)       # tail
+    fb.mod("r6", "r5", queue_words)
+    fb.load("r7", "r6", base=ring)      # consume
+    fb.add("r5", "r5", 1)
+    fb.store("r5", 1, base=cursor)
+    fb.unlock(0)
+    fb.add("r8", "r8", "r7")            # local work outside the lock
+    fb.mul("r8", "r8", 3)
+    fb.add("r1", "r1", 1)
+    fb.lt("r9", "r1", items_per_thread)
+    fb.cbr("r9", "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def sort_kernel(n_words: int = 2048, segments: int = 8) -> Program:
+    """Insertion-sort over fixed-size segments — the integer-sort (is)
+    shape at its most store-intense: data-dependent swap stores with
+    strong spatial locality."""
+    prog = Program("sort_kernel")
+    data = prog.array("data", n_words)
+    seg = max(2, n_words // max(1, segments))
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    # fill with a descending-ish hash so there is real work to do
+    fb.const("r1", 0)
+    fb.br("fill")
+    fb.block("fill")
+    fb.mul("r2", "r1", _HASH)
+    fb.shr("r2", "r2", 20)
+    fb.mod("r2", "r2", 997)
+    fb.store("r2", "r1", base=data)
+    fb.add("r1", "r1", 1)
+    fb.lt("r3", "r1", n_words)
+    fb.cbr("r3", "fill", "outer_pre")
+    # insertion sort each segment: for i in 1..seg: sift data[i] left
+    fb.block("outer_pre")
+    fb.const("r9", 0)            # segment base
+    fb.br("outer")
+    fb.block("outer")
+    fb.const("r1", 1)            # i within segment
+    fb.br("iloop")
+    fb.block("iloop")
+    fb.add("r4", "r9", "r1")
+    fb.load("r5", "r4", base=data)   # key
+    fb.mov("r6", "r4")               # j = i (absolute)
+    fb.br("sift")
+    fb.block("sift")
+    fb.le("r7", "r6", "r9")          # j <= segment base: stop
+    fb.cbr("r7", "place", "cmp")
+    fb.block("cmp")
+    fb.sub("r8", "r6", 1)
+    fb.load("r10", "r8", base=data)
+    fb.le("r7", "r10", "r5")         # data[j-1] <= key: stop
+    fb.cbr("r7", "place", "shift")
+    fb.block("shift")
+    fb.store("r10", "r6", base=data)
+    fb.sub("r6", "r6", 1)
+    fb.br("sift")
+    fb.block("place")
+    fb.store("r5", "r6", base=data)
+    fb.add("r1", "r1", 1)
+    fb.lt("r7", "r1", seg)
+    fb.cbr("r7", "iloop", "next_seg")
+    fb.block("next_seg")
+    fb.add("r9", "r9", seg)
+    fb.lt("r7", "r9", n_words)
+    fb.cbr("r7", "outer", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def strided(n_words: int = 16384, stride: int = 512, passes: int = 3,
+            compute: int = 2) -> Program:
+    """Strided butterfly-ish sweeps — the fft / ft shape: each pass reads
+    pairs ``stride`` apart and writes both back, so locality degrades as
+    the stride crosses cache-way capacity."""
+    prog = Program("strided")
+    data = prog.array("data", n_words)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r9", 0)   # pass counter
+    fb.br("pass")
+    fb.block("pass")
+    fb.const("r1", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.load("r2", "r1", base=data)
+    fb.add("r4", "r1", stride)
+    fb.mod("r4", "r4", n_words)
+    fb.load("r3", "r4", base=data)
+    for k in range(compute):
+        fb.add("r2", "r2", "r3")
+        fb.sub("r3", "r3", k + 1)
+    fb.store("r2", "r1", base=data)
+    fb.store("r3", "r4", base=data)
+    fb.add("r1", "r1", 1)
+    fb.lt("r5", "r1", n_words)
+    fb.cbr("r5", "loop", "next_pass")
+    fb.block("next_pass")
+    fb.add("r9", "r9", 1)
+    fb.lt("r5", "r9", passes)
+    fb.cbr("r5", "pass", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog

@@ -1,0 +1,57 @@
+"""Tests for the residual-energy (battery) model of §II-C1."""
+
+import pytest
+
+from repro.analysis.battery import (
+    ATX_RESIDUAL_J,
+    SERVER_RESIDUAL_J,
+    compare,
+    jit_checkpoint_budget,
+    lightwsp_budget,
+)
+from repro.config import SystemConfig
+
+
+class TestBudgets:
+    def test_lightwsp_fits_any_supply(self):
+        budget = lightwsp_budget()
+        assert budget.fits(ATX_RESIDUAL_J)
+        assert budget.fits(SERVER_RESIDUAL_J)
+
+    def test_lightwsp_budget_is_tiny(self):
+        budget = lightwsp_budget()
+        assert budget.bytes_to_flush <= 4 * 1024  # two 512B WPQs + slack
+        assert budget.energy_joules < 0.001
+
+    def test_jit_with_dram_cache_never_fits(self):
+        """The paper's §II-C1 point: no PSU persists the DRAM cache."""
+        budget = jit_checkpoint_budget(include_dram_cache=True)
+        assert not budget.fits(SERVER_RESIDUAL_J)
+
+    def test_jit_sram_only_fits_server_psu(self):
+        """LightPC's finding: a server PSU can cover the SRAM hierarchy
+        of a modest machine, a standard ATX PSU cannot."""
+        budget = jit_checkpoint_budget(include_dram_cache=False)
+        assert budget.fits(SERVER_RESIDUAL_J)
+        assert not budget.fits(ATX_RESIDUAL_J)
+
+    def test_dirty_fraction_scales_budget(self):
+        low = jit_checkpoint_budget(dirty_fraction=0.1)
+        high = jit_checkpoint_budget(dirty_fraction=0.9)
+        assert high.energy_joules > low.energy_joules
+
+    def test_bigger_wpq_bigger_lightwsp_budget(self):
+        small = lightwsp_budget(SystemConfig())
+        big = lightwsp_budget(SystemConfig().with_wpq_entries(256))
+        assert big.bytes_to_flush > small.bytes_to_flush
+        assert big.fits(ATX_RESIDUAL_J)  # still trivially coverable
+
+    def test_compare_table(self):
+        rows = compare()
+        assert rows["LightWSP"]["fits_ATX"]
+        assert not rows["JIT-checkpoint+DRAM$"]["fits_server_PSU"]
+        assert (
+            rows["LightWSP"]["energy_J"]
+            < rows["JIT-checkpoint"]["energy_J"]
+            < rows["JIT-checkpoint+DRAM$"]["energy_J"]
+        )

@@ -1,0 +1,41 @@
+"""Cross-layer validation tests: functional machine, trace, and timing
+engine must agree on shared counters."""
+
+import pytest
+
+from helpers import locking_program, saxpy_program
+
+from repro.analysis.crossval import cross_validate
+from repro.compiler import compile_program
+from repro.config import CompilerConfig, SystemConfig
+from repro.workloads.randprog import random_program
+
+
+class TestCrossValidation:
+    def test_saxpy_layers_agree(self):
+        compiled = compile_program(
+            saxpy_program(n=64), CompilerConfig(store_threshold=8)
+        )
+        checks = cross_validate(compiled)
+        for check in checks:
+            assert check.ok, str(check)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_programs_layers_agree(self, seed):
+        compiled = compile_program(random_program(seed))
+        for check in cross_validate(compiled):
+            assert check.ok, str(check)
+
+    def test_multithreaded_schedule_independent_counters(self):
+        prog = locking_program(n_threads=2, increments=5)
+        compiled = compile_program(prog, SystemConfig().compiler)
+        checks = cross_validate(
+            compiled, entries=[("worker", (t,)) for t in range(2)]
+        )
+        for check in checks:
+            assert check.ok, str(check)
+
+    def test_report_is_printable(self):
+        compiled = compile_program(saxpy_program(n=16))
+        text = "\n".join(str(c) for c in cross_validate(compiled))
+        assert "OK" in text

@@ -1,0 +1,108 @@
+"""Tests for aggregation metrics, the CAM model, and hardware costs."""
+
+import math
+
+import pytest
+
+from repro.analysis.cacti import CamModel, cam_search_cycles, cam_search_ns
+from repro.analysis.hwcost import capri_cost, cost_table, lightwsp_cost, ppa_cost
+from repro.analysis.metrics import geomean, overall, per_suite, slowdown
+from repro.config import SystemConfig
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_order_invariant(self):
+        assert geomean([2, 3, 4]) == pytest.approx(geomean([4, 2, 3]))
+
+
+class TestSlowdown:
+    def test_ratio(self):
+        assert slowdown(110.0, 100.0) == pytest.approx(1.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown(1.0, 0.0)
+
+
+class TestPerSuite:
+    ROWS = [
+        {"suite": "A", "v": 1.0},
+        {"suite": "A", "v": 4.0},
+        {"suite": "B", "v": 9.0},
+    ]
+
+    def test_grouping(self):
+        result = per_suite(self.ROWS, "v")
+        assert result["A"] == pytest.approx(2.0)
+        assert result["B"] == pytest.approx(9.0)
+
+    def test_overall(self):
+        assert overall(self.ROWS, "v") == pytest.approx((1 * 4 * 9) ** (1 / 3))
+
+
+class TestCamModel:
+    def test_paper_anchor_point(self):
+        """64 x 8B at 22nm must land near CACTI's 0.99 ns / 2 cycles."""
+        ns = cam_search_ns(64, 8)
+        assert 0.85 <= ns <= 1.1
+        assert cam_search_cycles(64, 8, clock_ghz=2.0) == 2
+
+    def test_more_entries_slower(self):
+        assert cam_search_ns(256, 8) > cam_search_ns(64, 8)
+
+    def test_wider_entries_slower(self):
+        assert cam_search_ns(64, 64) > cam_search_ns(64, 8)
+
+    def test_technology_scaling(self):
+        assert CamModel(64, 8, technology_nm=11).search_ns() < CamModel(
+            64, 8, technology_nm=22
+        ).search_ns()
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            CamModel(0, 8).search_ns()
+
+    def test_cycles_at_least_one(self):
+        assert cam_search_cycles(1, 1) >= 1
+
+
+class TestHwCost:
+    def test_lightwsp_half_byte_per_core(self):
+        cost = lightwsp_cost(SystemConfig())
+        assert cost.per_core_bytes == pytest.approx(0.5)
+
+    def test_lightwsp_fe_over_wcb_charged(self):
+        config = SystemConfig().with_wpq_entries(256)  # 2KB FE > 1KB WCB
+        cost = lightwsp_cost(config)
+        assert cost.per_core_bytes > 0.5
+
+    def test_ppa_paper_number(self):
+        assert ppa_cost().per_core_bytes == 337
+
+    def test_capri_paper_number(self):
+        assert capri_cost().per_core_bytes == 54 * 1024
+        assert capri_cost().per_core_str() == "54KB"
+
+    def test_cost_table_complete(self):
+        assert set(cost_table()) == {"LightWSP", "PPA", "Capri"}
+
+    def test_ordering(self):
+        table = cost_table()
+        assert (
+            table["LightWSP"].per_core_bytes
+            < table["PPA"].per_core_bytes
+            < table["Capri"].per_core_bytes
+        )

@@ -1,0 +1,171 @@
+"""Tests for initial boundary insertion, threshold enforcement, and
+normalization."""
+
+from helpers import call_program, saxpy_program, straightline_program
+
+from repro.compiler import FunctionBuilder, Op, Program
+from repro.compiler.boundaries import (
+    enforce_threshold_in_blocks,
+    insert_initial_boundaries,
+    max_region_store_count,
+    normalize_boundaries,
+    strip_boundaries,
+)
+
+
+def boundaries_of(func):
+    return [i for i in func.instructions() if i.op == Op.BOUNDARY]
+
+
+class TestInitialBoundaries:
+    def test_entry_and_exit_boundaries(self):
+        prog = straightline_program(stores=2)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        notes = [b.note for b in boundaries_of(func)]
+        assert "entry" in notes
+        assert "exit" in notes
+
+    def test_call_sites_bounded_on_both_sides(self):
+        prog = call_program()
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        instrs = func.blocks["entry"].instrs
+        call_idxs = [i for i, ins in enumerate(instrs) if ins.op == Op.CALL]
+        for idx in call_idxs:
+            assert instrs[idx - 1].op == Op.BOUNDARY
+            assert instrs[idx + 1].op == Op.BOUNDARY
+
+    def test_loop_header_with_stores_gets_boundary(self):
+        prog = saxpy_program(n=8)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        assert func.blocks["loop"].instrs[0].op == Op.BOUNDARY
+        assert func.blocks["loop"].instrs[0].note == "loop"
+
+    def test_storeless_loop_header_skipped(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("head")
+        fb.block("head")
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", 10)
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        assert func.blocks["head"].instrs[0].op != Op.BOUNDARY
+
+    def test_sync_instructions_preceded_by_boundary(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.fence()
+        fb.atomic_rmw("r1", 0, 1, base=100)
+        fb.lock(0)
+        fb.unlock(0)
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        instrs = func.blocks["entry"].instrs
+        for i, ins in enumerate(instrs):
+            if ins.op in (Op.FENCE, Op.ATOMIC_RMW, Op.LOCK, Op.UNLOCK):
+                assert instrs[i - 1].op == Op.BOUNDARY, str(ins)
+
+
+class TestThresholdEnforcement:
+    def test_run_of_stores_is_split(self):
+        prog = straightline_program(stores=10)
+        func = prog.functions["main"]
+        enforce_threshold_in_blocks(func, threshold=4)
+        assert max_region_store_count(func) <= 4
+
+    def test_no_split_under_threshold(self):
+        prog = straightline_program(stores=3)
+        func = prog.functions["main"]
+        enforce_threshold_in_blocks(func, threshold=4)
+        assert not boundaries_of(func)
+
+
+class TestNormalization:
+    def test_boundaries_end_blocks(self):
+        prog = straightline_program(stores=10)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        enforce_threshold_in_blocks(func, threshold=3)
+        normalize_boundaries(func)
+        func.validate()
+        for block in func.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if instr.op == Op.BOUNDARY:
+                    assert i == len(block.instrs) - 2
+                    assert block.instrs[-1].is_terminator()
+
+    def test_at_most_one_boundary_per_block(self):
+        prog = saxpy_program(n=16)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        enforce_threshold_in_blocks(func, threshold=2)
+        normalize_boundaries(func)
+        for block in func.blocks.values():
+            count = sum(1 for i in block.instrs if i.op == Op.BOUNDARY)
+            assert count <= 1
+
+    def test_semantics_preserved(self):
+        from repro.compiler import run_single
+
+        prog = saxpy_program(n=16)
+        _, before = run_single(prog)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        # boundaries write PC slots; data words must match
+        _, after = run_single(prog)
+        data_before = {a: v for a, v in before.words.items() if a >= 2112}
+        data_after = {a: v for a, v in after.words.items() if a >= 2112}
+        assert data_before == data_after
+
+    def test_strip_boundaries_roundtrip(self):
+        prog = straightline_program(stores=6)
+        func = prog.functions["main"]
+        original = [i.op for i in func.instructions()]
+        insert_initial_boundaries(func)
+        strip_boundaries(func)
+        assert [i.op for i in func.instructions()] == original
+
+
+class TestMaxRegionStoreCount:
+    def test_straightline(self):
+        prog = straightline_program(stores=7)
+        assert max_region_store_count(prog.functions["main"]) == 7
+
+    def test_paths_take_max(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 1)
+        fb.cbr("r1", "many", "few")
+        fb.block("many")
+        for i in range(5):
+            fb.store("r1", i, base=100)
+        fb.br("join")
+        fb.block("few")
+        fb.store("r1", 0, base=200)
+        fb.br("join")
+        fb.block("join")
+        fb.store("r1", 9, base=100)
+        fb.ret()
+        func = fb.build()
+        assert max_region_store_count(func) == 6  # many path + join store
+
+    def test_boundary_resets_count(self):
+        prog = straightline_program(stores=8)
+        func = prog.functions["main"]
+        enforce_threshold_in_blocks(func, threshold=3)
+        assert max_region_store_count(func) <= 3
+
+    def test_loop_accumulation_bounded_by_cap(self):
+        # A loop with stores but no boundary must still terminate analysis.
+        prog = saxpy_program(n=4)
+        count = max_region_store_count(prog.functions["main"], cap=50)
+        assert count == 50  # unbounded accumulation clamped at the cap

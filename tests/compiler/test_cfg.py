@@ -1,0 +1,107 @@
+"""Tests for CFG analyses: orders, dominators, back edges, splitting."""
+
+import pytest
+
+from repro.compiler import CFG, FunctionBuilder, Program, split_block_at
+from repro.compiler.ir import Instr, Op
+
+
+def diamond():
+    """entry -> (left | right) -> join -> exit."""
+    fb = FunctionBuilder(None, "f")
+    fb.block("entry")
+    fb.const("r1", 1)
+    fb.cbr("r1", "left", "right")
+    fb.block("left")
+    fb.br("join")
+    fb.block("right")
+    fb.br("join")
+    fb.block("join")
+    fb.ret()
+    return fb.build()
+
+
+def looped():
+    fb = FunctionBuilder(None, "f")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.br("head")
+    fb.block("head")
+    fb.add("r1", "r1", 1)
+    fb.lt("r2", "r1", 10)
+    fb.cbr("r2", "head", "exit")
+    fb.block("exit")
+    fb.ret()
+    return fb.build()
+
+
+class TestCFG:
+    def test_succs_and_preds(self):
+        cfg = CFG(diamond())
+        assert set(cfg.succs["entry"]) == {"left", "right"}
+        assert set(cfg.preds["join"]) == {"left", "right"}
+        assert cfg.preds["entry"] == []
+
+    def test_reverse_postorder_entry_first(self):
+        order = CFG(diamond()).reverse_postorder()
+        assert order[0] == "entry"
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_reachable_excludes_orphans(self):
+        func = diamond()
+        orphan = func.add_block("orphan")
+        orphan.append(Instr(Op.RET))
+        assert "orphan" not in CFG(func).reachable()
+
+    def test_dominators_diamond(self):
+        dom = CFG(diamond()).dominators()
+        assert dom["join"] == {"entry", "join"}
+        assert dom["left"] == {"entry", "left"}
+
+    def test_back_edges_in_loop(self):
+        edges = CFG(looped()).back_edges()
+        assert ("head", "head") in edges
+
+    def test_no_back_edges_in_dag(self):
+        assert CFG(diamond()).back_edges() == []
+
+    def test_exits(self):
+        assert CFG(diamond()).exits() == ["join"]
+
+
+class TestSplitBlockAt:
+    def test_split_moves_tail_to_new_block(self):
+        func = looped()
+        old_len = len(func.blocks["head"].instrs)
+        new_label = split_block_at(func, "head", 1)
+        func.validate()
+        head = func.blocks["head"]
+        assert len(head.instrs) == 2  # first instr + new br
+        assert head.instrs[-1].op == Op.BR
+        assert head.instrs[-1].targets == (new_label,)
+        assert len(func.blocks[new_label].instrs) == old_len - 1
+
+    def test_split_preserves_execution(self):
+        from repro.compiler import run_single
+
+        prog = Program()
+        a = prog.array("a", 4)
+        fb = FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r1", 5)
+        fb.add("r1", "r1", 2)
+        fb.store("r1", 0, base=a)
+        fb.ret()
+        fb.build()
+        _, before = run_single(prog)
+        split_block_at(prog.functions["main"], "entry", 2)
+        _, after = run_single(prog)
+        assert before.snapshot() == after.snapshot()
+
+    def test_split_out_of_range_rejected(self):
+        func = looped()
+        with pytest.raises(ValueError):
+            split_block_at(func, "head", 0)
+        with pytest.raises(ValueError):
+            split_block_at(func, "head", 99)

@@ -1,0 +1,168 @@
+"""Tests for checkpoint insertion and pruning."""
+
+from helpers import saxpy_program, straightline_program
+
+from repro.compiler import FunctionBuilder, Op
+from repro.compiler.boundaries import (
+    insert_initial_boundaries,
+    normalize_boundaries,
+)
+from repro.compiler.checkpoints import (
+    collect_recovery_plans,
+    insert_checkpoints,
+    prune_checkpoints,
+    strip_checkpoints,
+)
+
+
+def prepared(prog, name="main"):
+    func = prog.functions[name]
+    insert_initial_boundaries(func)
+    normalize_boundaries(func)
+    return func
+
+
+def checkpoints_of(func):
+    return [i for i in func.instructions() if i.op == Op.CHECKPOINT]
+
+
+class TestInsertCheckpoints:
+    def test_loop_carried_register_checkpointed(self):
+        func = prepared(saxpy_program(n=8))
+        insert_checkpoints(func)
+        # r1 (induction) is live across the loop boundary
+        regs = {c.srcs[0] for c in checkpoints_of(func)}
+        assert "r1" in regs
+
+    def test_dead_registers_not_checkpointed(self):
+        func = prepared(straightline_program(stores=2))
+        insert_checkpoints(func)
+        # After the final store nothing is live; entry boundary has no
+        # preceding defs -> no live-outs from pre-entry code paths except
+        # registers used before definition (none here).
+        for ckpt in checkpoints_of(func):
+            assert ckpt.srcs[0] != "r9"
+
+    def test_checkpoint_precedes_its_boundary(self):
+        func = prepared(saxpy_program(n=8))
+        insert_checkpoints(func)
+        for block in func.blocks.values():
+            saw_boundary = False
+            for instr in block.instrs:
+                if instr.op == Op.BOUNDARY:
+                    saw_boundary = True
+                if instr.op == Op.CHECKPOINT:
+                    assert not saw_boundary
+
+    def test_insertion_is_idempotent(self):
+        func = prepared(saxpy_program(n=8))
+        first = insert_checkpoints(func)
+        second = insert_checkpoints(func)
+        assert first == second
+
+    def test_strip_checkpoints(self):
+        func = prepared(saxpy_program(n=8))
+        insert_checkpoints(func)
+        strip_checkpoints(func)
+        assert not checkpoints_of(func)
+
+
+class TestPruneCheckpoints:
+    def test_constant_livein_pruned(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 42)        # reconstructible
+        fb.store("r1", 0, base=100)
+        fb.fence()                # forces a boundary while r1 is live
+        fb.store("r1", 1, base=100)
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        insert_checkpoints(func)
+        before = len(checkpoints_of(func))
+        plans = prune_checkpoints(func)
+        after = len(checkpoints_of(func))
+        assert after < before
+        recipes = [
+            plan.recipes.get("r1")
+            for plan in plans.values()
+            if "r1" in plan.recipes
+        ]
+        assert ("const", 42) in recipes
+
+    def test_derived_register_pruned_with_expr_recipe(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("loop")
+        fb.block("loop")
+        fb.add("r2", "r1", 5)      # r2 reconstructible from r1
+        fb.store("r2", "r1", base=100)
+        fb.store("r2", "r2", base=100)
+        fb.add("r1", "r1", 1)
+        fb.lt("r3", "r1", 4)
+        fb.cbr("r3", "loop", "exit")
+        fb.block("exit")
+        fb.store("r2", 0, base=200)
+        fb.store("r1", 1, base=200)
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        insert_checkpoints(func)
+        plans = prune_checkpoints(func)
+        # Some plan should reconstruct r2 = r1 + 5 instead of storing it.
+        expr_recipes = [
+            plan.recipes["r2"]
+            for plan in plans.values()
+            if plan.recipes.get("r2", ("ckpt",))[0] == "expr"
+        ]
+        for recipe in expr_recipes:
+            assert recipe[1] == Op.ADD
+            assert ("ckpt", "r1") in recipe[2]
+
+    def test_operand_redefined_before_boundary_not_pruned(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 1)
+        fb.add("r2", "r1", 5)
+        fb.const("r1", 9)          # r1 changes: r2 != r1@boundary + 5
+        fb.store("r2", 0, base=100)
+        fb.store("r1", 1, base=100)
+        fb.br("next")
+        fb.block("next")
+        fb.add("r3", "r1", "r2")
+        fb.store("r3", 2, base=100)
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        insert_checkpoints(func)
+        plans = prune_checkpoints(func)
+        for plan in plans.values():
+            recipe = plan.recipes.get("r2")
+            if recipe is not None and recipe[0] == "expr":
+                # must not claim r2 = r1 + 5 with the *new* r1
+                assert ("ckpt", "r1") not in recipe[2]
+
+    def test_recipe_operands_stay_checkpointed(self):
+        func = prepared(saxpy_program(n=8))
+        insert_checkpoints(func)
+        plans = prune_checkpoints(func)
+        for plan in plans.values():
+            kept = set(plan.checkpointed())
+            for reg, recipe in plan.recipes.items():
+                if recipe[0] == "expr":
+                    for operand in recipe[2]:
+                        if operand[0] == "ckpt":
+                            assert operand[1] in kept
+
+    def test_collect_plans_without_pruning(self):
+        func = prepared(saxpy_program(n=8))
+        insert_checkpoints(func)
+        plans = collect_recovery_plans(func)
+        assert plans
+        for plan in plans.values():
+            for recipe in plan.recipes.values():
+                assert recipe == ("ckpt",)

@@ -1,0 +1,119 @@
+"""Golden tests: the exact instrumented form of a reference kernel.
+
+These pin the *placement* decisions of the pass pipeline (where
+boundaries land, which registers get checkpointed, what pruning removes)
+so that refactors cannot silently change them.  The golden text is
+embedded rather than stored in a file so a failure diff is self-contained.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.compiler import FunctionBuilder, Program, compile_program
+from repro.compiler.textir import parse_program, print_program
+from repro.config import CompilerConfig
+
+
+def reference_kernel() -> Program:
+    prog = Program("golden")
+    a = prog.array("a", 16)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r2", 5)
+    fb.br("loop")
+    fb.block("loop")
+    fb.add("r3", "r1", "r2")
+    fb.store("r3", "r1", base=a)
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", 12)
+    fb.cbr("r4", "loop", "exit")
+    fb.block("exit")
+    fb.store("r2", 15, base=a)
+    fb.ret()
+    fb.build()
+    return prog
+
+
+EXPECTED = textwrap.dedent("""\
+    program golden
+    array a 16 @2112
+
+    func main()
+    entry:
+        boundary entry
+        br entry.r.0
+    loop:
+        checkpoint r1
+        checkpoint r2
+        boundary loop
+        br loop.r.1
+    exit:
+        store r2, [15 + a]
+        boundary exit
+        ret
+    entry.r.0:
+        const r1, 0
+        const r2, 5
+        br loop
+    loop.r.1:
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        add r3, r1, r2
+        store r3, [r1 + a]
+        add r1, r1, 1
+        lt r4, r1, 12
+        cbr r4, loop, exit
+    """)
+
+
+class TestGoldenPipeline:
+    def test_compiled_form_is_stable(self):
+        compiled = compile_program(
+            reference_kernel(), CompilerConfig(store_threshold=8)
+        )
+        assert print_program(compiled.program) == EXPECTED
+
+    def test_golden_text_parses_and_matches(self):
+        """The golden output itself is valid IR with identical semantics."""
+        from repro.compiler import run_single
+        from helpers import data_words
+
+        compiled = compile_program(
+            reference_kernel(), CompilerConfig(store_threshold=8)
+        )
+        reparsed = parse_program(EXPECTED)
+        assert data_words(run_single(compiled.program)[1]) == data_words(
+            run_single(reparsed)[1]
+        )
+
+    def test_static_stats_are_stable(self):
+        compiled = compile_program(
+            reference_kernel(), CompilerConfig(store_threshold=8)
+        )
+        stats = compiled.stats
+        assert stats.boundaries == 3
+        assert stats.checkpoint_stores == 2
+        assert stats.data_stores == 7      # 6 unrolled + 1 tail
+        assert stats.unroll.static_unrolled == 1
+        assert stats.unroll.total_factor == 6
+        assert stats.converged

@@ -1,0 +1,165 @@
+"""Edge-case tests for the interpreter: deep calls, register defaults,
+checkpoint addressing, and stepping discipline."""
+
+import pytest
+
+from repro.compiler import FunctionBuilder, Instr, Op, Program
+from repro.compiler.interp import ThreadVM, WordMemory, run_single
+
+
+class TestCallStack:
+    def test_recursive_calls(self):
+        """fact(5) via recursion exercises frame save/restore."""
+        prog = Program()
+        out = prog.array("out", 1)
+        f = FunctionBuilder(prog, "fact", params=("r1",))
+        f.block("entry")
+        f.le("r2", "r1", 1)
+        f.cbr("r2", "base", "rec")
+        f.block("base")
+        f.ret(1)
+        f.block("rec")
+        f.sub("r3", "r1", 1)
+        f.call("fact", args=("r3",), ret="r4")
+        f.mul("r5", "r1", "r4")
+        f.ret("r5")
+        f.build()
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.call("fact", args=(5,), ret="r6")
+        m.store("r6", 0, base=out)
+        m.ret()
+        m.build()
+        _, mem = run_single(prog)
+        assert mem.read(out) == 120
+
+    def test_callee_register_isolation(self):
+        """Callee clobbering a register must not leak into the caller."""
+        prog = Program()
+        out = prog.array("out", 2)
+        h = FunctionBuilder(prog, "clobber")
+        h.block("entry")
+        h.const("r1", 999)
+        h.ret()
+        h.build()
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.const("r1", 7)
+        m.call("clobber")
+        m.store("r1", 0, base=out)
+        m.ret()
+        m.build()
+        _, mem = run_single(prog)
+        assert mem.read(out) == 7
+
+    def test_extra_call_args_ignored(self):
+        prog = Program()
+        out = prog.array("out", 1)
+        h = FunctionBuilder(prog, "one", params=("r1",))
+        h.block("entry")
+        h.ret("r1")
+        h.build()
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.call("one", args=(5, 6, 7), ret="r2")
+        m.store("r2", 0, base=out)
+        m.ret()
+        m.build()
+        _, mem = run_single(prog)
+        assert mem.read(out) == 5
+
+
+class TestDefaults:
+    def test_unset_register_reads_zero(self):
+        prog = Program()
+        out = prog.array("out", 1)
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.add("r1", "r30", 3)  # r30 never set
+        m.store("r1", 0, base=out)
+        m.ret()
+        m.build()
+        _, mem = run_single(prog)
+        assert mem.read(out) == 3
+
+    def test_unwritten_memory_reads_zero(self):
+        prog = Program()
+        data = prog.array("data", 4)
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.load("r1", 3, base=data)
+        m.add("r1", "r1", 1)
+        m.store("r1", 0, base=data)
+        m.ret()
+        m.build()
+        _, mem = run_single(prog)
+        assert mem.read(data) == 1
+
+
+class TestStepping:
+    def test_step_after_halt_returns_none(self):
+        prog = Program()
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.ret()
+        m.build()
+        vm = ThreadVM(prog, "main")
+        assert vm.step().kind == "halt"
+        assert vm.step() is None
+        assert vm.step() is None
+
+    def test_position_tracks_execution(self):
+        prog = Program()
+        m = FunctionBuilder(prog, "main")
+        m.block("entry")
+        m.const("r1", 1)
+        m.br("second")
+        m.block("second")
+        m.ret()
+        m.build()
+        vm = ThreadVM(prog, "main")
+        assert vm.position() == ("main", "entry", 0)
+        vm.step()
+        vm.step()
+        assert vm.position() == ("main", "second", 0)
+
+    def test_checkpoint_writes_context_slot(self):
+        prog = Program()
+        prog.array("pad", 1)
+        func = prog.functions.setdefault(
+            "main", __import__("repro.compiler.ir", fromlist=["Function"]).Function("main")
+        )
+        block = func.add_block("entry")
+        block.append(Instr(Op.CONST, dst="r5", imm=77))
+        block.append(Instr(Op.CHECKPOINT, srcs=("r5",)))
+        block.append(Instr(Op.RET))
+        vm = ThreadVM(prog, "main", tid=3)
+        while not vm.halted:
+            vm.step()
+        slot = Program.checkpoint_slot(3, "r5")
+        assert vm.memory.read(slot) == 77
+
+    def test_boundary_writes_pc_slot(self):
+        prog = Program()
+        prog.array("pad", 1)
+        from repro.compiler.ir import Function
+
+        func = Function("main")
+        prog.functions["main"] = func
+        block = func.add_block("entry")
+        bdry = Instr(Op.BOUNDARY)
+        block.append(bdry)
+        block.append(Instr(Op.RET))
+        vm = ThreadVM(prog, "main", tid=2)
+        while not vm.halted:
+            vm.step()
+        assert vm.memory.read(Program.pc_slot(2)) == bdry.uid
+
+
+class TestWordMemory:
+    def test_snapshot_is_a_copy(self):
+        mem = WordMemory()
+        mem.write(1, 2)
+        snap = mem.snapshot()
+        mem.write(1, 3)
+        assert snap[1] == 2

@@ -1,0 +1,149 @@
+"""Unit tests for the IR core: instructions, blocks, functions, programs."""
+
+import pytest
+
+from repro.compiler import Function, Instr, Op, Program
+from repro.compiler.ir import is_boundary_forcing, is_store_like
+
+
+class TestInstr:
+    def test_uses_collects_register_sources_and_address(self):
+        instr = Instr(Op.STORE, srcs=("r1",), addr="r2", offset=4)
+        assert set(instr.uses()) == {"r1", "r2"}
+
+    def test_uses_ignores_immediates(self):
+        instr = Instr(Op.ADD, dst="r1", srcs=("r2", 7))
+        assert instr.uses() == ("r2",)
+
+    def test_defs(self):
+        assert Instr(Op.ADD, dst="r1", srcs=("r2", "r3")).defs() == ("r1",)
+        assert Instr(Op.STORE, srcs=("r1",), addr="r2").defs() == ()
+
+    def test_copy_gets_fresh_uid(self):
+        instr = Instr(Op.NOP)
+        clone = instr.copy()
+        assert clone.uid != instr.uid
+        assert clone.op == Op.NOP
+
+    def test_terminator_classification(self):
+        assert Instr(Op.BR, targets=("x",)).is_terminator()
+        assert Instr(Op.RET).is_terminator()
+        assert not Instr(Op.CALL, callee="f").is_terminator()
+
+    def test_store_like_classification(self):
+        for op in (Op.STORE, Op.CHECKPOINT, Op.BOUNDARY, Op.ATOMIC_RMW):
+            assert is_store_like(op)
+        for op in (Op.LOAD, Op.ADD, Op.FENCE, Op.CALL):
+            assert not is_store_like(op)
+
+    def test_boundary_forcing_classification(self):
+        for op in (Op.FENCE, Op.ATOMIC_RMW, Op.LOCK, Op.UNLOCK):
+            assert is_boundary_forcing(op)
+        assert not is_boundary_forcing(Op.STORE)
+
+    def test_str_is_printable(self):
+        text = str(Instr(Op.STORE, srcs=("r1",), addr="r2", offset=8))
+        assert "store" in text and "r1" in text
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        func = Function("f")
+        func.add_block("start")
+        func.add_block("other")
+        assert func.entry == "start"
+
+    def test_duplicate_label_rejected(self):
+        func = Function("f")
+        func.add_block("a")
+        with pytest.raises(ValueError):
+            func.add_block("a")
+
+    def test_fresh_label_avoids_collisions(self):
+        func = Function("f")
+        func.add_block("bb.0")
+        label = func.fresh_label("bb")
+        assert label not in func.blocks
+
+    def test_validate_requires_terminator(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        block.append(Instr(Op.NOP))
+        with pytest.raises(ValueError, match="terminator"):
+            func.validate()
+
+    def test_validate_rejects_mid_block_terminator(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        block.append(Instr(Op.RET))
+        block.append(Instr(Op.NOP))
+        block.append(Instr(Op.RET))
+        with pytest.raises(ValueError, match="mid-block"):
+            func.validate()
+
+    def test_validate_rejects_unknown_target(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        block.append(Instr(Op.BR, targets=("nowhere",)))
+        with pytest.raises(ValueError, match="unknown block"):
+            func.validate()
+
+    def test_store_count(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        block.append(Instr(Op.STORE, srcs=(1,), addr=0))
+        block.append(Instr(Op.CHECKPOINT, srcs=("r1",)))
+        block.append(Instr(Op.LOAD, dst="r1", addr=0))
+        block.append(Instr(Op.RET))
+        assert func.store_count() == 2
+
+
+class TestProgram:
+    def test_array_allocation_is_disjoint(self):
+        prog = Program()
+        a = prog.array("a", 10)
+        b = prog.array("b", 5)
+        assert b >= a + 10
+
+    def test_arrays_start_after_checkpoint_region(self):
+        prog = Program()
+        base = prog.array("a", 1)
+        assert base >= Program.CHECKPOINT_WORDS_PER_CORE * Program.MAX_CONTEXTS
+
+    def test_duplicate_array_rejected(self):
+        prog = Program()
+        prog.array("a", 1)
+        with pytest.raises(ValueError):
+            prog.array("a", 2)
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(ValueError):
+            Program().array("a", 0)
+
+    def test_checkpoint_slots_disjoint_across_contexts(self):
+        s0 = Program.checkpoint_slot(0, "r5")
+        s1 = Program.checkpoint_slot(1, "r5")
+        assert s0 != s1
+        assert Program.pc_slot(0) != Program.pc_slot(1)
+
+    def test_checkpoint_slot_rejects_odd_names(self):
+        with pytest.raises(ValueError):
+            Program.checkpoint_slot(0, "x7")
+
+    def test_checkpoint_slot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Program.checkpoint_slot(0, "r99")
+
+    def test_pc_slot_distinct_from_register_slots(self):
+        regs = {Program.checkpoint_slot(0, "r%d" % i) for i in range(32)}
+        assert Program.pc_slot(0) not in regs
+
+    def test_validate_rejects_unknown_callee(self):
+        prog = Program()
+        func = Function("main")
+        block = func.add_block("entry")
+        block.append(Instr(Op.CALL, callee="ghost"))
+        block.append(Instr(Op.RET))
+        prog.add_function(func)
+        with pytest.raises(ValueError, match="unknown function"):
+            prog.validate()

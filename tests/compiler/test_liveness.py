@@ -1,0 +1,108 @@
+"""Tests for the liveness analysis."""
+
+from repro.compiler import FunctionBuilder, Liveness
+from repro.compiler.liveness import block_use_def
+
+
+def build(fn):
+    fb = FunctionBuilder(None, "f")
+    fn(fb)
+    return fb.build()
+
+
+class TestBlockUseDef:
+    def test_use_before_def_counts_as_use(self):
+        func = build(lambda fb: (fb.block("entry"), fb.add("r1", "r2", 1), fb.ret()))
+        use, defs = block_use_def(func.blocks["entry"])
+        assert use == {"r2"}
+        assert defs == {"r1"}
+
+    def test_def_shadows_later_use(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.add("r2", "r1", 1)
+            fb.ret()
+
+        use, defs = block_use_def(build(body).blocks["entry"])
+        assert "r1" not in use
+        assert defs == {"r1", "r2"}
+
+    def test_address_register_is_used(self):
+        def body(fb):
+            fb.block("entry")
+            fb.store(5, "r3", base=0)
+            fb.ret()
+
+        use, _ = block_use_def(build(body).blocks["entry"])
+        assert use == {"r3"}
+
+
+class TestLiveness:
+    def test_straightline_live_out_empty_at_exit(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.ret()
+
+        live = Liveness(build(body))
+        assert live.live_out["entry"] == set()
+
+    def test_branch_propagates_uses(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.const("r2", 2)
+            fb.cbr("r1", "a", "b")
+            fb.block("a")
+            fb.store("r2", 0, base=0)
+            fb.ret()
+            fb.block("b")
+            fb.ret()
+
+        live = Liveness(build(body))
+        assert "r2" in live.live_out["entry"]
+        assert "r2" in live.live_in["a"]
+        assert "r2" not in live.live_in["b"]
+
+    def test_loop_carried_register_live_around_backedge(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 0)
+            fb.br("head")
+            fb.block("head")
+            fb.add("r1", "r1", 1)
+            fb.lt("r2", "r1", 10)
+            fb.cbr("r2", "head", "exit")
+            fb.block("exit")
+            fb.ret()
+
+        live = Liveness(build(body))
+        assert "r1" in live.live_in["head"]
+        assert "r1" in live.live_out["head"]
+        assert "r2" not in live.live_out["exit"]
+
+    def test_live_after_mid_block(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)        # 0
+            fb.add("r2", "r1", 1)    # 1
+            fb.store("r2", 0, base=0)  # 2
+            fb.ret()                 # 3
+
+        live = Liveness(build(body))
+        assert "r1" in live.live_after("entry", 0)
+        assert "r1" not in live.live_after("entry", 1)
+        assert "r2" in live.live_after("entry", 1)
+        assert live.live_after("entry", 2) == set()
+
+    def test_last_def_index(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.const("r1", 2)
+            fb.ret()
+
+        live = Liveness(build(body))
+        assert live.last_def_index("entry", "r1") == 1
+        assert live.last_def_index("entry", "r9") == -1

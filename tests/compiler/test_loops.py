@@ -1,0 +1,115 @@
+"""Tests for natural-loop discovery and trip-count analysis."""
+
+from repro.compiler import FunctionBuilder, constant_trip_count, find_loops
+
+
+def counted_loop(init=0, bound=10, step=1, cmp="lt"):
+    fb = FunctionBuilder(None, "f")
+    fb.block("entry")
+    fb.const("r1", init)
+    fb.br("head")
+    fb.block("head")
+    fb.store("r1", "r1", base=100)
+    fb.add("r1", "r1", step)
+    getattr(fb, cmp)("r2", "r1", bound)
+    fb.cbr("r2", "head", "exit")
+    fb.block("exit")
+    fb.ret()
+    return fb.build()
+
+
+class TestFindLoops:
+    def test_self_loop_found(self):
+        func = counted_loop()
+        loops = find_loops(func)
+        assert len(loops) == 1
+        assert loops[0].header == "head"
+        assert loops[0].body == {"head"}
+
+    def test_loop_with_body_blocks(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.br("head")
+        fb.block("head")
+        fb.const("r1", 1)
+        fb.cbr("r1", "body", "exit")
+        fb.block("body")
+        fb.store("r1", 0, base=100)
+        fb.br("head")
+        fb.block("exit")
+        fb.ret()
+        func = fb.build()
+        loops = find_loops(func)
+        assert len(loops) == 1
+        assert loops[0].body == {"head", "body"}
+
+    def test_no_loops_in_dag(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.br("exit")
+        fb.block("exit")
+        fb.ret()
+        assert find_loops(fb.build()) == []
+
+    def test_contains_stores(self):
+        func = counted_loop()
+        loop = find_loops(func)[0]
+        assert loop.contains_stores(func)
+        assert loop.store_count(func) == 1
+
+
+class TestConstantTripCount:
+    def test_simple_lt(self):
+        func = counted_loop(init=0, bound=10, step=1)
+        assert constant_trip_count(func, find_loops(func)[0]) == 10
+
+    def test_le_bound(self):
+        func = counted_loop(init=0, bound=10, step=1, cmp="le")
+        assert constant_trip_count(func, find_loops(func)[0]) == 11
+
+    def test_strided(self):
+        func = counted_loop(init=0, bound=10, step=3)
+        # i = 0,3,6,9 -> 4 iterations
+        assert constant_trip_count(func, find_loops(func)[0]) == 4
+
+    def test_nonzero_init(self):
+        func = counted_loop(init=4, bound=10, step=2)
+        assert constant_trip_count(func, find_loops(func)[0]) == 3
+
+    def test_ne_requires_exact_hit(self):
+        func = counted_loop(init=0, bound=10, step=3, cmp="ne")
+        assert constant_trip_count(func, find_loops(func)[0]) is None
+        func = counted_loop(init=0, bound=9, step=3, cmp="ne")
+        assert constant_trip_count(func, find_loops(func)[0]) == 3
+
+    def test_register_bound_unknown(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.const("r5", 10)
+        fb.br("head")
+        fb.block("head")
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", "r5")
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        func = fb.build()
+        assert constant_trip_count(func, find_loops(func)[0]) is None
+
+    def test_induction_redefined_in_loop_is_unknown(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("head")
+        fb.block("head")
+        fb.mul("r1", "r1", 2)  # extra def breaks the canonical shape
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", 100)
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        func = fb.build()
+        # The extra def of r1 makes any static count fiction; the analysis
+        # must refuse so the unroller keeps all exit checks (speculative).
+        assert constant_trip_count(func, find_loops(func)[0]) is None

@@ -1,0 +1,238 @@
+"""Tests for the scalar optimization passes (constant folding + DCE)."""
+
+import pytest
+
+from helpers import data_words, saxpy_program
+
+from repro.compiler import (
+    FunctionBuilder,
+    Op,
+    Program,
+    compile_program,
+    run_single,
+)
+from repro.compiler.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+)
+from repro.config import CompilerConfig
+
+
+def build(fn):
+    fb = FunctionBuilder(None, "f")
+    fn(fb)
+    return fb.build()
+
+
+class TestConstantFolding:
+    def test_binop_of_consts_folds(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 6)
+            fb.const("r2", 7)
+            fb.mul("r3", "r1", "r2")
+            fb.store("r3", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert fold_constants(func) == 1
+        folded = func.blocks["entry"].instrs[2]
+        assert folded.op == Op.CONST and folded.imm == 42
+
+    def test_chain_propagates(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.add("r2", "r1", 1)
+            fb.add("r3", "r2", 1)
+            fb.store("r3", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert fold_constants(func) == 2
+        assert func.blocks["entry"].instrs[2].imm == 3
+
+    def test_mov_of_const_folds(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 5)
+            fb.mov("r2", "r1")
+            fb.store("r2", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert fold_constants(func) == 1
+
+    def test_unknown_operand_blocks_folding(self):
+        def body(fb):
+            fb.block("entry")
+            fb.load("r1", 0, base=100)
+            fb.add("r2", "r1", 1)  # r1 unknown
+            fb.store("r2", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert fold_constants(func) == 0
+
+    def test_call_clobbers_knowledge(self):
+        prog = Program()
+        prog.array("a", 4)
+        helper = FunctionBuilder(prog, "helper")
+        helper.block("entry")
+        helper.ret()
+        helper.build()
+        fb = FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r1", 5)
+        fb.call("helper")
+        fb.add("r2", "r1", 1)  # r1 may be clobbered by the callee
+        fb.store("r2", 0, base=prog.base_of("a"))
+        fb.ret()
+        fb.build()
+        assert fold_constants(prog.functions["main"]) == 0
+
+    def test_folding_is_block_local(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 3)
+            fb.br("next")
+            fb.block("next")
+            fb.add("r2", "r1", 1)  # r1's value crosses a block: not folded
+            fb.store("r2", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert fold_constants(func) == 0
+
+
+class TestDeadCodeElimination:
+    def test_dead_alu_removed(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 5)
+            fb.add("r9", "r1", 1)  # dead
+            fb.store("r1", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 1
+
+    def test_dead_chain_removed_to_fixpoint(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 5)   # only used by the dead add
+            fb.add("r9", "r1", 1)
+            fb.store(7, 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 2
+
+    def test_stores_never_removed(self):
+        def body(fb):
+            fb.block("entry")
+            fb.store(1, 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 0
+        assert func.blocks["entry"].instrs[0].op == Op.STORE
+
+    def test_sync_never_removed(self):
+        def body(fb):
+            fb.block("entry")
+            fb.fence()
+            fb.lock(0)
+            fb.unlock(0)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 0
+
+    def test_live_across_blocks_kept(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 5)
+            fb.br("next")
+            fb.block("next")
+            fb.store("r1", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 0
+
+    def test_loop_carried_kept(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 0)
+            fb.br("head")
+            fb.block("head")
+            fb.add("r1", "r1", 1)
+            fb.lt("r2", "r1", 5)
+            fb.cbr("r2", "head", "exit")
+            fb.block("exit")
+            fb.store("r1", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        assert eliminate_dead_code(func) == 0
+
+
+class TestEndToEnd:
+    def test_semantics_preserved_with_opts(self):
+        prog = saxpy_program(n=32)
+        reference = data_words(run_single(prog)[1])
+        compiled = compile_program(
+            prog, CompilerConfig(store_threshold=8, scalar_opts=True)
+        )
+        assert data_words(run_single(compiled.program)[1]) == reference
+
+    def test_opts_reduce_or_keep_instruction_count(self):
+        prog = saxpy_program(n=32)
+        plain = compile_program(prog, CompilerConfig(store_threshold=8))
+        opted = compile_program(
+            prog, CompilerConfig(store_threshold=8, scalar_opts=True)
+        )
+        n_plain = sum(
+            len(list(f.instructions())) for f in plain.program.functions.values()
+        )
+        n_opted = sum(
+            len(list(f.instructions())) for f in opted.program.functions.values()
+        )
+        assert n_opted <= n_plain
+
+    def test_crash_consistency_survives_opts(self):
+        from repro.core.failure import crash_sweep
+
+        prog = Program("opts")
+        a = prog.array("a", 16)
+        fb = FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r1", 2)
+        fb.const("r2", 3)
+        fb.mul("r3", "r1", "r2")   # foldable
+        fb.add("r9", "r3", 1)      # dead
+        fb.store("r3", 0, base=a)
+        fb.fence()
+        fb.store("r3", 1, base=a)
+        fb.ret()
+        fb.build()
+        compiled = compile_program(
+            prog, CompilerConfig(store_threshold=8, scalar_opts=True)
+        )
+        assert crash_sweep(compiled, stride=1) == []
+
+    def test_optimize_function_returns_stats(self):
+        def body(fb):
+            fb.block("entry")
+            fb.const("r1", 1)
+            fb.add("r2", "r1", 1)
+            fb.add("r9", "r2", 1)  # dead after folding
+            fb.store("r2", 0, base=100)
+            fb.ret()
+
+        func = build(body)
+        stats = optimize_function(func)
+        assert stats.folded >= 1
+        assert stats.eliminated >= 1

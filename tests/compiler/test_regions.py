@@ -1,0 +1,141 @@
+"""Direct tests for the region-formation pass internals."""
+
+import pytest
+
+from helpers import saxpy_program, straightline_program
+
+from repro.compiler import FunctionBuilder, Op
+from repro.compiler.boundaries import (
+    insert_initial_boundaries,
+    max_region_store_count,
+    normalize_boundaries,
+)
+from repro.compiler.checkpoints import insert_checkpoints
+from repro.compiler.regions import (
+    RegionFormationStats,
+    enforce_threshold_global,
+    form_regions,
+)
+
+
+def boundaries_of(func):
+    return [i for i in func.instructions() if i.op == Op.BOUNDARY]
+
+
+class TestEnforceThresholdGlobal:
+    def test_cross_block_path_is_split(self):
+        """Two blocks, each under the threshold, whose concatenation
+        exceeds it: the per-block pass misses this, the global one must
+        not."""
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        for i in range(3):
+            fb.store("r1", i, base=100)
+        fb.br("next")
+        fb.block("next")
+        for i in range(3):
+            fb.store("r1", i, base=200)
+        fb.ret()
+        func = fb.build()
+        added = enforce_threshold_global(func, threshold=4)
+        assert added >= 1
+        assert max_region_store_count(func, cap=5) <= 4
+
+    def test_never_splits_checkpoint_groups(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 1)
+        fb.const("r2", 2)
+        fb.const("r3", 3)
+        fb.store("r1", 0, base=100)
+        fb.fence()
+        fb.store("r1", 1, base=100)
+        fb.store("r2", 2, base=100)
+        fb.store("r3", 3, base=100)
+        fb.ret()
+        func = fb.build()
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        insert_checkpoints(func)
+        enforce_threshold_global(func, threshold=2)
+        # no boundary may separate a checkpoint from its boundary
+        for block in func.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if instr.op == Op.CHECKPOINT:
+                    rest = block.instrs[i + 1 :]
+                    kinds = [x.op for x in rest]
+                    assert Op.BOUNDARY in kinds
+
+    def test_no_double_boundaries(self):
+        prog = straightline_program(stores=20)
+        func = prog.functions["main"]
+        enforce_threshold_global(func, threshold=3)
+        for block in func.blocks.values():
+            for a, b in zip(block.instrs, block.instrs[1:]):
+                assert not (a.op == Op.BOUNDARY and b.op == Op.BOUNDARY)
+
+
+class TestFormRegions:
+    def test_stats_reported(self):
+        prog = saxpy_program(n=16)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        stats = form_regions(func, threshold=8)
+        assert isinstance(stats, RegionFormationStats)
+        assert stats.iterations >= 1
+        assert stats.final_max_stores <= 8
+        assert stats.converged
+
+    def test_merge_removes_redundant_threshold_boundaries(self):
+        prog = straightline_program(stores=6)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        from repro.compiler.boundaries import enforce_threshold_in_blocks
+
+        enforce_threshold_in_blocks(func, threshold=2)  # over-fragment
+        normalize_boundaries(func)
+        before = len(boundaries_of(func))
+        stats = form_regions(func, threshold=16, merge=True)  # roomy now
+        after = len(boundaries_of(func))
+        assert stats.merged_boundaries > 0
+        assert after < before
+
+    def test_merge_disabled_keeps_boundaries(self):
+        prog = straightline_program(stores=6)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        from repro.compiler.boundaries import enforce_threshold_in_blocks
+
+        enforce_threshold_in_blocks(func, threshold=2)
+        normalize_boundaries(func)
+        before = len(boundaries_of(func))
+        stats = form_regions(func, threshold=16, merge=False)
+        assert stats.merged_boundaries == 0
+        assert len(boundaries_of(func)) == before
+
+    def test_merge_never_removes_required_boundaries(self):
+        prog = saxpy_program(n=16)
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        required_before = sum(
+            1 for b in boundaries_of(func) if b.note in ("entry", "exit", "loop")
+        )
+        form_regions(func, threshold=64, merge=True)
+        required_after = sum(
+            1 for b in boundaries_of(func) if b.note in ("entry", "exit", "loop")
+        )
+        assert required_after == required_before
+
+    def test_semantics_preserved_through_formation(self):
+        from helpers import data_words
+        from repro.compiler import run_single
+
+        prog = saxpy_program(n=16)
+        reference = data_words(run_single(prog)[1])
+        func = prog.functions["main"]
+        insert_initial_boundaries(func)
+        normalize_boundaries(func)
+        form_regions(func, threshold=4)
+        assert data_words(run_single(prog)[1]) == reference

@@ -1,0 +1,157 @@
+"""Tests for static and speculative loop unrolling."""
+
+from helpers import data_words, saxpy_program
+
+from repro.compiler import FunctionBuilder, Op, Program, run_single
+from repro.compiler.unroll import unroll_loops
+
+
+def counted_store_loop(n, step=1):
+    prog = Program("loop%d" % n)
+    a = prog.array("a", n + 4)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.br("head")
+    fb.block("head")
+    fb.mul("r2", "r1", 3)
+    fb.store("r2", "r1", base=a)
+    fb.add("r1", "r1", step)
+    fb.lt("r3", "r1", n)
+    fb.cbr("r3", "head", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+def unknown_trip_loop(n):
+    """Bound held in a register: trip count not statically known."""
+    prog = Program("dyn%d" % n)
+    a = prog.array("a", n + 4)
+    fb = FunctionBuilder(prog, "main", params=("r9",))
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.br("head")
+    fb.block("head")
+    fb.mul("r2", "r1", 3)
+    fb.store("r2", "r1", base=a)
+    fb.add("r1", "r1", 1)
+    fb.lt("r3", "r1", "r9")
+    fb.cbr("r3", "head", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+class TestStaticUnroll:
+    def test_divisible_trip_count_unrolled(self):
+        prog = counted_store_loop(16)
+        stats = unroll_loops(prog.functions["main"], threshold=32, limit=4)
+        assert stats.static_unrolled == 1
+        assert stats.total_factor == 4
+
+    def test_semantics_preserved(self):
+        prog = counted_store_loop(16)
+        reference = data_words(run_single(prog)[1])
+        unroll_loops(prog.functions["main"], threshold=32, limit=4)
+        prog.validate()
+        assert data_words(run_single(prog)[1]) == reference
+
+    def test_non_divisible_falls_back_to_speculative(self):
+        prog = counted_store_loop(17)
+        stats = unroll_loops(prog.functions["main"], threshold=32, limit=4)
+        assert stats.static_unrolled == 0
+        assert stats.speculative_unrolled == 1
+
+    def test_factor_respects_threshold(self):
+        prog = counted_store_loop(16)
+        stats = unroll_loops(prog.functions["main"], threshold=2, limit=8)
+        # 1 store/iter, threshold 2 -> factor at most 2
+        assert stats.total_factor <= 2
+
+
+class TestSpeculativeUnroll:
+    def test_unknown_trip_count_speculatively_unrolled(self):
+        prog = unknown_trip_loop(16)
+        stats = unroll_loops(
+            prog.functions["main"], threshold=32, limit=4, speculative=True
+        )
+        assert stats.speculative_unrolled == 1
+        prog.validate()
+
+    def test_semantics_preserved_for_any_trip_count(self):
+        for n in (1, 3, 4, 7, 16):
+            prog = unknown_trip_loop(16)
+            reference = data_words(run_single(prog, args=(n,))[1])
+            unroll_loops(prog.functions["main"], threshold=32, limit=4)
+            prog.validate()
+            assert data_words(run_single(prog, args=(n,))[1]) == reference, n
+
+    def test_disabled_speculative_leaves_loop_alone(self):
+        prog = unknown_trip_loop(16)
+        before = len(list(prog.functions["main"].instructions()))
+        stats = unroll_loops(
+            prog.functions["main"], threshold=32, limit=4, speculative=False
+        )
+        assert stats.speculative_unrolled == 0
+        assert len(list(prog.functions["main"].instructions())) == before
+
+
+class TestUnrollEdgeCases:
+    def test_storeless_loop_untouched(self):
+        fb = FunctionBuilder(None, "f")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("head")
+        fb.block("head")
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", 8)
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        func = fb.build()
+        stats = unroll_loops(func, threshold=32)
+        assert stats.static_unrolled == stats.speculative_unrolled == 0
+
+    def test_multi_block_loop_untouched(self):
+        prog = saxpy_program(n=8)
+        func = prog.functions["main"]
+        # saxpy's loops are single-block; build a two-block loop instead
+        fb = FunctionBuilder(None, "g")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("head")
+        fb.block("head")
+        fb.store("r1", "r1", base=100)
+        fb.br("latch")
+        fb.block("latch")
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", 8)
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        g = fb.build()
+        stats = unroll_loops(g, threshold=32)
+        assert stats.static_unrolled == stats.speculative_unrolled == 0
+
+    def test_heavy_store_loop_not_unrolled(self):
+        prog = Program("fat")
+        a = prog.array("a", 64)
+        fb = FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r1", 0)
+        fb.br("head")
+        fb.block("head")
+        for i in range(20):
+            fb.store("r1", i, base=a)
+        fb.add("r1", "r1", 1)
+        fb.lt("r2", "r1", 4)
+        fb.cbr("r2", "head", "exit")
+        fb.block("exit")
+        fb.ret()
+        fb.build()
+        stats = unroll_loops(prog.functions["main"], threshold=32, limit=4)
+        # 20 stores/iter, threshold 32 -> factor 1: skip
+        assert stats.total_factor == 0

@@ -1,0 +1,6 @@
+"""Make tests/helpers.py importable from every test subpackage."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

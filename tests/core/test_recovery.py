@@ -1,0 +1,57 @@
+"""Tests for recipe evaluation and register rebuilding."""
+
+import pytest
+
+from repro.compiler.checkpoints import RecoveryPlan
+from repro.compiler.ir import Op
+from repro.core.recovery import evaluate_recipe, rebuild_registers
+
+
+def reader(slots):
+    return lambda reg: slots.get(reg, 0)
+
+
+class TestEvaluateRecipe:
+    def test_ckpt_reads_slot(self):
+        assert evaluate_recipe(("ckpt",), "r1", reader({"r1": 42})) == 42
+
+    def test_const(self):
+        assert evaluate_recipe(("const", -7), "r1", reader({})) == -7
+
+    def test_const_wraps(self):
+        assert evaluate_recipe(("const", 2**63), "r1", reader({})) == -(2**63)
+
+    def test_expr_with_ckpt_operand(self):
+        recipe = ("expr", Op.ADD, (("ckpt", "r2"), ("imm", 5)))
+        assert evaluate_recipe(recipe, "r1", reader({"r2": 10})) == 15
+
+    def test_expr_two_ckpt_operands(self):
+        recipe = ("expr", Op.MUL, (("ckpt", "r2"), ("ckpt", "r3")))
+        assert evaluate_recipe(recipe, "r1", reader({"r2": 6, "r3": 7})) == 42
+
+    def test_expr_mov_encoding(self):
+        recipe = ("expr", Op.ADD, (("ckpt", "r2"), ("imm", 0)))
+        assert evaluate_recipe(recipe, "r1", reader({"r2": 9})) == 9
+
+    def test_unknown_recipe_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_recipe(("wat",), "r1", reader({}))
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_recipe(("expr", Op.ADD, (("reg", "r2"), ("imm", 0))), "r1", reader({}))
+
+
+class TestRebuildRegisters:
+    def test_mixed_plan(self):
+        plan = RecoveryPlan(boundary_uid=1)
+        plan.recipes = {
+            "r1": ("ckpt",),
+            "r2": ("const", 3),
+            "r3": ("expr", Op.ADD, (("ckpt", "r1"), ("imm", 1))),
+        }
+        regs = rebuild_registers(plan, reader({"r1": 10}))
+        assert regs == {"r1": 10, "r2": 3, "r3": 11}
+
+    def test_empty_plan(self):
+        assert rebuild_registers(RecoveryPlan(boundary_uid=1), reader({})) == {}

@@ -1,0 +1,141 @@
+"""Tests for the cache models."""
+
+import pytest
+
+from repro.config import CacheConfig, SystemConfig
+from repro.sim.cache import Cache, CacheHierarchy
+
+
+def small_cache(sets=4, ways=2, block=64, latency=3):
+    return Cache(CacheConfig(sets * ways * block, ways, block, latency))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x100, write=False).hit
+        assert cache.access(0x100, write=False).hit
+
+    def test_same_block_hits(self):
+        cache = small_cache()
+        cache.access(0x100, write=False)
+        assert cache.access(0x13F, write=False).hit  # same 64B block
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.access(0 * 64, write=False)
+        cache.access(1 * 64, write=False)
+        cache.access(0 * 64, write=False)  # touch block 0: block 1 is LRU
+        result = cache.access(2 * 64, write=False)
+        assert result.evicted is not None
+        assert result.evicted[0] == 1
+
+    def test_dirty_bit_tracked(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, write=True)
+        result = cache.access(64 * 1, write=False)  # different set? no: 1 set
+        assert result.evicted == (0, True)
+
+    def test_clean_eviction_not_dirty(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, write=False)
+        result = cache.access(64, write=False)
+        assert result.evicted == (0, False)
+
+    def test_write_marks_existing_line_dirty(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, write=False)
+        cache.access(0, write=True)
+        result = cache.access(64, write=False)
+        assert result.evicted == (0, True)
+
+    def test_victim_selector_overrides_lru(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.access(0 * 64, write=True)
+        cache.access(1 * 64, write=True)
+        result = cache.access(2 * 64, write=False, victim_selector=lambda c: 1)
+        assert result.evicted[0] == 1
+
+    def test_victim_selector_none_delays_but_evicts_lru(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, write=True)
+        result = cache.access(64, write=False, victim_selector=lambda c: None)
+        assert result.eviction_delayed
+        assert result.evicted[0] == 0
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x100, write=True)
+        assert cache.contains(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.contains(0x100)
+        assert not cache.invalidate(0x100)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0, write=False)
+        cache.access(0, write=False)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64, 1)
+
+
+class TestCacheHierarchy:
+    def make(self, dram_cache=True):
+        config = SystemConfig()
+        if not dram_cache:
+            config = config.without_dram_cache()
+        return CacheHierarchy(config, cores=2)
+
+    def test_l1_hit_latency(self):
+        h = self.make()
+        h.load(0, 0x1000)
+        out = h.load(0, 0x1000)
+        assert out.l1_hit
+        assert out.latency == h.l1[0].config.latency_cycles
+
+    def test_llc_miss_reaches_pm(self):
+        h = self.make()
+        out = h.load(0, 0x123456)
+        assert out.llc_miss
+        assert out.latency > h.config.pm_read_cycles
+
+    def test_second_access_after_fill_hits_l1(self):
+        h = self.make()
+        h.load(0, 0x2000)
+        assert h.load(0, 0x2000).l1_hit
+
+    def test_cores_have_private_l1(self):
+        h = self.make()
+        h.load(0, 0x3000)
+        out = h.load(1, 0x3000)
+        assert not out.l1_hit
+        assert out.latency == h.l2.config.latency_cycles  # filled into L2
+
+    def test_no_dram_cache_pays_pm_on_l2_miss(self):
+        h = self.make(dram_cache=False)
+        out = h.load(0, 0x900000)
+        assert out.llc_miss
+        assert out.latency == pytest.approx(
+            h.l2.config.latency_cycles + h.config.pm_read_cycles
+        )
+
+    def test_dirty_l1_eviction_reported(self):
+        h = self.make()
+        l1 = h.l1[0]
+        sets = l1.n_sets
+        block = l1.block
+        # fill one set with dirty lines, then overflow it
+        for w in range(l1.ways):
+            h.store(0, w * sets * block)
+        out = h.store(0, l1.ways * sets * block)
+        assert out.l1_eviction is not None
+
+    def test_l1_miss_rate_aggregates(self):
+        h = self.make()
+        h.load(0, 0)
+        h.load(0, 0)
+        h.load(1, 64)
+        assert 0.0 < h.l1_miss_rate() < 1.0

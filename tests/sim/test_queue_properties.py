@@ -1,0 +1,70 @@
+"""Property-based tests for the queueing primitives — the engine's
+correctness rests on these invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queues import SerialServer, SlotPool
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    interval=st.floats(0.5, 10.0),
+    arrivals=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+)
+def test_serial_server_completions_monotone_and_spaced(interval, arrivals):
+    server = SerialServer(interval)
+    completions = [server.service(t) for t in arrivals]
+    for t, done in zip(arrivals, completions):
+        assert done >= t + interval - 1e-9
+    for a, b in zip(completions, completions[1:]):
+        assert b >= a + interval - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("acquire"), st.floats(0.0, 50.0)),
+            st.tuples(st.just("release"), st.floats(0.0, 100.0)),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_slot_pool_never_grants_before_request(capacity, ops):
+    pool = SlotPool(capacity)
+    outstanding = 0
+    for op, t in ops:
+        if op == "acquire":
+            grant = pool.acquire(t)
+            if grant is None:
+                # blocked: pool full with no published releases
+                assert outstanding >= capacity
+                assert pool.known_releases == 0
+            else:
+                assert grant >= t - 1e-9
+                outstanding += 1
+        else:
+            if outstanding > 0:
+                pool.release(t)
+                outstanding -= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 6),
+    n=st.integers(1, 20),
+    releases=st.lists(st.floats(0.0, 100.0), min_size=20, max_size=20),
+)
+def test_slot_pool_hands_out_earliest_release_first(capacity, n, releases):
+    pool = SlotPool(capacity)
+    for _ in range(capacity):
+        assert pool.acquire(0.0) == 0.0
+    pool.release_many(releases[:n])
+    grants = []
+    for _ in range(n):
+        grants.append(pool.acquire(0.0))
+    assert grants == sorted(grants)
+    assert grants == sorted(releases[:n])

@@ -1,0 +1,66 @@
+"""Tests for the text reporting and FigureResult aggregation."""
+
+import pytest
+
+from repro.analysis.experiments import FigureResult
+from repro.analysis.report import format_figure, format_mapping
+
+
+def sample_figure():
+    fig = FigureResult(
+        figure="Fig. X", series=("A", "B"), notes="a note"
+    )
+    fig.rows = [
+        {"benchmark": "one", "suite": "S1", "A": 1.0, "B": 2.0},
+        {"benchmark": "two", "suite": "S1", "A": 4.0, "B": 8.0},
+        {"benchmark": "three", "suite": "S2", "A": 9.0, "B": 3.0},
+    ]
+    fig.aggregate()
+    return fig
+
+
+class TestAggregate:
+    def test_per_suite_geomeans(self):
+        fig = sample_figure()
+        assert fig.per_suite["S1"]["A"] == pytest.approx(2.0)
+        assert fig.per_suite["S2"]["B"] == pytest.approx(3.0)
+
+    def test_overall_geomeans(self):
+        fig = sample_figure()
+        assert fig.overall["A"] == pytest.approx((1 * 4 * 9) ** (1 / 3))
+
+    def test_custom_aggregator(self):
+        fig = sample_figure()
+        fig.aggregate(agg=lambda vals: sum(vals) / len(vals))
+        assert fig.per_suite["S1"]["A"] == pytest.approx(2.5)
+
+    def test_missing_series_values_skipped(self):
+        fig = FigureResult(figure="F", series=("A", "ov"))
+        fig.rows = [
+            {"benchmark": "x", "suite": "S", "A": 2.0, "ov": 1.0},
+            {"benchmark": "y", "suite": "S", "A": 8.0},
+        ]
+        fig.aggregate()
+        assert fig.overall["A"] == pytest.approx(4.0)
+        assert fig.overall["ov"] == pytest.approx(1.0)
+
+
+class TestFormat:
+    def test_contains_all_rows_and_aggregates(self):
+        text = format_figure(sample_figure())
+        for token in ("one", "two", "three", "geomean(S1)", "geomean(all)"):
+            assert token in text
+
+    def test_per_benchmark_false_hides_rows(self):
+        text = format_figure(sample_figure(), per_benchmark=False)
+        assert "one" not in text
+        assert "geomean(S1)" in text
+
+    def test_notes_printed(self):
+        assert "a note" in format_figure(sample_figure())
+
+    def test_mapping_alignment(self):
+        text = format_mapping("T", {"short": 1, "a_longer_key": 2})
+        lines = text.splitlines()
+        # values align in one column
+        assert lines[2].index("1") == lines[3].index("2")

@@ -1,0 +1,52 @@
+"""Tests for the buffer-snooping victim selector."""
+
+import pytest
+
+from repro.config import VictimPolicy
+from repro.sim.snoop import make_victim_selector
+
+
+class TestVictimSelector:
+    def test_stale_load_disables_snooping(self):
+        assert make_victim_selector(VictimPolicy.STALE_LOAD, {}) is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_victim_selector("bogus", {})
+
+    def test_no_conflict_picks_lru(self):
+        sel = make_victim_selector(VictimPolicy.FULL, {99: 1})
+        assert sel([1, 2, 3]) == 0
+
+    def test_full_scans_whole_set(self):
+        inflight = {1: 1, 2: 1, 3: 1}
+        sel = make_victim_selector(VictimPolicy.FULL, inflight)
+        assert sel([1, 2, 3, 4]) == 3
+
+    def test_half_scans_half(self):
+        inflight = {1: 1, 2: 1}
+        sel = make_victim_selector(VictimPolicy.HALF, inflight)
+        # 4 candidates -> scan 2; both conflict -> delay
+        assert sel([1, 2, 7, 8]) is None
+
+    def test_zero_always_delays_on_conflict(self):
+        sel = make_victim_selector(VictimPolicy.ZERO, {5: 1})
+        assert sel([5, 6, 7]) is None
+
+    def test_zero_no_conflict_is_normal(self):
+        sel = make_victim_selector(VictimPolicy.ZERO, {9: 1})
+        assert sel([5, 6, 7]) == 0
+
+    def test_all_conflicting_delays(self):
+        inflight = {1: 1, 2: 1}
+        sel = make_victim_selector(VictimPolicy.FULL, inflight)
+        assert sel([1, 2]) is None
+
+    def test_conflict_callback_fires_once_per_conflict(self):
+        hits = []
+        sel = make_victim_selector(
+            VictimPolicy.FULL, {1: 1}, on_conflict=lambda: hits.append(1)
+        )
+        sel([1, 2])
+        sel([3, 4])
+        assert len(hits) == 1

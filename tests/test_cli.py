@@ -1,0 +1,56 @@
+"""Tests for the `python -m repro` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "LightWSP" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "WHISPER" in out
+        assert "fig7" in out
+
+    def test_run_benchmark(self, capsys):
+        assert main(["run", "namd", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_run_unknown_benchmark(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_run_unknown_scheme(self, capsys):
+        assert main(["run", "namd", "--scheme", "nope"]) == 2
+
+    def test_figure(self, capsys):
+        assert main(
+            ["figure", "fig9", "--scale", "0.02", "--benchmarks", "lbm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PSP-Ideal" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_compile_lir(self, capsys):
+        assert main(["compile", "examples/counter.lir", "--threshold", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "boundary" in out
+        assert "boundaries=" in out
+
+    def test_crash_sweep(self, capsys):
+        assert main(
+            ["crash-sweep", "hmmer", "--scale", "0.005", "--stride", "37"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crash-consistent" in out
+
+    def test_crash_sweep_unknown(self, capsys):
+        assert main(["crash-sweep", "nope"]) == 2

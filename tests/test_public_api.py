@@ -1,0 +1,30 @@
+"""The documented top-level API surface must stay importable."""
+
+import repro
+
+
+class TestRootExports:
+    def test_config_types(self):
+        assert repro.SystemConfig().cores == 8
+        assert "CXL-PMem" in repro.CXL_PRESETS
+
+    def test_compile_and_run_via_root(self):
+        prog = repro.Program("api")
+        data = prog.array("data", 8)
+        fb = repro.FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r1", 3)
+        fb.store("r1", 0, base=data)
+        fb.ret()
+        fb.build()
+        compiled = repro.compile_program(prog)
+        machine = repro.PersistentMachine(compiled)
+        assert machine.run()
+        assert machine.pm_data() == repro.reference_pm(compiled)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__

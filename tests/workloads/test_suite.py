@@ -1,0 +1,75 @@
+"""Tests for the 38-application suite definitions."""
+
+import pytest
+
+from repro.compiler import compile_program, run_single, run_threads
+from repro.config import CompilerConfig
+from repro.workloads import BENCHMARKS, MEMORY_INTENSIVE, SUITES, benchmarks_of
+
+
+class TestSuiteShape:
+    def test_paper_suites_present(self):
+        assert set(SUITES) == {
+            "CPU2006", "CPU2017", "STAMP", "NPB", "SPLASH3", "WHISPER",
+        }
+
+    def test_application_counts_per_suite(self):
+        counts = {s: len(benchmarks_of(s)) for s in SUITES}
+        assert counts["CPU2006"] == 8
+        assert counts["CPU2017"] == 7
+        assert counts["STAMP"] == 4
+        assert counts["NPB"] == 7
+        assert counts["SPLASH3"] == 10
+        assert counts["WHISPER"] == 3
+
+    def test_spec_is_single_threaded(self):
+        for bench in benchmarks_of("CPU2006") + benchmarks_of("CPU2017"):
+            assert bench.threads == 1
+
+    def test_parallel_suites_are_multithreaded(self):
+        for suite in ("STAMP", "NPB", "SPLASH3", "WHISPER"):
+            for bench in benchmarks_of(suite):
+                assert bench.threads == 8
+
+    def test_memory_intensive_subset_matches_fig9(self):
+        assert set(MEMORY_INTENSIVE) >= {"lbm", "libquan", "milc", "rb", "tatp", "tpcc"}
+        for name in MEMORY_INTENSIVE:
+            assert BENCHMARKS[name].memory_intensive
+
+    def test_entries_shape(self):
+        assert BENCHMARKS["lbm"].entries() == [("main", ())]
+        mt = BENCHMARKS["vacation"].entries()
+        assert len(mt) == 8
+        assert mt[0] == ("worker", (0,))
+
+
+class TestBenchmarksRun:
+    @pytest.mark.parametrize("name", ["bzip2", "hmmer", "mcf", "namd", "imagick"])
+    def test_single_threaded_benchmarks_terminate(self, name):
+        bench = BENCHMARKS[name]
+        prog = bench.build(scale=0.05)
+        events, _ = run_single(prog, max_steps=4_000_000)
+        assert len(events) > 100
+
+    @pytest.mark.parametrize("name", ["vacation", "cg", "rb", "intruder"])
+    def test_multithreaded_benchmarks_terminate(self, name):
+        bench = BENCHMARKS[name]
+        prog = bench.build(scale=0.05, threads=2)
+        events, _ = run_threads(
+            prog, bench.entries(threads=2), max_steps=4_000_000
+        )
+        assert len(events) > 100
+
+    def test_scale_shrinks_traces(self):
+        bench = BENCHMARKS["bzip2"]
+        small, _ = run_single(bench.build(scale=0.05), max_steps=8_000_000)
+        big, _ = run_single(bench.build(scale=0.2), max_steps=8_000_000)
+        assert len(big) > len(small)
+
+    def test_every_benchmark_compiles(self):
+        config = CompilerConfig(store_threshold=32)
+        for name, bench in BENCHMARKS.items():
+            prog = bench.build(scale=0.02, threads=min(bench.threads, 2))
+            compiled = compile_program(prog, config)
+            assert compiled.stats.boundaries > 0, name
+            assert compiled.stats.converged, name
