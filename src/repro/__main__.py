@@ -6,6 +6,8 @@ Commands:
 * ``run``        — simulate one benchmark under one scheme
 * ``figure``     — regenerate one table/figure
 * ``crash-sweep``— exhaustively crash-test one benchmark
+* ``faults``     — adversarial fault-injection campaigns (``campaign``,
+                   ``replay``, ``list``)
 * ``compile``    — compile a textual-IR (.lir) file and print the
                    instrumented program (regions, checkpoints)
 * ``list``       — the 38 applications and the available schemes
@@ -136,13 +138,79 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
     prog = bench.build(scale=args.scale, threads=min(bench.threads, 2))
     compiled = compile_program(prog, DEFAULT_CONFIG.compiler)
     entries = bench.entries(threads=min(bench.threads, 2))
-    divergent = crash_sweep(compiled, entries=entries, stride=args.stride)
+    divergent = crash_sweep(
+        compiled, entries=entries, stride=args.stride,
+        max_points=args.max_points,
+    )
     if divergent:
         print("DIVERGED at crash points: %s" % divergent[:20])
         return 1
-    print("%s: crash-consistent at every probed point (stride %d)"
-          % (args.benchmark, args.stride))
+    where = ("stride %d" % args.stride) if args.stride else "boundary+-1"
+    print("%s: crash-consistent at every probed point (%s)"
+          % (args.benchmark, where))
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import (
+        DEFAULT_CAMPAIGN_BENCHMARKS,
+        DEFENSE_OFF_MODES,
+        FAULT_CLASSES,
+        NESTED_POINTS,
+        replay_trace,
+        run_campaign,
+    )
+
+    if args.faults_command == "list":
+        print("fault classes:  %s" % ", ".join(FAULT_CLASSES))
+        print("nested points:  %s" % ", ".join(NESTED_POINTS))
+        print("defense-off:    %s" % ", ".join(sorted(DEFENSE_OFF_MODES)))
+        print("benchmarks:     %s" % ", ".join(DEFAULT_CAMPAIGN_BENCHMARKS))
+        return 0
+
+    if args.faults_command == "replay":
+        report = replay_trace(args.trace, progress=print)
+        print("replayed %d scenarios, %d mismatch(es)"
+              % (report["checked"], len(report["mismatches"])))
+        for mm in report["mismatches"][:10]:
+            print("  MISMATCH %s/%s: want %s got %s"
+                  % (mm["benchmark"], mm["fault_class"],
+                     mm["want_hash"], mm["got_hash"]))
+        return 1 if report["mismatches"] else 0
+
+    # campaign
+    trace_path = args.trace or ("faults-campaign-seed%d.jsonl" % args.seed)
+    result = run_campaign(
+        seed=args.seed,
+        benchmarks=args.benchmarks or None,
+        scale=args.scale,
+        trace_path=trace_path,
+        validate_defenses=not args.no_validate,
+        progress=print,
+    )
+    print()
+    print("campaign: %d scenarios over %d benchmarks x %d fault classes"
+          % (result.scenarios_run, len(result.benchmarks),
+             len(FAULT_CLASSES)))
+    print("oracle violations (defended protocol): %d"
+          % len(result.violations))
+    for v in result.violations[:10]:
+        print("  VIOLATION %s/%s %s" % (
+            v["benchmark"], v["fault_class"], v["schedule"]))
+    if result.defense_results:
+        print("defense-off modes caught: %d/%d"
+              % (result.defenses_caught, len(result.defense_results)))
+        for mode, entry in sorted(result.defense_results.items()):
+            if entry["caught"]:
+                print("  %-24s caught on %s, %d-event minimal reproducer: %s"
+                      % (mode, entry["benchmark"], entry["minimal_events"],
+                         entry["minimal"]))
+            else:
+                print("  %-24s NOT CAUGHT (%d candidates tried)"
+                      % (mode, entry["candidates_tried"]))
+    print("trace: %s" % trace_path)
+    print("PASS" if result.ok else "FAIL")
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
@@ -169,7 +237,39 @@ def main(argv=None) -> int:
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
     p_sweep.add_argument("benchmark")
     p_sweep.add_argument("--scale", type=float, default=0.02)
-    p_sweep.add_argument("--stride", type=int, default=17)
+    p_sweep.add_argument(
+        "--stride", type=int, default=None,
+        help="probe every Nth instruction (default: boundary+-1 sampling)",
+    )
+    p_sweep.add_argument(
+        "--max-points", type=int, default=None,
+        help="cap the probe count by even subsampling",
+    )
+
+    p_faults = sub.add_parser(
+        "faults", help="adversarial fault-injection campaigns"
+    )
+    fsub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_camp = fsub.add_parser(
+        "campaign",
+        help="seeded fault-schedule sweep + defense-off self-validation",
+    )
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--scale", type=float, default=0.01)
+    p_camp.add_argument("--benchmarks", nargs="*", default=None)
+    p_camp.add_argument(
+        "--trace", default=None,
+        help="JSONL trace path (default: faults-campaign-seed<N>.jsonl)",
+    )
+    p_camp.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the defense-off self-validation pass",
+    )
+    p_replay = fsub.add_parser(
+        "replay", help="re-run every scenario of a recorded trace"
+    )
+    p_replay.add_argument("trace")
+    fsub.add_parser("list", help="fault classes, nested points, modes")
 
     args = parser.parse_args(argv)
     handler = {
@@ -179,6 +279,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "compile": cmd_compile,
         "crash-sweep": cmd_crash_sweep,
+        "faults": cmd_faults,
     }[args.command]
     return handler(args)
 

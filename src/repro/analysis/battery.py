@@ -24,7 +24,15 @@ from dataclasses import dataclass
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 
-__all__ = ["EnergyBudget", "lightwsp_budget", "jit_checkpoint_budget", "compare"]
+__all__ = [
+    "EnergyBudget",
+    "lightwsp_budget",
+    "jit_checkpoint_budget",
+    "compare",
+    "per_entry_drain_joules",
+    "drainable_entries",
+    "default_battery_joules",
+]
 
 #: energy to write one byte into PM (pJ) — Optane-class media
 PM_WRITE_ENERGY_PJ_PER_BYTE = 500.0
@@ -111,6 +119,40 @@ def jit_checkpoint_budget(
         flush_seconds=seconds,
         energy_joules=energy,
     )
+
+
+def per_entry_drain_joules(config: SystemConfig = DEFAULT_CONFIG) -> float:
+    """Energy to push one WPQ entry to PM on residual power: the data
+    movement (SRAM read + PM write) plus the platform power burned for the
+    entry's slice of the drain."""
+    entry_bytes = config.mc.wpq_entry_bytes
+    move_j = entry_bytes * (
+        PM_WRITE_ENERGY_PJ_PER_BYTE + SRAM_READ_ENERGY_PJ_PER_BYTE
+    ) * 1e-12
+    total_bw = config.pm.write_bw_gbps * config.mc.n_mcs
+    platform_j = (entry_bytes / (total_bw * 1e9)) * PLATFORM_IDLE_W
+    return move_j + platform_j
+
+
+def drainable_entries(
+    residual_joules: float, config: SystemConfig = DEFAULT_CONFIG
+) -> int:
+    """How many 8 B WPQ entries the residual energy can still push to PM —
+    the inverse of :func:`lightwsp_budget`, used by the fault-injection
+    subsystem to bound a crash-time battery drain (partial-drain faults)."""
+    if residual_joules <= 0.0:
+        return 0
+    return int(residual_joules / per_entry_drain_joules(config))
+
+
+def default_battery_joules(
+    config: SystemConfig = DEFAULT_CONFIG, margin: float = 2.0
+) -> float:
+    """The energy a correctly sized LightWSP battery holds: the worst-case
+    drain budget of :func:`lightwsp_budget` times a safety ``margin``.  A
+    machine provisioned this way never truncates a battery drain — the
+    invariant the ``sized_battery`` defense encodes."""
+    return lightwsp_budget(config).energy_joules * margin
 
 
 def compare(config: SystemConfig = DEFAULT_CONFIG) -> dict:

@@ -13,10 +13,11 @@ schedule, ``run_with_crashes(...) == reference_pm(...)`` on data words.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.pipeline import CompiledProgram
 from ..config import DEFAULT_CONFIG, SystemConfig
+from ..sim.trace import EK
 from .machine import MachineStats, PersistentMachine
 
 __all__ = ["reference_pm", "run_with_crashes", "crash_sweep"]
@@ -58,7 +59,9 @@ def run_with_crashes(
 ) -> Tuple[Dict[int, int], MachineStats]:
     """Execute, cutting power after each (cumulative-step) crash point,
     recovering, and resuming.  Crash points past program completion are
-    ignored.  Returns (final data image, machine stats)."""
+    ignored — the ones that actually fired are recorded in
+    ``MachineStats.crash_points_fired`` so callers can assert coverage.
+    Returns (final data image, machine stats)."""
     machine = _machine(compiled, entries, config, schedule_seed)
     executed = 0
     for point in sorted(crash_points):
@@ -81,24 +84,64 @@ def crash_sweep(
     compiled: CompiledProgram,
     entries: Entries = DEFAULT_ENTRIES,
     config: SystemConfig = DEFAULT_CONFIG,
-    stride: int = 1,
+    stride: Optional[int] = None,
     schedule_seed: int = 0,
+    max_points: Optional[int] = None,
 ) -> List[int]:
-    """Crash once at every ``stride``-th instruction of the failure-free
-    execution and check recovery each time.  Returns the list of crash
-    points whose final image DIVERGED from the reference (empty == the
-    crash-consistency invariant holds everywhere)."""
+    """Crash once per probe point of the failure-free execution and check
+    recovery each time.  Returns the list of crash points whose final
+    image DIVERGED from the reference (empty == the crash-consistency
+    invariant holds everywhere).
+
+    Probe points: every ``stride``-th instruction when ``stride`` is
+    given; by default the region-boundary-adjacent points (each boundary
+    step +-1, plus the first instruction) — the only places the persisted
+    state machine actually changes, which turns the old
+    every-instruction-times-whole-program quadratic sweep into a linear
+    one.  ``max_points`` caps the probe count by even subsampling.
+
+    Cost model: one shared execution is advanced point to point and a
+    clone is forked (``PersistentMachine.clone``) at each probe, so the
+    program prefix is never re-executed per crash point."""
     reference = reference_pm(compiled, entries, config, schedule_seed)
+
     probe = _machine(compiled, entries, config, schedule_seed)
-    probe.run()
+    boundary_steps: List[int] = []
+    while True:
+        event = probe.step()
+        if event is None:
+            break
+        if probe.stats.steps >= probe.max_steps:
+            raise RuntimeError("machine exceeded max_steps")
+        if event.kind == EK.BOUNDARY:
+            boundary_steps.append(probe.stats.steps)
     total_steps = probe.stats.steps
 
+    if stride is not None:
+        points = list(range(1, total_steps + 1, stride))
+    else:
+        candidates = {1}
+        for b in boundary_steps:
+            for delta in (-1, 0, 1):
+                if 1 <= b + delta <= total_steps:
+                    candidates.add(b + delta)
+        points = sorted(candidates)
+    if max_points is not None and len(points) > max_points:
+        keep = max(1, max_points)
+        idx = [(i * (len(points) - 1)) // (keep - 1) for i in range(keep)] \
+            if keep > 1 else [0]
+        points = sorted({points[i] for i in idx})
+
     divergent: List[int] = []
-    for point in range(1, total_steps + 1, stride):
-        image, _ = run_with_crashes(
-            compiled, [point], entries=entries, config=config,
-            schedule_seed=schedule_seed,
-        )
-        if image != reference:
+    walker = _machine(compiled, entries, config, schedule_seed)
+    for point in points:
+        walker.run(steps=point - walker.stats.steps)
+        if walker.finished:
+            break  # later points fall past program completion: ignored
+        fork = walker.clone()
+        fork.crash()
+        if not fork.run():
+            raise RuntimeError("program did not finish after recovery")
+        if fork.pm_data() != reference:
             divergent.append(point)
     return divergent

@@ -30,7 +30,7 @@ liveness, checkpoint placement, or pruning makes the property tests fail.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..compiler.interp import LockTable, ThreadVM, WordMemory
@@ -38,7 +38,7 @@ from ..compiler.ir import Program
 from ..compiler.pipeline import CompiledProgram
 from ..config import SystemConfig, DEFAULT_CONFIG
 from ..sim.trace import EK, TraceEvent
-from .recovery import rebuild_registers
+from .recovery import rebuild_registers, rollback_undo
 from .regionid import RegionIdAllocator
 from .wpq import FunctionalWPQ, WPQFullError
 
@@ -70,6 +70,9 @@ class MachineStats:
     undo_writes: int = 0
     crashes: int = 0
     max_wpq_occupancy: int = 0
+    #: cumulative step counts at which a power failure actually fired
+    #: (crash points past program completion never appear here)
+    crash_points_fired: List[int] = field(default_factory=list)
 
 
 class _HookedMemory(WordMemory):
@@ -199,7 +202,7 @@ class PersistentMachine:
     def _boundary_executed(self, tid: int, boundary_uid: int) -> None:
         vm = self.vms[tid]
         ended = self.allocator.boundary(tid)
-        self.boundary_issued.add(ended)
+        self._broadcast_boundary(ended)
         self.stats.boundaries += 1
         continuation = Continuation(
             func=vm.func_name,
@@ -220,7 +223,7 @@ class PersistentMachine:
         resume point (the compiler's boundary just before the sync
         instruction provides that)."""
         ended = self.allocator.boundary(tid)
-        self.boundary_issued.add(ended)
+        self._broadcast_boundary(ended)
         self._try_commit()
 
     def _thread_halted(self, tid: int) -> None:
@@ -230,15 +233,33 @@ class PersistentMachine:
             return
         self._halted_closed.add(tid)
         ended = self.allocator.region_of(tid)
-        self.boundary_issued.add(ended)
+        self._broadcast_boundary(ended)
         self._try_commit()
 
+    # -- overridable persistence-protocol hooks (the fault-injection
+    # -- subsystem in repro.faults specializes these; see FaultyMachine) --
+    def _broadcast_boundary(self, region: int) -> None:
+        """The ended region's boundary is broadcast to every MC.  The base
+        machine models a perfectly reliable interconnect: the broadcast is
+        instantly delivered and ACKed everywhere."""
+        self.boundary_issued.add(region)
+
+    def _region_committable(self, region: int) -> bool:
+        """Whether the flush-ID region may commit now (its boundary has
+        been broadcast to, and ACKed by, all MCs)."""
+        return region in self.boundary_issued
+
+    def _commit_flush(self, region: int) -> None:
+        """Bulk-flush the committing region's quarantined entries to PM on
+        every MC."""
+        for wpq in self.wpqs:
+            for entry in wpq.pop_region(region):
+                self.pm[entry.word] = entry.value
+
     def _try_commit(self) -> None:
-        while self.committed_upto in self.boundary_issued:
+        while self._region_committable(self.committed_upto):
             region = self.committed_upto
-            for wpq in self.wpqs:
-                for entry in wpq.pop_region(region):
-                    self.pm[entry.word] = entry.value
+            self._commit_flush(region)
             self.undo_log.pop(region, None)
             self.boundary_issued.discard(region)
             self.committed_upto += 1
@@ -312,38 +333,48 @@ class PersistentMachine:
     # ------------------------------------------------------------------
     def crash(self) -> Dict[str, int]:
         """Power fails *now*.  Performs the six-step recovery protocol and
-        leaves the machine ready to resume.  Returns a small report."""
-        self.stats.crashes += 1
-        report = {"flushed": 0, "discarded": 0, "undone": 0, "io_replayed": 0}
+        leaves the machine ready to resume.  Returns a small report.
 
-        # Steps 1-5: commit every region whose boundary broadcast happened
-        # (battery covers in-flight ACKs), in flush-ID order.
+        The protocol is split into named steps so the fault-injection
+        subsystem (:mod:`repro.faults`) can adversarially perturb or
+        interrupt each one (torn battery writes, energy-bounded drains, a
+        second power failure mid-recovery)."""
+        self.stats.crashes += 1
+        self.stats.crash_points_fired.append(self.stats.steps)
+        report = {"flushed": 0, "discarded": 0, "undone": 0, "io_replayed": 0}
+        self._battery_drain(report)
+        self._rollback_overflow(report)
+        self._discard_quarantined(report)
+        self._drop_interrupted_io(report)
+        self._restore_threads()
+        return report
+
+    def _battery_drain(self, report: Dict[str, int]) -> None:
+        """Steps 1-5: commit every region whose boundary broadcast happened
+        (battery covers in-flight ACKs), in flush-ID order."""
         before = self.committed_upto
         self._try_commit()
-        report["flushed"] = self.committed_upto - before
+        report["flushed"] += self.committed_upto - before
 
-        # Roll back overflow-flushed writes of uncommitted regions,
-        # youngest region first so the oldest pre-image wins.
-        for region in sorted(self.undo_log, reverse=True):
-            for word, old in self.undo_log[region].items():
-                self.pm[word] = old
-                report["undone"] += 1
+    def _rollback_overflow(self, report: Dict[str, int]) -> None:
+        """Roll back overflow-flushed writes of uncommitted regions,
+        youngest region first so the oldest pre-image wins."""
+        report["undone"] += rollback_undo(self.pm, self.undo_log)
         self.undo_log.clear()
 
-        # Step 6: everything still quarantined is lost with the power.
+    def _discard_quarantined(self, report: Dict[str, int]) -> None:
+        """Step 6: everything still quarantined is lost with the power."""
         for wpq in self.wpqs:
             report["discarded"] += wpq.discard_all()
 
-        # Irrevocable operations of interrupted regions will re-execute;
-        # drop them from the durable log (they were not "completed").
+    def _drop_interrupted_io(self, report: Dict[str, int]) -> None:
+        """Irrevocable operations of interrupted regions will re-execute;
+        drop them from the durable log (they were not "completed")."""
         before_io = len(self.io_log)
         self.io_log = [
             entry for entry in self.io_log if entry[2] < self.committed_upto
         ]
-        report["io_replayed"] = before_io - len(self.io_log)
-
-        self._restore_threads()
-        return report
+        report["io_replayed"] += before_io - len(self.io_log)
 
     def _restore_threads(self) -> None:
         committed = self.committed_upto
@@ -395,6 +426,48 @@ class PersistentMachine:
         return rebuild_registers(
             plan, lambda reg: self.pm.get(Program.checkpoint_slot(tid, reg), 0)
         )
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "PersistentMachine":
+        """An independent snapshot of the machine's mutable state, sharing
+        the (immutable) compiled program and config.  ``crash_sweep`` forks
+        one clone per probe point off a single shared execution instead of
+        re-running the program prefix from scratch every time."""
+        new = object.__new__(type(self))
+        new.compiled = self.compiled
+        new.config = self.config
+        new.quantum = self.quantum
+        new.max_steps = self.max_steps
+        new.stats = copy.deepcopy(self.stats)
+        new.pm = dict(self.pm)
+        new.volatile = _HookedMemory(new)
+        new.volatile.words = dict(self.volatile.words)
+        new.locks = LockTable()
+        new.locks.owner = dict(self.locks.owner)
+        new.allocator = copy.deepcopy(self.allocator)
+        new.wpqs = copy.deepcopy(self.wpqs)
+        new.boundary_issued = set(self.boundary_issued)
+        new.committed_upto = self.committed_upto
+        new.undo_log = {r: dict(w) for r, w in self.undo_log.items()}
+        new.io_log = [list(e) for e in self.io_log]
+        new._stepping_tid = self._stepping_tid
+        new._turn = self._turn
+        new._halted_closed = set(self._halted_closed)
+        new.vms = []
+        for vm in self.vms:
+            nvm = copy.copy(vm)
+            nvm.memory = new.volatile
+            nvm.locks = new.locks
+            nvm.regs = dict(vm.regs)
+            nvm.frames = copy.deepcopy(vm.frames)
+            nvm.io_log = list(vm.io_log)
+            new.vms.append(nvm)
+        new.history = copy.deepcopy(self.history)
+        self._clone_extra(new)
+        return new
+
+    def _clone_extra(self, new: "PersistentMachine") -> None:
+        """Subclass hook: copy any additional mutable state onto a clone."""
 
     # ------------------------------------------------------------------
     def pm_data(self, min_word: Optional[int] = None) -> Dict[int, int]:

@@ -13,7 +13,7 @@ from typing import Callable, Dict
 from ..compiler.checkpoints import Recipe, RecoveryPlan
 from ..compiler.interp import _binop, _wrap
 
-__all__ = ["evaluate_recipe", "rebuild_registers"]
+__all__ = ["evaluate_recipe", "rebuild_registers", "rollback_undo"]
 
 #: reads one register's checkpoint-array slot for the recovering context
 CkptReader = Callable[[str], int]
@@ -49,3 +49,21 @@ def rebuild_registers(plan: RecoveryPlan, read_ckpt: CkptReader) -> Dict[str, in
         reg: evaluate_recipe(recipe, reg, read_ckpt)
         for reg, recipe in sorted(plan.recipes.items())
     }
+
+
+def rollback_undo(pm: Dict[int, int], undo_log: Dict[int, Dict[int, int]]) -> int:
+    """Apply the §IV-D undo log: restore pre-overwrite PM values of
+    overflow-flushed uncommitted regions, *youngest region first* so that
+    where regions overlap on a word the oldest pre-image wins.
+
+    Idempotent by construction — re-applying the same log writes the same
+    pre-images — which is what makes the recovery protocol safe against a
+    second power failure mid-rollback (the log must stay persistent until
+    the rollback completes; callers clear it only afterwards).  Returns
+    the number of words restored."""
+    undone = 0
+    for region in sorted(undo_log, reverse=True):
+        for word, old in undo_log[region].items():
+            pm[word] = old
+            undone += 1
+    return undone

@@ -62,6 +62,18 @@ class FunctionalWPQ:
     def has_region(self, region: int) -> bool:
         return any(e.region == region for e in self.entries)
 
+    def peek_region(self, region: int) -> List[WPQEntry]:
+        """The region's entries in arrival (FIFO) order, without removing
+        them — the retention view a battery drain uses while a persist
+        write is still unverified (entries stay quarantined until their PM
+        write completes, so a torn write can be re-issued)."""
+        return [e for e in self.entries if e.region == region]
+
+    def occupancy_bytes(self, entry_bytes: int = 8) -> int:
+        """Bytes a battery drain of this WPQ must move to PM — the
+        quantity the residual-energy model prices (§II-C1)."""
+        return len(self.entries) * entry_bytes
+
     def pop_region(self, region: int) -> List[WPQEntry]:
         """Remove and return the region's entries in arrival (FIFO) order —
         the bulk flush that commits the region to PM."""

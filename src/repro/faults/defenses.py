@@ -1,0 +1,55 @@
+"""The protocol's defenses, as switches — and the seeded "defense-off"
+modes that prove the fault harness has teeth.
+
+Each flag names one mechanism the paper's protocol relies on to survive
+an adversarial event.  With every flag on (``ALL_ON``) the campaign must
+report zero oracle violations; turning any single flag off creates a
+deliberately broken machine that the differential oracle MUST flag — the
+harness's self-validation (`repro faults campaign` runs both sides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = ["Defenses", "ALL_ON", "DEFENSE_OFF_MODES"]
+
+
+@dataclass(frozen=True)
+class Defenses:
+    #: §IV-D: record pre-images before an overflow flush so a later crash
+    #: can roll the speculative PM writes back.
+    undo_logging: bool = True
+    #: §IV-B: a region commits only after EVERY MC has seen (ACKed) its
+    #: boundary broadcast; off = commit as soon as any MC has.
+    ack_wait: bool = True
+    #: WPQ entries stay quarantined until their PM write is verified, so
+    #: the battery drain re-issues a torn write; off = slot released at
+    #: issue, the torn value lands.
+    wpq_retention: bool = True
+    #: the battery holds >= the worst-case drain energy (§II-C1); off =
+    #: the residual energy the fault schedule specifies is taken at face
+    #: value and the drain truncates when it runs out.
+    sized_battery: bool = True
+    #: the undo log is PM-resident and cleared only after the rollback
+    #: completes, making recovery idempotent under a nested power failure;
+    #: off = the log is truncated as soon as recovery starts consuming it.
+    idempotent_recovery: bool = True
+    #: a boundary broadcast that draws no ACK is re-sent after a timeout;
+    #: off = a dropped broadcast is simply lost and its region (and every
+    #: younger one) never commits.
+    broadcast_retry: bool = True
+
+
+ALL_ON = Defenses()
+
+#: every seeded defense-off mode the self-validation campaign must catch.
+DEFENSE_OFF_MODES: Dict[str, Defenses] = {
+    "no_undo": replace(ALL_ON, undo_logging=False),
+    "no_ack_wait": replace(ALL_ON, ack_wait=False),
+    "torn_unrepaired": replace(ALL_ON, wpq_retention=False),
+    "undersized_battery": replace(ALL_ON, sized_battery=False),
+    "no_recovery_idempotence": replace(ALL_ON, idempotent_recovery=False),
+    "no_retry": replace(ALL_ON, broadcast_retry=False),
+}

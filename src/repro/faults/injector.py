@@ -1,0 +1,85 @@
+"""The scenario injector: drive one :class:`FaultyMachine` through one
+fault schedule, deterministically.
+
+A schedule is a list of :class:`~repro.faults.model.FaultEvent`, each
+armed at a cumulative instruction count.  The injector advances the
+machine to each event's step and applies it (``msg`` faults arm the next
+boundary broadcast; ``mc_down`` kills one MC's power domain; ``cut`` cuts
+power and runs recovery), then runs the program to completion and lets
+the persist tail settle.  Events scheduled past program completion are
+counted, not fired — mirroring ``run_with_crashes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..compiler.pipeline import CompiledProgram
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..core.machine import MachineStats
+from .defenses import ALL_ON, Defenses
+from .machine import FaultyMachine
+from .model import FaultEvent
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+Entries = Sequence[Tuple[str, Sequence[int]]]
+DEFAULT_ENTRIES: Entries = (("main", ()),)
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced."""
+
+    image: Dict[int, int]          # final persisted data image
+    finished: bool
+    stats: MachineStats
+    fault_counters: Dict[str, int]
+    skipped_events: int            # scheduled past program completion
+
+
+def run_scenario(
+    compiled: CompiledProgram,
+    schedule: Sequence[FaultEvent],
+    entries: Entries = DEFAULT_ENTRIES,
+    config: SystemConfig = DEFAULT_CONFIG,
+    defenses: Defenses = ALL_ON,
+    schedule_seed: int = 0,
+    quantum: int = 16,
+    max_steps: int = 2_000_000,
+    trace=None,
+) -> ScenarioResult:
+    machine = FaultyMachine(
+        compiled,
+        entries=entries,
+        config=config,
+        quantum=quantum,
+        schedule_seed=schedule_seed,
+        max_steps=max_steps,
+        defenses=defenses,
+        trace=trace,
+    )
+    skipped = 0
+    for event in sorted(schedule, key=lambda e: e.step):
+        gap = event.step - machine.stats.steps
+        if gap > 0:
+            machine.run(steps=gap)
+        if machine.finished:
+            skipped += 1
+            continue
+        if event.kind == "msg":
+            machine.arm_msg(event)
+        elif event.kind == "mc_down":
+            machine.mc_down(event.mc)
+        else:  # cut
+            machine.crash(event)
+    finished = machine.finished or machine.run()
+    machine.finish_messages()
+    return ScenarioResult(
+        image=machine.pm_data(),
+        finished=finished,
+        stats=machine.stats,
+        fault_counters=dict(machine.fault_counters),
+        skipped_events=skipped,
+    )

@@ -1,0 +1,143 @@
+"""The adversarial fault model: every injectable event, as data.
+
+The base :class:`~repro.core.machine.PersistentMachine` exercises the
+crash-consistency theorem only under the gentlest adversary — a clean
+whole-system power cut at an instruction boundary with a perfectly
+faithful broadcast/ACK protocol.  This module enumerates the hostile
+events the paper's own machinery implies but never probes:
+
+* ``cut`` — a power failure, optionally adversarial: torn 8-byte persist
+  writes during the battery drain, a drain bounded by the battery's
+  residual energy (§II-C1), and/or a *second* failure injected during the
+  §IV-F recovery protocol itself;
+* ``msg`` — a boundary-broadcast message to one MC is dropped, delayed,
+  or duplicated (§IV-C's bdry/flush-ACK exchange; the sender retries a
+  dropped broadcast after a timeout, the protocol the paper implies but
+  never states);
+* ``mc_down`` — one MC's power domain fails early (per-MC-skewed crash
+  instants): it stops accepting stores and broadcasts, while its
+  battery-held WPQ contents survive until the global cut.
+
+Events are plain frozen dataclasses with a loss-free JSON round-trip so
+fault schedules serialize into the append-only JSONL trace and any
+failure replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "FaultEvent",
+    "FAULT_CLASSES",
+    "MSG_OPS",
+    "NESTED_POINTS",
+    "ACK_LATENCY_STEPS",
+    "RETRY_TIMEOUT_BOUNDARIES",
+    "tear_value",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+#: instructions between a boundary becoming fully ACKed and its region's
+#: flush-ID commit (the flush-ACK exchange in flight).  A power cut inside
+#: this window finds committable-but-uncommitted entries for the battery
+#: to drain — the surface torn-write and partial-drain faults attack.
+ACK_LATENCY_STEPS = 6
+
+#: boundary-broadcast retry timeout, measured in subsequent boundary
+#: events: a sender that saw no ACK re-broadcasts after this many.
+RETRY_TIMEOUT_BOUNDARIES = 2
+
+#: campaign fault classes (scenario labels), each mapping to a schedule
+#: shape built by :mod:`repro.faults.campaign`.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "clean_cut",
+    "torn_cut",
+    "drained_cut",
+    "msg_drop",
+    "msg_delay",
+    "msg_dup",
+    "skew_cut",
+    "nested_cut",
+)
+
+MSG_OPS: Tuple[str, ...] = ("drop", "delay", "dup")
+
+#: where a nested (during-recovery) power failure may strike, named after
+#: the recovery step it interrupts.
+NESTED_POINTS: Tuple[str, ...] = (
+    "after_drain",
+    "mid_rollback",
+    "after_discard",
+    "after_recovery",
+)
+
+_MASK64 = (1 << 64) - 1
+_LOW32 = (1 << 32) - 1
+
+
+def tear_value(old: int, new: int) -> int:
+    """An 8-byte persist write torn across its two 4-byte halves: the new
+    high half landed, the low half still holds the pre-write bits.  (For
+    the small word values the workloads produce this makes the store
+    appear lost — the harshest observable tear.)"""
+    torn = ((new & _MASK64) & ~_LOW32) | ((old & _MASK64) & _LOW32)
+    return torn - (1 << 64) if torn >= (1 << 63) else torn
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injectable adversarial event, armed at a cumulative instruction
+    count (``step``) of the faulty execution."""
+
+    kind: str                 # "cut" | "msg" | "mc_down"
+    step: int
+    # -- msg modifiers --
+    op: str = ""              # "drop" | "delay" | "dup"
+    mc: int = -1              # target MC (msg / mc_down)
+    delay: int = 1            # delivery delay, in boundary events
+    # -- cut modifiers --
+    torn_index: int = -1      # battery-drain entry index to tear (-1: none)
+    residual_j: float = -1.0  # battery residual energy (<0: ample)
+    nested_after: str = ""    # "" or a NESTED_POINTS name
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cut", "msg", "mc_down"):
+            raise ValueError("unknown fault kind %r" % (self.kind,))
+        if self.kind == "msg" and self.op not in MSG_OPS:
+            raise ValueError("msg fault needs op in %r" % (MSG_OPS,))
+        if self.kind in ("msg", "mc_down") and self.mc < 0:
+            raise ValueError("%s fault needs a target mc" % self.kind)
+        if self.nested_after and self.nested_after not in NESTED_POINTS:
+            raise ValueError("unknown nested point %r" % (self.nested_after,))
+        if self.step < 1:
+            raise ValueError("fault step must be >= 1")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        data = asdict(self)
+        # drop inert defaults so traces stay readable
+        for key, default in (
+            ("op", ""), ("mc", -1), ("delay", 1), ("torn_index", -1),
+            ("residual_j", -1.0), ("nested_after", ""),
+        ):
+            if data[key] == default:
+                del data[key]
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "FaultEvent":
+        return cls(**data)
+
+    def shifted(self, step: int) -> "FaultEvent":
+        return replace(self, step=step)
+
+
+def schedule_to_json(schedule: Sequence[FaultEvent]) -> List[Dict]:
+    return [ev.to_json() for ev in schedule]
+
+
+def schedule_from_json(data: Sequence[Dict]) -> List[FaultEvent]:
+    return [FaultEvent.from_json(d) for d in data]

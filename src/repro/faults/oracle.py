@@ -1,0 +1,84 @@
+"""The differential oracle: after any fault scenario, the recovered
+execution's final persisted image must equal the failure-free reference
+image bit for bit (the crash-consistency theorem, now quantified over the
+whole adversarial fault model instead of clean cuts only)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Violation", "diff_images", "check_image"]
+
+#: how many differing words a Violation records verbatim
+SAMPLE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, with enough detail to read the diff."""
+
+    kind: str  # "pm_divergence" | "incomplete"
+    missing: int = 0    # words in the reference but not the final image
+    extra: int = 0      # words in the final image but not the reference
+    differing: int = 0  # words present in both with different values
+    #: up to SAMPLE_LIMIT (word, got, want) triples; got/want None when absent
+    sample: Tuple = field(default_factory=tuple)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "missing": self.missing,
+            "extra": self.extra,
+            "differing": self.differing,
+            "sample": [list(s) for s in self.sample],
+        }
+
+    def describe(self) -> str:
+        if self.kind == "incomplete":
+            return "execution did not finish"
+        parts = []
+        if self.differing:
+            parts.append("%d differing" % self.differing)
+        if self.missing:
+            parts.append("%d missing" % self.missing)
+        if self.extra:
+            parts.append("%d extra" % self.extra)
+        return "pm divergence: " + ", ".join(parts)
+
+
+def diff_images(
+    got: Dict[int, int], want: Dict[int, int]
+) -> Optional[Violation]:
+    """None when the images match; a populated Violation otherwise."""
+    if got == want:
+        return None
+    missing = extra = differing = 0
+    sample: List[Tuple[int, Optional[int], Optional[int]]] = []
+    for word in sorted(set(got) | set(want)):
+        g, w = got.get(word), want.get(word)
+        if g == w:
+            continue
+        if g is None:
+            missing += 1
+        elif w is None:
+            extra += 1
+        else:
+            differing += 1
+        if len(sample) < SAMPLE_LIMIT:
+            sample.append((word, g, w))
+    return Violation(
+        kind="pm_divergence",
+        missing=missing,
+        extra=extra,
+        differing=differing,
+        sample=tuple(sample),
+    )
+
+
+def check_image(
+    finished: bool, image: Dict[int, int], reference: Dict[int, int]
+) -> Optional[Violation]:
+    if not finished:
+        return Violation(kind="incomplete")
+    return diff_images(image, reference)

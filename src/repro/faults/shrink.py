@@ -1,0 +1,78 @@
+"""Automatic shrinking of failing fault schedules.
+
+When the differential oracle flags a schedule, the campaign reduces it to
+a minimal reproducer before recording it: first by removing events one at
+a time, then by weakening the modifiers of the survivors (an un-torn cut,
+an ample battery, no nested failure, a 1-boundary delay) — keeping every
+reduction that still fails the oracle.  The result is the smallest
+schedule a human needs to read to understand the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence, Tuple
+
+from .model import FaultEvent
+
+__all__ = ["shrink_schedule"]
+
+
+def _weakenings(event: FaultEvent) -> List[FaultEvent]:
+    """Strictly simpler variants of one event, most aggressive first."""
+    out: List[FaultEvent] = []
+    if event.kind == "cut":
+        if event.nested_after:
+            out.append(replace(event, nested_after=""))
+        if event.torn_index > 0:
+            out.append(replace(event, torn_index=0))
+        if event.torn_index >= 0:
+            out.append(replace(event, torn_index=-1))
+        if event.residual_j >= 0.0:
+            out.append(replace(event, residual_j=-1.0))
+    elif event.kind == "msg" and event.op == "delay" and event.delay > 1:
+        out.append(replace(event, delay=1))
+    return out
+
+
+def shrink_schedule(
+    schedule: Sequence[FaultEvent],
+    still_fails: Callable[[List[FaultEvent]], bool],
+    budget: int = 64,
+) -> Tuple[List[FaultEvent], int]:
+    """Greedy delta-debugging: returns (minimal schedule, oracle runs
+    spent).  ``still_fails`` runs the candidate schedule and reports
+    whether the oracle still flags it; at most ``budget`` evaluations."""
+    current = list(schedule)
+    evals = 0
+    progress = True
+    while progress and evals < budget:
+        progress = False
+        # 1) drop whole events
+        if len(current) > 1:
+            for i in range(len(current)):
+                candidate = current[:i] + current[i + 1:]
+                evals += 1
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+                if evals >= budget:
+                    return current, evals
+            if progress:
+                continue
+        # 2) weaken modifiers of the survivors
+        for i, event in enumerate(current):
+            for weak in _weakenings(event):
+                candidate = list(current)
+                candidate[i] = weak
+                evals += 1
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+                if evals >= budget:
+                    return current, evals
+            if progress:
+                break
+    return current, evals

@@ -33,7 +33,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..config import SystemConfig, VictimPolicy
 from .snoop import make_victim_selector
 from .cache import CacheHierarchy
-from .mc import CommitPipeline, MemoryController
+from .mc import AckFaults, CommitPipeline, MemoryController
 from .memory import AddressMap
 from .queues import SerialServer
 from .trace import EK, TraceEvent
@@ -102,6 +102,7 @@ class SimResult:
     overflow_flushes: int = 0
     undo_logged_entries: int = 0
     deadlock_events: int = 0
+    ack_retries: int = 0
     l1_miss_rate: float = 0.0
 
     @property
@@ -158,6 +159,7 @@ class TimingEngine:
         policy: SchemePolicy,
         cache_scale=None,
         hardware_cores: Optional[int] = None,
+        ack_faults: Optional[AckFaults] = None,
     ) -> None:
         if policy.gated and policy.boundary_wait:
             raise ValueError(
@@ -176,7 +178,7 @@ class TimingEngine:
             )
             for m in range(config.mc.n_mcs)
         ]
-        self.pipeline = CommitPipeline(config, self.mcs)
+        self.pipeline = CommitPipeline(config, self.mcs, ack_faults=ack_faults)
         self.cache_scale = cache_scale or CacheHierarchy.DEFAULT_SCALE
         #: software threads beyond this many hardware contexts time-share
         #: cores (the Fig. 16 oversubscription setup: 64 threads, 8 cores)
@@ -662,6 +664,7 @@ class TimingEngine:
     def _finalize(self) -> None:
         res = self.result
         res.l1_miss_rate = self.hierarchy.l1_miss_rate()
+        res.ack_retries = self.pipeline.ack_retries
         for mc in self.mcs:
             res.overflow_flushes += mc.stats.overflow_flushes
             res.undo_logged_entries += mc.stats.undo_logged_entries
@@ -673,8 +676,10 @@ def simulate(
     policy: SchemePolicy,
     cache_scale=None,
     hardware_cores: Optional[int] = None,
+    ack_faults: Optional[AckFaults] = None,
 ) -> SimResult:
     """Convenience wrapper: run one trace under one policy."""
     return TimingEngine(
-        config, policy, cache_scale=cache_scale, hardware_cores=hardware_cores
+        config, policy, cache_scale=cache_scale,
+        hardware_cores=hardware_cores, ack_faults=ack_faults,
     ).run(events)

@@ -25,7 +25,24 @@ from typing import Dict, List, Optional, Tuple
 from ..config import SystemConfig
 from .queues import SerialServer, SlotPool
 
-__all__ = ["MemoryController", "CommitPipeline", "MCStats"]
+__all__ = ["AckFaults", "MemoryController", "CommitPipeline", "MCStats"]
+
+
+@dataclass(frozen=True)
+class AckFaults:
+    """Timing-level ACK faults for the cycle-approximate engine (the
+    functional twin lives in :mod:`repro.faults`): every ``(region, mc)``
+    pair in ``dropped`` loses that MC's bdry-ACK once, and the broadcaster
+    re-sends after ``timeout_cycles`` — so the region's commit (and, by
+    flush-ID order, every younger one) slips by one retry round per drop.
+    The protocol still commits everything; the fault costs time, never
+    durability."""
+
+    dropped: frozenset = frozenset()
+    timeout_cycles: float = 400.0
+
+    def retries_for(self, region: int) -> int:
+        return sum(1 for r, _mc in self.dropped if r == region)
 
 
 @dataclass
@@ -190,9 +207,16 @@ class CommitPipeline:
     bdry-ACK exchange before flushing and one flush-ACK exchange after
     (§IV-B)."""
 
-    def __init__(self, config: SystemConfig, mcs: List[MemoryController]) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        mcs: List[MemoryController],
+        ack_faults: Optional[AckFaults] = None,
+    ) -> None:
         self.config = config
         self.mcs = mcs
+        self.ack_faults = ack_faults
+        self.ack_retries = 0
         self.next_commit = 0
         self.prev_commit_end = 0.0
         self.prev_flush_trigger = 0.0
@@ -218,7 +242,13 @@ class CommitPipeline:
             # bdry-ACK exchange, then flush; successive regions' ACK
             # round-trips pipeline — only each MC's drain bandwidth and
             # the in-order flush trigger serialize commits.
-            start = max(broadcast + ack, self.prev_flush_trigger)
+            ack_wait = ack
+            if self.ack_faults is not None:
+                retries = self.ack_faults.retries_for(region)
+                if retries:
+                    self.ack_retries += retries
+                    ack_wait += retries * self.ack_faults.timeout_cycles
+            start = max(broadcast + ack_wait, self.prev_flush_trigger)
             self.prev_flush_trigger = start
             flush_end = start
             for mc in self.mcs:

@@ -197,6 +197,78 @@ def test_pruned_checkpoints_still_recover():
     assert divergent == []
 
 
+def test_crash_during_recovery_recovers():
+    """A second power failure striking after each §IV-F recovery step
+    (including mid-rollback of the §IV-D undo log) must still converge to
+    the failure-free image — recovery is idempotent."""
+    from repro.faults import NESTED_POINTS, FaultEvent, run_scenario
+
+    prog = Program("nested")
+    a = prog.array("a", 16)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r2", 7)
+    fb.br("loop")
+    fb.block("loop")
+    fb.mul("r2", "r2", 3)
+    fb.store("r2", "r1", base=a)
+    fb.load("r3", "r1", base=a)
+    fb.add("r2", "r2", "r3")
+    fb.add("r1", "r1", 1)
+    fb.lt("r4", "r1", 6)
+    fb.cbr("r4", "loop", "exit")
+    fb.block("exit")
+    fb.ret()
+    fb.build()
+    compiled = compile_program(prog, CompilerConfig(store_threshold=4))
+    # 2-entry WPQs keep the undo log busy, so mid_rollback has real work
+    config = SystemConfig()
+    config = replace(config, mc=replace(config.mc, wpq_entries=2))
+    reference = reference_pm(compiled, config=config)
+    probe = PersistentMachine(compiled, config=config)
+    probe.run()
+    total = probe.stats.steps
+    points = sorted({1 + (total * k) // 6 for k in range(6)})
+    for nested in NESTED_POINTS:
+        for point in points:
+            res = run_scenario(
+                compiled,
+                [FaultEvent("cut", step=point, nested_after=nested)],
+                config=config,
+            )
+            assert res.finished, (nested, point)
+            assert res.image == reference, (nested, point)
+
+
+def test_multi_mc_skewed_crash_instants():
+    """One MC's power domain dies before the global cut (per-MC-skewed
+    crash instants): for either MC and a sweep of (death, cut) pairs the
+    recovered image must match the failure-free reference."""
+    from helpers import saxpy_program
+
+    from repro.faults import FaultEvent, run_scenario
+
+    compiled = compile_program(
+        saxpy_program(n=8), CompilerConfig(store_threshold=4)
+    )
+    reference = reference_pm(compiled)
+    probe = PersistentMachine(compiled)
+    probe.run()
+    total = probe.stats.steps
+    for mc in (0, 1):
+        for k in range(5):
+            down = max(1, min(total - 6, 1 + (total * k) // 5))
+            for gap in (2, 5):
+                res = run_scenario(
+                    compiled,
+                    [FaultEvent("mc_down", step=down, mc=mc),
+                     FaultEvent("cut", step=down + gap)],
+                )
+                assert res.finished, (mc, down, gap)
+                assert res.image == reference, (mc, down, gap)
+
+
 def test_recovery_does_not_use_volatile_registers():
     """Dead registers are deliberately zeroed on recovery; any reliance on
     them would make this sweep diverge."""

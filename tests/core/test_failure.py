@@ -49,6 +49,14 @@ class TestRunWithCrashes:
         assert stats.crashes == 1
         assert image == reference_pm(compiled)
 
+    def test_fired_points_recorded(self, compiled):
+        _, stats = run_with_crashes(compiled, [5, 20])
+        assert stats.crash_points_fired == [5, 20]
+
+    def test_points_past_completion_not_recorded(self, compiled):
+        _, stats = run_with_crashes(compiled, [5, 10**9])
+        assert stats.crash_points_fired == [5]
+
 
 class TestCrashSweep:
     def test_sweep_returns_empty_on_consistent_machine(self, compiled):

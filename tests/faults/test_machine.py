@@ -1,0 +1,194 @@
+"""Behavioral tests for :class:`FaultyMachine`.
+
+Two sides of the same coin: with every defense on, each adversarial fault
+class must preserve the crash-consistency theorem (final image == the
+failure-free reference); with any single defense off, the campaign's
+targeted schedules must make the differential oracle fire.
+"""
+
+import pytest
+
+from repro.analysis.battery import per_entry_drain_joules
+from repro.compiler import compile_program
+from repro.config import DEFAULT_CONFIG
+from repro.faults import (
+    DEFENSE_OFF_MODES,
+    FAULT_CLASSES,
+    NESTED_POINTS,
+    FaultEvent,
+    FaultyMachine,
+    run_scenario,
+)
+from repro.faults.campaign import (
+    _defense_candidates,
+    _probe_benchmark,
+    _rng,
+    _tiny_config,
+    generate_schedules,
+)
+from repro.workloads import BENCHMARKS
+
+SCALE = 0.01
+TINY = _tiny_config(DEFAULT_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    bench = BENCHMARKS["bzip2"]
+    return compile_program(bench.build(scale=SCALE), DEFAULT_CONFIG.compiler)
+
+
+@pytest.fixture(scope="module")
+def probe(compiled):
+    return _probe_benchmark(compiled, DEFAULT_CONFIG)
+
+
+class TestCleanRuns:
+    def test_no_faults_matches_reference(self, compiled, probe):
+        res = run_scenario(compiled, [])
+        assert res.finished
+        assert res.image == probe.reference
+        assert res.stats.crashes == 0
+
+    def test_tiny_wpq_overflows_yet_matches(self, compiled, probe):
+        """4-entry WPQs force §IV-D overflow constantly; the data outcome
+        must be WPQ-size independent."""
+        res = run_scenario(compiled, [], config=TINY)
+        assert res.finished
+        assert res.stats.overflow_events > 0
+        assert res.image == probe.reference_tiny
+        assert probe.reference_tiny == probe.reference
+
+    def test_probe_found_open_undo_windows(self, probe):
+        """bzip2's histogram loops keep an overflow victim region open —
+        the windows the undo-rollback faults need."""
+        assert probe.open_undo_steps
+        assert probe.boundary_steps
+
+
+class TestDefendedSurvival:
+    @pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+    def test_campaign_schedules_survive(self, fault_class, compiled, probe):
+        rng = _rng(0, "bzip2", fault_class)
+        schedules = generate_schedules(fault_class, probe, rng, DEFAULT_CONFIG)
+        assert schedules, fault_class
+        for schedule in schedules:
+            res = run_scenario(compiled, schedule)
+            assert res.finished, schedule
+            assert res.image == probe.reference, schedule
+
+    def test_dropped_broadcast_is_retried(self, compiled, probe):
+        b = probe.boundary_steps[len(probe.boundary_steps) // 2]
+        res = run_scenario(
+            compiled, [FaultEvent("msg", step=max(1, b - 1), op="drop", mc=0)]
+        )
+        assert res.fault_counters["msg_drops"] == 1
+        assert res.fault_counters["retries_delivered"] >= 1
+        assert res.image == probe.reference
+
+    def test_duplicated_broadcast_is_idempotent(self, compiled, probe):
+        b = probe.boundary_steps[len(probe.boundary_steps) // 2]
+        res = run_scenario(
+            compiled, [FaultEvent("msg", step=max(1, b - 1), op="dup", mc=1)]
+        )
+        assert res.fault_counters["msg_dups"] == 1
+        assert res.image == probe.reference
+
+    def test_delayed_broadcast_lands_late(self, compiled, probe):
+        b = probe.boundary_steps[len(probe.boundary_steps) // 2]
+        res = run_scenario(
+            compiled,
+            [FaultEvent("msg", step=max(1, b - 1), op="delay", mc=0, delay=3)],
+        )
+        assert res.fault_counters["msg_delays"] == 1
+        assert res.image == probe.reference
+
+    def test_torn_write_is_repaired_by_retention(self, compiled, probe):
+        torn_seen = 0
+        for b in probe.boundary_steps[2:8]:
+            res = run_scenario(
+                compiled, [FaultEvent("cut", step=b + 1, torn_index=0)]
+            )
+            assert res.image == probe.reference, b
+            assert res.fault_counters["torn_landed"] == 0
+            torn_seen += res.fault_counters["torn_repaired"]
+        assert torn_seen >= 1
+
+    def test_sized_battery_neutralizes_tiny_residual(self, compiled, probe):
+        b = probe.boundary_steps[3]
+        res = run_scenario(
+            compiled,
+            [FaultEvent("cut", step=b + 1,
+                        residual_j=per_entry_drain_joules(DEFAULT_CONFIG))],
+        )
+        assert res.fault_counters["drain_lost"] == 0
+        assert res.image == probe.reference
+
+    @pytest.mark.parametrize("mc", [0, 1])
+    def test_skewed_mc_death_either_domain(self, mc, compiled, probe):
+        b = probe.boundary_steps[len(probe.boundary_steps) // 2]
+        res = run_scenario(
+            compiled,
+            [FaultEvent("mc_down", step=max(1, b - 2), mc=mc),
+             FaultEvent("cut", step=b + 3)],
+        )
+        assert res.fault_counters["mc_downs"] == 1
+        assert res.image == probe.reference
+
+    @pytest.mark.parametrize("point", NESTED_POINTS)
+    def test_nested_power_failure_each_point(self, point, compiled, probe):
+        if point == "mid_rollback":
+            # needs live rollback work: tiny WPQs, cut inside an open-
+            # victim window
+            step = probe.open_undo_steps[0]
+            config, reference = TINY, probe.reference_tiny
+        else:
+            step = probe.boundary_steps[4] + 1
+            config, reference = DEFAULT_CONFIG, probe.reference
+        res = run_scenario(
+            compiled, [FaultEvent("cut", step=step, nested_after=point)],
+            config=config,
+        )
+        assert res.fault_counters["nested_cuts"] == 1
+        assert res.finished
+        assert res.image == reference
+
+
+class TestDefenseOffModes:
+    @pytest.mark.parametrize("mode", sorted(DEFENSE_OFF_MODES))
+    def test_mode_is_caught_and_defense_suffices(self, mode, compiled, probe):
+        """Some targeted schedule must diverge with the defense off — and
+        that same schedule must be survived with it on."""
+        defenses = DEFENSE_OFF_MODES[mode]
+        rng = _rng(0, "defense", mode, "bzip2")
+        cfg_tag, candidates = _defense_candidates(
+            mode, probe, rng, DEFAULT_CONFIG
+        )
+        config = DEFAULT_CONFIG if cfg_tag == "default" else TINY
+        reference = (
+            probe.reference if cfg_tag == "default" else probe.reference_tiny
+        )
+        assert candidates, mode
+        for schedule in candidates:
+            broken = run_scenario(
+                compiled, schedule, config=config, defenses=defenses
+            )
+            if not broken.finished or broken.image != reference:
+                defended = run_scenario(compiled, schedule, config=config)
+                assert defended.finished, (mode, schedule)
+                assert defended.image == reference, (mode, schedule)
+                return
+        pytest.fail("mode %s not caught by any candidate schedule" % mode)
+
+
+class TestClone:
+    def test_clone_mid_flight_continues_identically(self, compiled, probe):
+        b = probe.boundary_steps[len(probe.boundary_steps) // 2]
+        machine = FaultyMachine(compiled)
+        machine.arm_msg(FaultEvent("msg", step=1, op="delay", mc=1, delay=2))
+        machine.run(steps=b + 2)
+        twin = machine.clone()
+        for m in (machine, twin):
+            m.run()
+            m.finish_messages()
+        assert machine.pm_data() == twin.pm_data() == probe.reference
