@@ -5,6 +5,8 @@ Commands:
 * ``info``       — Table I, hardware costs, CAM latency, CXL presets
 * ``run``        — simulate one benchmark under one scheme
 * ``figure``     — regenerate one table/figure
+* ``serve``      — serve a YCSB-style workload from the persistent KV
+                   store (sharded, optional kill-and-recover)
 * ``crash-sweep``— exhaustively crash-test one benchmark
 * ``faults``     — adversarial fault-injection campaigns (``campaign``,
                    ``replay``, ``list``)
@@ -71,9 +73,16 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    from .store import MIXES, STORE_BENCHMARKS
+
     for suite in SUITES:
         names = ", ".join(b.name for b in benchmarks_of(suite))
         print("%-8s  %s" % (suite, names))
+    print("%-8s  %s (campaign targets: %s)" % (
+        "STORE",
+        ", ".join(MIXES),
+        ", ".join(STORE_BENCHMARKS),
+    ))
     print("\nschemes: %s" % ", ".join(sorted(SCHEMES)))
     print("figures: %s" % ", ".join(FIGURES))
     return 0
@@ -151,12 +160,62 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .store import MIXES, run_serve
+
+    if args.smoke:
+        args.ops = min(args.ops, 200)
+        args.keys = min(args.keys, 32)
+        args.crash_epoch = 1 if args.crash_epoch is None else args.crash_epoch
+    if args.workload not in MIXES:
+        print("unknown workload %r (choose from: %s)"
+              % (args.workload, ", ".join(MIXES)))
+        return 2
+    report = run_serve(
+        workload=args.workload,
+        ops=args.ops,
+        shards=args.shards,
+        seed=args.seed,
+        keyspace=args.keys,
+        value_words=args.value_words,
+        batch=args.batch,
+        dist=args.dist,
+        crash_epoch=args.crash_epoch,
+        crash_seed=args.crash_seed,
+        crash_torn=args.crash_torn,
+        crash_step=args.crash_step,
+        progress=print,
+    )
+    print("%s/%s seed=%d: %d requests (%d load + %d mixed) over %d shard(s)"
+          % (report.workload, report.dist, report.seed, report.total_ops,
+             report.load_ops, report.ops, len(report.shards)))
+    print("  sim time     %12.1f ns" % report.sim_ns)
+    print("  throughput   %12.2f Mops/s" % report.throughput_mops)
+    lat = report.latency
+    print("  latency (ns) p50=%.0f p95=%.0f p99=%.0f mean=%.0f max=%.0f"
+          % (lat["p50"], lat["p95"], lat["p99"], lat["mean"], lat["max"]))
+    for s in report.shards:
+        print("  shard %d: %d ops / %d epochs, %d commits, "
+              "%d compaction(s), %d drop(s), %d crash(es), "
+              "%d keys live, image %s"
+              % (s.shard, s.ops, s.epochs, s.commits, s.compactions,
+                 s.drops, s.crashes, s.keys_live, s.image_digest))
+    print("  digest: %s" % report.digest())
+    if report.crash_epoch is not None:
+        print("  acked-write oracle: %s"
+              % ("PASS" if report.ok else "FAIL"))
+    for v in report.violations[:10]:
+        print("  VIOLATION %s" % v)
+    return 0 if report.ok else 1
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from .faults import (
         DEFAULT_CAMPAIGN_BENCHMARKS,
         DEFENSE_OFF_MODES,
         FAULT_CLASSES,
         NESTED_POINTS,
+        STORE_CAMPAIGN_BENCHMARKS,
         replay_trace,
         run_campaign,
     )
@@ -166,6 +225,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print("nested points:  %s" % ", ".join(NESTED_POINTS))
         print("defense-off:    %s" % ", ".join(sorted(DEFENSE_OFF_MODES)))
         print("benchmarks:     %s" % ", ".join(DEFAULT_CAMPAIGN_BENCHMARKS))
+        print("store targets:  %s" % ", ".join(STORE_CAMPAIGN_BENCHMARKS))
         return 0
 
     if args.faults_command == "replay":
@@ -179,10 +239,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return 1 if report["mismatches"] else 0
 
     # campaign
+    benchmarks = args.benchmarks or None
+    if args.workload == "store" and benchmarks is None:
+        benchmarks = list(STORE_CAMPAIGN_BENCHMARKS)
     trace_path = args.trace or ("faults-campaign-seed%d.jsonl" % args.seed)
     result = run_campaign(
         seed=args.seed,
-        benchmarks=args.benchmarks or None,
+        benchmarks=benchmarks,
         scale=args.scale,
         trace_path=trace_path,
         validate_defenses=not args.no_validate,
@@ -230,6 +293,40 @@ def main(argv=None) -> int:
     p_fig.add_argument("--scale", type=float, default=0.1)
     p_fig.add_argument("--benchmarks", nargs="*", default=None)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve a KV workload on the persistent store"
+    )
+    p_serve.add_argument(
+        "--workload", default="ycsb-a",
+        help="mix name (ycsb-a/b/c/e, crud; see `list`)",
+    )
+    p_serve.add_argument("--ops", type=int, default=2000)
+    p_serve.add_argument("--shards", type=int, default=2)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--keys", type=int, default=128)
+    p_serve.add_argument("--value-words", type=int, default=4)
+    p_serve.add_argument("--batch", type=int, default=64)
+    p_serve.add_argument(
+        "--dist", default="zipfian", choices=("zipfian", "uniform")
+    )
+    p_serve.add_argument(
+        "--crash-epoch", type=int, default=None,
+        help="cut power on every shard during this epoch (0-based)",
+    )
+    p_serve.add_argument(
+        "--crash-step", type=int, default=None,
+        help="crash at this step in the epoch (default: seeded per shard)",
+    )
+    p_serve.add_argument("--crash-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--crash-torn", action="store_true",
+        help="tear one battery-backed WPQ write at the crash",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed-cost run with a crash (CI smoke test)",
+    )
+
     p_compile = sub.add_parser("compile", help="compile a .lir file")
     p_compile.add_argument("file")
     p_compile.add_argument("--threshold", type=int, default=32)
@@ -258,6 +355,11 @@ def main(argv=None) -> int:
     p_camp.add_argument("--scale", type=float, default=0.01)
     p_camp.add_argument("--benchmarks", nargs="*", default=None)
     p_camp.add_argument(
+        "--workload", default="suite", choices=("suite", "store"),
+        help="benchmark set: the CPU suite subset or the KV-store "
+             "request-serving programs",
+    )
+    p_camp.add_argument(
         "--trace", default=None,
         help="JSONL trace path (default: faults-campaign-seed<N>.jsonl)",
     )
@@ -277,6 +379,7 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "figure": cmd_figure,
+        "serve": cmd_serve,
         "compile": cmd_compile,
         "crash-sweep": cmd_crash_sweep,
         "faults": cmd_faults,

@@ -5,7 +5,14 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["geomean", "slowdown", "per_suite", "overall"]
+__all__ = [
+    "geomean",
+    "slowdown",
+    "per_suite",
+    "overall",
+    "percentile",
+    "latency_summary",
+]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -40,3 +47,41 @@ def per_suite(
 
 def overall(rows: Sequence[Mapping], value_key: str) -> float:
     return geomean([row[value_key] for row in rows])
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) with linear interpolation between
+    order statistics — the tail-latency quantiles a serving system
+    reports (p50/p95/p99)."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, float]:
+    """Count, mean, max, and the requested percentiles of a latency
+    sample, keyed ``p50``/``p95``/``p99``-style.  Empty input yields all
+    zeros (a crashed or empty epoch has no acknowledged requests)."""
+    summary: Dict[str, float] = {"count": float(len(values))}
+    if not values:
+        summary.update({"mean": 0.0, "max": 0.0})
+        for p in percentiles:
+            summary["p%g" % p] = 0.0
+        return summary
+    summary["mean"] = sum(values) / len(values)
+    summary["max"] = float(max(values))
+    for p in percentiles:
+        summary["p%g" % p] = percentile(values, p)
+    return summary

@@ -265,7 +265,9 @@ class ThreadVM:
             payload = self._value(instr.srcs[0]) if instr.srcs else 0
             self.io_log.append((instr.imm, payload))
             self._advance()
-            return TraceEvent(EK.IO, tid=self.tid, lock_id=instr.imm)
+            return TraceEvent(
+                EK.IO, tid=self.tid, lock_id=instr.imm, payload=payload
+            )
 
         if op == Op.BR:
             self._jump(instr.targets[0])

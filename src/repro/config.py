@@ -121,6 +121,14 @@ class MCConfig:
     noc_latency_ns: float = 20.0
     cam_search_cycles: int = 2
 
+    def __post_init__(self) -> None:
+        if self.n_mcs < 1:
+            raise ValueError("need at least one memory controller")
+        if self.channels_per_mc < 1:
+            raise ValueError("need at least one channel per MC")
+        if self.wpq_entries < 2:
+            raise ValueError("WPQ needs at least two entries")
+
     @property
     def wpq_bytes(self) -> int:
         return self.wpq_entries * self.wpq_entry_bytes
@@ -252,6 +260,9 @@ class SystemConfig:
 
     def with_cores(self, cores: int) -> "SystemConfig":
         return replace(self, cores=cores)
+
+    def with_mcs(self, n_mcs: int) -> "SystemConfig":
+        return replace(self, mc=replace(self.mc, n_mcs=n_mcs))
 
     def with_victim_policy(self, policy: str) -> "SystemConfig":
         return replace(self, victim_policy=policy)

@@ -73,6 +73,13 @@ class MachineStats:
     #: cumulative step counts at which a power failure actually fired
     #: (crash points past program completion never appear here)
     crash_points_fired: List[int] = field(default_factory=list)
+    #: opt-in latency accounting for request-serving harnesses
+    #: (``repro.store``).  Both default to ``None`` so the hot paths pay
+    #: nothing; assign a list to start collecting.  ``commit_steps``
+    #: receives ``(region, step)`` when a region commits; ``io_steps``
+    #: receives ``(payload, region, step)`` when an IO instruction retires.
+    commit_steps: Optional[List[Tuple[int, int]]] = None
+    io_steps: Optional[List[Tuple[int, int, int]]] = None
 
 
 class _HookedMemory(WordMemory):
@@ -123,7 +130,8 @@ class PersistentMachine:
         self.vms: List[ThreadVM] = []
         #: per-thread boundary history: (ended_region, Continuation)
         self.history: List[List[Tuple[int, Continuation]]] = []
-        #: irrevocable operations performed: [tid, device, region] — the
+        #: irrevocable operations performed: [tid, device, region,
+        #: payload] — the
         #: durable log; entries of power-interrupted regions are dropped
         #: at recovery (the re-executed region re-issues them: LightWSP's
         #: restartable-I/O semantics are at-least-once at the wire, §IV-A)
@@ -264,6 +272,8 @@ class PersistentMachine:
             self.boundary_issued.discard(region)
             self.committed_upto += 1
             self.stats.commits += 1
+            if self.stats.commit_steps is not None:
+                self.stats.commit_steps.append((region, self.stats.steps))
 
     # ------------------------------------------------------------------
     # execution
@@ -299,9 +309,14 @@ class PersistentMachine:
             if event.kind == EK.BOUNDARY:
                 self._boundary_executed(tid, event.boundary_uid)
             elif event.kind == EK.IO:
+                region = self.allocator.region_of(tid)
                 self.io_log.append(
-                    [tid, event.lock_id, self.allocator.region_of(tid)]
+                    [tid, event.lock_id, region, event.payload]
                 )
+                if self.stats.io_steps is not None:
+                    self.stats.io_steps.append(
+                        (event.payload, region, self.stats.steps)
+                    )
             elif event.kind == EK.LOCK:
                 # successful acquire: the critical section's stores belong
                 # to a region whose ID postdates the previous release

@@ -12,8 +12,10 @@ every seeded defense-off protocol variant.
 
 from .campaign import (
     DEFAULT_CAMPAIGN_BENCHMARKS,
+    STORE_CAMPAIGN_BENCHMARKS,
     CampaignResult,
     replay_trace,
+    resolve_benchmark,
     run_campaign,
 )
 from .defenses import ALL_ON, DEFENSE_OFF_MODES, Defenses
@@ -50,7 +52,9 @@ __all__ = [
     "NestedPowerFailure",
     "NullTrace",
     "RETRY_TIMEOUT_BOUNDARIES",
+    "STORE_CAMPAIGN_BENCHMARKS",
     "ScenarioResult",
+    "resolve_benchmark",
     "Violation",
     "check_image",
     "diff_images",

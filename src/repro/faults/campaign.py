@@ -52,8 +52,10 @@ from .trace import FaultTrace, NullTrace, image_hash, read_trace
 __all__ = [
     "DEFAULT_CAMPAIGN_BENCHMARKS",
     "DEFAULT_CAMPAIGN_SCALE",
+    "STORE_CAMPAIGN_BENCHMARKS",
     "TINY_WPQ_ENTRIES",
     "CampaignResult",
+    "resolve_benchmark",
     "run_campaign",
     "replay_trace",
 ]
@@ -67,6 +69,25 @@ DEFAULT_CAMPAIGN_BENCHMARKS: Tuple[str, ...] = (
 )
 
 DEFAULT_CAMPAIGN_SCALE = 0.01
+
+#: the KV-store workload set (``repro faults campaign --workload store``):
+#: single-threaded baked-batch store programs from repro.store.bench
+STORE_CAMPAIGN_BENCHMARKS: Tuple[str, ...] = (
+    "store-ycsb-a", "store-ycsb-b", "store-crud",
+)
+
+
+def resolve_benchmark(name: str):
+    """Benchmark lookup that also knows the store workloads.  The store
+    package imports the suite (for :class:`Benchmark`), so the reverse
+    lookup must stay lazy to avoid a cycle."""
+    if name in BENCHMARKS:
+        return BENCHMARKS[name]
+    from ..store.bench import STORE_BENCHMARKS
+
+    if name in STORE_BENCHMARKS:
+        return STORE_BENCHMARKS[name]
+    raise KeyError("unknown benchmark %r" % (name,))
 
 #: WPQ size of the overflow-prone sweep configuration (compiler threshold
 #: untouched, so regions overflow their WPQs and the undo log goes live)
@@ -379,7 +400,7 @@ def run_campaign(
     compiled_cache: Dict[str, CompiledProgram] = {}
     probes: Dict[str, _Probe] = {}
     for name in names:
-        bench = BENCHMARKS[name]
+        bench = resolve_benchmark(name)
         if bench.threads != 1:
             raise ValueError(
                 "campaign benchmarks must be single-threaded "
@@ -543,7 +564,7 @@ def replay_trace(
         name = record["benchmark"]
         if name not in compiled_cache:
             compiled_cache[name] = compile_program(
-                BENCHMARKS[name].build(scale=scale), config.compiler
+                resolve_benchmark(name).build(scale=scale), config.compiler
             )
         cfg = configs[record["config"]]
         defenses = (

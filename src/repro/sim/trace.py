@@ -44,8 +44,9 @@ class TraceEvent:
     kind: str
     addr: int = 0              # byte address (memory events only)
     tid: int = 0               # hardware thread
-    lock_id: int = 0           # LOCK/UNLOCK only
+    lock_id: int = 0           # LOCK/UNLOCK only; IO: device id
     boundary_uid: int = -1     # BOUNDARY only: static boundary identity
+    payload: int = 0           # IO only: the value written to the device
 
     def is_store_like(self) -> bool:
         return self.kind in EK.STORE_LIKE

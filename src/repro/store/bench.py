@@ -1,0 +1,75 @@
+"""Store workloads packaged as campaign benchmarks.
+
+These are *self-contained* store programs — the batch is baked into a
+setup block, so they run from an empty image like any other benchmark —
+registered in their own ``STORE_BENCHMARKS`` table rather than the main
+38-application suite (adding them there would silently change every
+figure sweep, whose default benchmark set is "all of BENCHMARKS").
+
+The fault campaign resolves ``store-*`` names through this table (see
+``repro faults campaign --workload store``), which turns the adversarial
+fault sweep — torn battery writes, dropped boundary broadcasts, nested
+power failures — loose on real request-serving code paths: hash probes,
+record appends, pointer flips, and heap compaction.
+
+Sizing: the heap halves are kept tight (little slack over the live set)
+so even campaign-scale runs cross the compaction path, and the keyspace
+is small so zipfian traffic produces genuine overwrite/delete churn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..compiler.ir import Program
+from ..workloads.suite import Benchmark
+from .layout import StoreLayout
+from .programs import build_store_program
+from .workload import generate_workload
+
+__all__ = ["STORE_BENCHMARKS", "STORE_SUITE"]
+
+STORE_SUITE = "STORE"
+
+_KEYSPACE = 12
+_VALUE_WORDS = 2
+_BASE_OPS = 240
+
+
+def _store_factory(mix: str, seed: int):
+    def build(scale: float, threads: int) -> Program:
+        ops = max(6, int(_BASE_OPS * scale))
+        layout = StoreLayout.sized(
+            _KEYSPACE,
+            value_words=_VALUE_WORDS,
+            max_batch=_KEYSPACE + ops,
+            slack=1.3,
+        )
+        requests = generate_workload(
+            mix, ops, _KEYSPACE, seed=seed, dist="zipfian"
+        )
+        prog, _ = build_store_program(
+            layout, baked_requests=requests, name="store-%s" % mix
+        )
+        return prog
+
+    return build
+
+
+def _store_bench(mix: str, seed: int) -> Benchmark:
+    return Benchmark(
+        name="store-%s" % mix,
+        suite=STORE_SUITE,
+        factory=_store_factory(mix, seed),
+        threads=1,
+    )
+
+
+STORE_BENCHMARKS: Dict[str, Benchmark] = {
+    b.name: b
+    for b in (
+        _store_bench("ycsb-a", seed=11),
+        _store_bench("ycsb-b", seed=12),
+        _store_bench("crud", seed=13),
+    )
+}

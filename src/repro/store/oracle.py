@@ -1,0 +1,259 @@
+"""The store-level differential oracle.
+
+:class:`StoreModel` is a pure-Python mirror of the compiled store's
+semantics — including the heap cursor, compaction trigger, and the
+full-heap drop path, which all affect results — so it predicts the exact
+outcome of any request sequence without touching the machine.
+
+:func:`visible_state` extracts the *visible* key-value map from a durable
+memory image by walking the index exactly the way the compiled GET does
+(claimed slot + non-null pointer -> record), verifying on the way that
+every visible record is internally consistent (header matches the slot's
+key, value words form the arithmetic progression a PUT writes).  A torn
+or partially persisted record that somehow became visible fails here —
+that is the "no dirty reads" half of the durability contract.
+
+:func:`check_recovery` is the acked-write theorem, checked after a crash:
+
+* the set of surviving acknowledgements is a *prefix* of the shard's
+  request sequence (the response ``io`` of request *i* commits before any
+  mutation of request *i+1* — single thread, flush-ID commit order);
+* the visible state equals the model's state after ``a`` or ``a+1``
+  requests, where ``a`` is the acked count (request ``a`` may have
+  committed its visibility point without its acknowledgement — durable
+  but unacked is allowed; acked but lost is not, and a state matching
+  neither ``a`` nor ``a+1`` would be a dirty or lost write);
+* every acked request's durable result word matches the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .layout import (
+    META_NREQ,
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SCAN,
+    StoreLayout,
+    checksum,
+)
+from .programs import Request
+
+__all__ = ["StoreModel", "visible_state", "check_recovery"]
+
+
+class StoreModel:
+    """Executable specification of the store (one shard)."""
+
+    def __init__(self, layout: StoreLayout) -> None:
+        self.layout = layout
+        #: visible state: key -> the seed its live record was written with
+        self.kv: Dict[int, int] = {}
+        self.cursor = 0        # append offset within the active half
+        self.active = 0
+        self.dead = 0
+        self.compactions = 0
+        self.drops = 0
+        self.results: List[int] = []
+
+    def copy(self) -> "StoreModel":
+        other = StoreModel(self.layout)
+        other.kv = dict(self.kv)
+        other.cursor = self.cursor
+        other.active = self.active
+        other.dead = self.dead
+        other.compactions = self.compactions
+        other.drops = self.drops
+        other.results = list(self.results)
+        return other
+
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        self.cursor = len(self.kv) * self.layout.record_words
+        self.active = 1 - self.active
+        self.dead = 0
+        self.compactions += 1
+
+    def _put(self, key: int, seed: int) -> int:
+        lay = self.layout
+        rec = lay.record_words
+        if self.cursor + rec > lay.half_words:
+            self._compact()
+            if self.cursor + rec > lay.half_words:
+                self.drops += 1
+                return -2
+        if key in self.kv:
+            self.dead += rec
+        self.kv[key] = seed
+        self.cursor += rec
+        return checksum(seed, lay.value_words)
+
+    def _get(self, key: int) -> int:
+        if key not in self.kv:
+            return -1
+        return checksum(self.kv[key], self.layout.value_words)
+
+    def _delete(self, key: int) -> int:
+        if key not in self.kv:
+            return 0
+        lay = self.layout
+        if self.cursor + 1 > lay.half_words:
+            self._compact()
+        if self.cursor + 1 <= lay.half_words:
+            self.cursor += 1
+            self.dead += lay.record_words + 1
+        del self.kv[key]
+        return 1
+
+    def _scan(self, start: int, count: int) -> int:
+        acc = 0
+        for key in range(start, start + count):
+            if key in self.kv:
+                acc += checksum(self.kv[key], self.layout.value_words)
+        return acc
+
+    # ------------------------------------------------------------------
+    def apply(self, request: Request) -> int:
+        op, key, arg = request
+        if op == OP_PUT:
+            result = self._put(key, arg)
+        elif op == OP_GET:
+            result = self._get(key)
+        elif op == OP_DELETE:
+            result = self._delete(key)
+        elif op == OP_SCAN:
+            result = self._scan(key, arg)
+        else:
+            raise ValueError("unknown opcode %d" % op)
+        self.results.append(result)
+        return result
+
+    def apply_all(self, requests: Iterable[Request]) -> List[int]:
+        return [self.apply(r) for r in requests]
+
+
+def visible_state(
+    image: Mapping[int, int], layout: StoreLayout
+) -> Tuple[Dict[int, int], List[str]]:
+    """Walk the index of a durable image.  Returns ``(kv, problems)``
+    where ``kv`` maps key -> seed and ``problems`` lists every internal
+    inconsistency found (dangling pointers, torn records)."""
+    kv: Dict[int, int] = {}
+    problems: List[str] = []
+    for slot in range(layout.capacity):
+        marker = image.get(layout.idx_keys + slot, 0)
+        ptr = image.get(layout.idx_ptrs + slot, 0)
+        if marker == 0:
+            if ptr != 0:
+                problems.append(
+                    "slot %d: pointer %d on an unclaimed slot" % (slot, ptr)
+                )
+            continue
+        if ptr == 0:
+            continue
+        key = marker - 1
+        header = image.get(ptr - 1, 0)
+        if header != 2 * key:
+            problems.append(
+                "slot %d key %d: header %d does not match (want %d)"
+                % (slot, key, header, 2 * key)
+            )
+            continue
+        seed = image.get(ptr, 0)
+        torn = [
+            j for j in range(layout.value_words)
+            if image.get(ptr + j, 0) != seed + j
+        ]
+        if torn:
+            problems.append(
+                "slot %d key %d: torn value words %s" % (slot, key, torn)
+            )
+            continue
+        if key in kv:
+            problems.append("key %d visible through two slots" % key)
+        kv[key] = seed
+    return kv, problems
+
+
+def _diff_states(want: Dict[int, int], got: Dict[int, int]) -> str:
+    keys = sorted(set(want) | set(got))
+    diffs = [
+        "key %d: want %s got %s" % (k, want.get(k), got.get(k))
+        for k in keys
+        if want.get(k) != got.get(k)
+    ]
+    return "; ".join(diffs[:6])
+
+
+def check_recovery(
+    image: Mapping[int, int],
+    acked: Iterable[int],
+    base_model: StoreModel,
+    requests: Sequence[Request],
+    first_id: int,
+) -> List[str]:
+    """Check the acked-write theorem for one shard after a crash.
+
+    ``image`` is the durable memory image right after recovery,
+    ``acked`` the ids of the surviving response acknowledgements for the
+    interrupted batch, ``base_model`` the (unmodified) model state before
+    the batch, ``requests`` the batch, and ``first_id`` the global id of
+    ``requests[0]``.  Returns a list of violation descriptions (empty =
+    the theorem holds)."""
+    layout = base_model.layout
+    violations: List[str] = []
+
+    acked_set = set(acked)
+    stray = sorted(
+        p for p in acked_set
+        if not (first_id <= p < first_id + len(requests))
+    )
+    if stray:
+        violations.append("acks outside the batch id range: %s" % stray[:6])
+        acked_set -= set(stray)
+    a = len(acked_set)
+    expected = set(range(first_id, first_id + a))
+    if acked_set != expected:
+        violations.append(
+            "acks are not a prefix: missing %s, unexpected %s"
+            % (
+                sorted(expected - acked_set)[:6],
+                sorted(acked_set - expected)[:6],
+            )
+        )
+        return violations
+
+    visible, problems = visible_state(image, layout)
+    violations.extend(problems)
+
+    model_a = base_model.copy()
+    results = model_a.apply_all(requests[:a])
+    state_a = dict(model_a.kv)
+    state_next: Optional[Dict[int, int]] = None
+    if a < len(requests):
+        model_next = model_a.copy()
+        model_next.apply(requests[a])
+        state_next = dict(model_next.kv)
+
+    if visible != state_a and visible != state_next:
+        violations.append(
+            "visible state matches neither %d acked ops (%s) nor %d (%s)"
+            % (
+                a,
+                _diff_states(state_a, visible) or "-",
+                a + 1,
+                _diff_states(state_next or {}, visible) or "-",
+            )
+        )
+
+    for i in range(a):
+        want = results[i]
+        got = image.get(layout.out + i, 0)
+        if got != want:
+            violations.append(
+                "acked request %d (local %d): durable result %d, model %d"
+                % (first_id + i, i, got, want)
+            )
+    return violations

@@ -6,7 +6,14 @@ import pytest
 
 from repro.analysis.cacti import CamModel, cam_search_cycles, cam_search_ns
 from repro.analysis.hwcost import capri_cost, cost_table, lightwsp_cost, ppa_cost
-from repro.analysis.metrics import geomean, overall, per_suite, slowdown
+from repro.analysis.metrics import (
+    geomean,
+    latency_summary,
+    overall,
+    per_suite,
+    percentile,
+    slowdown,
+)
 from repro.config import SystemConfig
 
 
@@ -106,3 +113,46 @@ class TestHwCost:
             < table["PPA"].per_core_bytes
             < table["Capri"].per_core_bytes
         )
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_known_p95(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_keys_and_ordering(self):
+        summary = latency_summary([float(v) for v in range(1, 201)])
+        assert summary["count"] == 200
+        assert summary["mean"] == pytest.approx(100.5)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["max"] == 200.0
+
+    def test_empty_input_all_zeros(self):
+        summary = latency_summary([])
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_custom_percentiles(self):
+        summary = latency_summary([1.0, 2.0], percentiles=(75.0,))
+        assert "p75" in summary

@@ -1,0 +1,63 @@
+"""The opt-in latency hooks on MachineStats (commit_steps / io_steps).
+
+A serving harness needs per-operation step accounting — when did each
+response ``io`` retire, when did its region commit — without slowing the
+hot paths for every other user.  The hooks are ``None`` by default and
+only populated once a caller installs lists.
+"""
+
+from repro.compiler import FunctionBuilder, Program, compile_program
+from repro.core.machine import PersistentMachine
+
+
+def io_chain_program(n=3):
+    prog = Program("iochain")
+    a = prog.array("a", 8)
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    for i in range(n):
+        fb.const("r1", 10 + i)
+        fb.store("r1", i, base=a)
+        fb.io(5, "r1")
+    fb.ret()
+    fb.build()
+    return prog
+
+
+class TestStatsHooks:
+    def test_hooks_off_by_default(self):
+        machine = PersistentMachine(compile_program(io_chain_program()))
+        machine.run()
+        assert machine.stats.commit_steps is None
+        assert machine.stats.io_steps is None
+
+    def test_io_steps_record_payload_region_step(self):
+        machine = PersistentMachine(compile_program(io_chain_program()))
+        machine.stats.io_steps = []
+        machine.run()
+        payloads = [p for p, _, _ in machine.stats.io_steps]
+        assert payloads == [10, 11, 12]
+        steps = [s for _, _, s in machine.stats.io_steps]
+        assert steps == sorted(steps)
+        for _, region, step in machine.stats.io_steps:
+            assert region >= 0
+            assert 1 <= step <= machine.stats.steps
+
+    def test_commit_steps_cover_every_io_region(self):
+        machine = PersistentMachine(compile_program(io_chain_program()))
+        machine.stats.commit_steps = []
+        machine.stats.io_steps = []
+        machine.run()
+        assert len(machine.stats.commit_steps) == machine.stats.commits
+        commit_at = dict(machine.stats.commit_steps)
+        for payload, region, step in machine.stats.io_steps:
+            # every retired io's region eventually committed, at or
+            # after the step the io issued
+            assert commit_at[region] >= step, payload
+
+    def test_io_log_carries_payload(self):
+        machine = PersistentMachine(compile_program(io_chain_program()))
+        machine.run()
+        assert [(e[1], e[3]) for e in machine.io_log] == [
+            (5, 10), (5, 11), (5, 12)
+        ]

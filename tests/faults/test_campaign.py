@@ -112,3 +112,33 @@ class TestShrink:
         schedule = [FaultEvent("msg", step=3, op="delay", mc=0, delay=3)]
         minimal, _ = shrink_schedule(schedule, lambda s: bool(s))
         assert minimal[0].delay == 1
+
+
+class TestStoreCampaign:
+    def test_resolve_benchmark_knows_both_tables(self):
+        from repro.faults import resolve_benchmark
+        from repro.workloads import BENCHMARKS
+
+        assert resolve_benchmark("bzip2") is BENCHMARKS["bzip2"]
+        assert resolve_benchmark("store-ycsb-a").name == "store-ycsb-a"
+        with pytest.raises(KeyError):
+            resolve_benchmark("store-nope")
+
+    def test_store_benchmarks_stay_out_of_the_suite(self):
+        """Registering them in BENCHMARKS would silently change every
+        figure sweep's default benchmark set."""
+        from repro.workloads import BENCHMARKS
+
+        assert not any(n.startswith("store-") for n in BENCHMARKS)
+
+    def test_store_campaign_clean_and_replayable(self, tmp_path):
+        path = str(tmp_path / "store-trace.jsonl")
+        result = run_campaign(
+            seed=1, benchmarks=["store-crud"], scale=0.03,
+            trace_path=path, validate_defenses=False,
+        )
+        assert result.scenarios_run >= 10
+        assert result.violations == []
+        report = replay_trace(path)
+        assert report["checked"] == result.scenarios_run
+        assert report["mismatches"] == []

@@ -70,6 +70,23 @@ class TestDerivedConfigs:
         with pytest.raises(ValueError):
             SystemConfig().with_victim_policy("nonsense")
 
+    def test_with_mcs(self):
+        config = SystemConfig().with_mcs(4)
+        assert config.mc.n_mcs == 4
+        # everything else untouched
+        assert config.mc.wpq_entries == SystemConfig().mc.wpq_entries
+
+    def test_mc_config_validates(self):
+        from dataclasses import replace
+
+        base = SystemConfig()
+        with pytest.raises(ValueError):
+            base.with_mcs(0)
+        with pytest.raises(ValueError):
+            replace(base.mc, channels_per_mc=0)
+        with pytest.raises(ValueError):
+            replace(base.mc, wpq_entries=1)
+
     def test_describe_mentions_key_rows(self):
         rows = SystemConfig().describe()
         assert "Persist Path" in rows

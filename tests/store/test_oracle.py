@@ -1,0 +1,165 @@
+"""The store-level differential oracle and the acked-write theorem."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.config import DEFAULT_CONFIG
+from repro.core.failure import reference_pm
+from repro.faults import ALL_ON, FaultEvent, FaultyMachine
+from repro.store import (
+    RESP_DEVICE,
+    StoreLayout,
+    StoreModel,
+    build_store_program,
+    check_recovery,
+    generate_workload,
+    visible_state,
+)
+
+
+def compiled_store(requests, keyspace=10, value_words=2, slack=1.5):
+    layout = StoreLayout.sized(
+        keyspace, value_words=value_words,
+        max_batch=len(requests), slack=slack,
+    )
+    prog, lay = build_store_program(layout, baked_requests=requests)
+    return compile_program(prog, DEFAULT_CONFIG.compiler), lay
+
+
+def committed_image(requests, **kwargs):
+    compiled, lay = compiled_store(requests, **kwargs)
+    machine = FaultyMachine(compiled, config=DEFAULT_CONFIG, defenses=ALL_ON)
+    machine.run()
+    machine.finish_messages()
+    assert machine.finished
+    return machine, lay
+
+
+class TestVisibleState:
+    def test_detects_torn_value_words(self):
+        requests = generate_workload("ycsb-a", 20, keyspace=6, seed=2)
+        machine, lay = committed_image(requests, keyspace=6)
+        visible, problems = visible_state(machine.pm, lay)
+        assert problems == []
+        # corrupt one visible record's value word
+        key, seed = next(iter(visible.items()))
+        slot = lay.slot_of(key)
+        while machine.pm.get(lay.idx_keys + slot, 0) != key + 1:
+            slot = (slot + 1) & (lay.capacity - 1)
+        ptr = machine.pm[lay.idx_ptrs + slot]
+        image = dict(machine.pm)
+        image[ptr] = seed + 9999
+        _, problems = visible_state(image, lay)
+        assert any("torn value words" in p for p in problems)
+
+    def test_detects_dangling_pointer(self):
+        requests = generate_workload("ycsb-a", 10, keyspace=6, seed=2)
+        machine, lay = committed_image(requests, keyspace=6)
+        image = dict(machine.pm)
+        # a pointer on a slot that was never claimed
+        for slot in range(lay.capacity):
+            if image.get(lay.idx_keys + slot, 0) == 0:
+                image[lay.idx_ptrs + slot] = lay.heap + 1
+                break
+        _, problems = visible_state(image, lay)
+        assert any("unclaimed slot" in p for p in problems)
+
+
+class TestCheckRecovery:
+    def test_clean_final_image_passes_with_all_acked(self):
+        requests = generate_workload("crud", 30, keyspace=8, seed=5)
+        machine, lay = committed_image(requests, keyspace=8)
+        acked = {e[3] for e in machine.io_log if e[1] == RESP_DEVICE}
+        assert acked == set(range(len(requests)))
+        base = StoreModel(lay)
+        violations = check_recovery(machine.pm, acked, base, requests, 0)
+        assert violations == []
+
+    def test_flags_non_prefix_acks(self):
+        requests = generate_workload("ycsb-a", 10, keyspace=6, seed=1)
+        machine, lay = committed_image(requests, keyspace=6)
+        base = StoreModel(lay)
+        holey = set(range(len(requests))) - {3}
+        violations = check_recovery(machine.pm, holey, base, requests, 0)
+        assert any("not a prefix" in v for v in violations)
+
+    def test_flags_lost_acked_write(self):
+        requests = generate_workload("ycsb-a", 16, keyspace=6, seed=8)
+        machine, lay = committed_image(requests, keyspace=6)
+        acked = {e[3] for e in machine.io_log if e[1] == RESP_DEVICE}
+        base = StoreModel(lay)
+        # erase one acked PUT's visible record: acked-but-lost
+        visible, _ = visible_state(machine.pm, lay)
+        key = next(iter(visible))
+        slot = lay.slot_of(key)
+        image = dict(machine.pm)
+        while image.get(lay.idx_keys + slot, 0) != key + 1:
+            slot = (slot + 1) & (lay.capacity - 1)
+        image[lay.idx_ptrs + slot] = 0
+        violations = check_recovery(image, acked, base, requests, 0)
+        assert violations
+
+
+class TestAckedWriteTheorem:
+    """The acceptance property: a crash at *any* seeded point recovers
+    with zero acked-write loss and zero dirty reads."""
+
+    def test_crash_sweep_zero_violations(self):
+        requests = generate_workload("crud", 40, keyspace=10, seed=3)
+        compiled, lay = compiled_store(requests, keyspace=10, slack=1.3)
+        reference = reference_pm(compiled)
+
+        probe = FaultyMachine(compiled, config=DEFAULT_CONFIG,
+                              defenses=ALL_ON)
+        probe.run()
+        probe.finish_messages()
+        total = probe.stats.steps
+
+        base = StoreModel(lay)
+        checked = 0
+        for point in range(1, total, max(1, total // 40)):
+            machine = FaultyMachine(compiled, config=DEFAULT_CONFIG,
+                                    defenses=ALL_ON)
+            machine.run(steps=point)
+            if machine.finished:
+                break
+            machine.crash(FaultEvent("cut", step=point))
+            acked = {
+                e[3] for e in machine.io_log if e[1] == RESP_DEVICE
+            }
+            violations = check_recovery(
+                machine.pm, acked, base, requests, 0
+            )
+            assert violations == [], (point, violations)
+            checked += 1
+            # the resumed run must still converge to the reference
+            machine.run()
+            machine.finish_messages()
+            assert machine.finished
+            assert machine.pm_data() == reference, point
+        assert checked >= 30
+
+    def test_torn_crash_sweep_zero_violations(self):
+        requests = generate_workload("ycsb-a", 24, keyspace=8, seed=6)
+        compiled, lay = compiled_store(requests, keyspace=8)
+        base = StoreModel(lay)
+        probe = FaultyMachine(compiled, config=DEFAULT_CONFIG,
+                              defenses=ALL_ON)
+        probe.run()
+        probe.finish_messages()
+        total = probe.stats.steps
+        for k in range(10):
+            point = 1 + (total * k) // 10
+            machine = FaultyMachine(compiled, config=DEFAULT_CONFIG,
+                                    defenses=ALL_ON)
+            machine.run(steps=point)
+            if machine.finished:
+                break
+            machine.crash(FaultEvent("cut", step=point, torn_index=0))
+            acked = {
+                e[3] for e in machine.io_log if e[1] == RESP_DEVICE
+            }
+            violations = check_recovery(
+                machine.pm, acked, base, requests, 0
+            )
+            assert violations == [], (point, violations)

@@ -1,0 +1,179 @@
+"""The compiled store operations against the executable model."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.compiler.interp import ThreadVM
+from repro.config import DEFAULT_CONFIG
+from repro.core.failure import reference_pm
+from repro.core.machine import PersistentMachine
+from repro.store import (
+    StoreLayout,
+    StoreModel,
+    build_store_program,
+    checksum,
+    generate_workload,
+    request_words,
+    visible_state,
+)
+from repro.store.layout import META_COMPACTIONS, META_DROPS, OP_GET, OP_PUT
+
+
+def baked(requests, keyspace=12, value_words=2, slack=1.5):
+    layout = StoreLayout.sized(
+        keyspace,
+        value_words=value_words,
+        max_batch=len(requests),
+        slack=slack,
+    )
+    return build_store_program(layout, baked_requests=requests)
+
+
+def run_interp(prog):
+    vm = ThreadVM(prog, "main")
+    while not vm.halted:
+        if vm.step() is None:
+            raise RuntimeError("store program blocked")
+        if vm.steps > 2_000_000:
+            raise RuntimeError("store program diverged")
+    return vm
+
+
+def word(vm, addr):
+    return vm.memory.words.get(addr, 0)
+
+
+class TestInterpVsModel:
+    def test_crud_results_match_model(self):
+        requests = generate_workload("crud", 60, keyspace=12, seed=3)
+        prog, lay = baked(requests)
+        vm = run_interp(prog)
+        model = StoreModel(lay)
+        want = model.apply_all(requests)
+        got = [word(vm, lay.out + i) for i in range(len(requests))]
+        assert got == want
+        # the tight heap sizing forces real compaction work
+        assert word(vm, lay.meta + META_COMPACTIONS) >= 1
+        assert word(vm, lay.meta + META_DROPS) == model.drops
+
+    def test_every_mix_matches_model(self):
+        from repro.store import MIXES
+
+        for mix in MIXES:
+            requests = generate_workload(mix, 30, keyspace=8, seed=7)
+            prog, lay = baked(requests, keyspace=8)
+            vm = run_interp(prog)
+            model = StoreModel(lay)
+            want = model.apply_all(requests)
+            got = [word(vm, lay.out + i) for i in range(len(requests))]
+            assert got == want, mix
+
+    def test_get_returns_checksum_and_miss(self):
+        requests = [(OP_PUT, 3, 100), (OP_GET, 3, 0), (OP_GET, 5, 0)]
+        prog, lay = baked(requests, keyspace=8)
+        vm = run_interp(prog)
+        assert word(vm, lay.out + 0) == checksum(100, lay.value_words)
+        assert word(vm, lay.out + 1) == checksum(100, lay.value_words)
+        assert word(vm, lay.out + 2) == -1
+
+    def test_full_heap_drops_puts(self):
+        # heap fits only a couple of records and compaction cannot help
+        # once the live set itself exceeds a half
+        lay = StoreLayout(
+            keyspace=8, capacity=16, half_words=6, value_words=2,
+            max_batch=8,
+        )
+        requests = [(OP_PUT, k, 10 * k) for k in range(1, 7)]
+        prog, placed = build_store_program(lay, baked_requests=requests)
+        vm = run_interp(prog)
+        model = StoreModel(placed)
+        want = model.apply_all(requests)
+        got = [word(vm, placed.out + i) for i in range(len(requests))]
+        assert got == want
+        assert model.drops > 0
+        assert word(vm, placed.meta + META_DROPS) == model.drops
+        assert -2 in got
+
+    def test_visible_state_matches_model_kv(self):
+        requests = generate_workload("crud", 50, keyspace=10, seed=9)
+        prog, lay = baked(requests, keyspace=10)
+        vm = run_interp(prog)
+        model = StoreModel(lay)
+        model.apply_all(requests)
+        visible, problems = visible_state(vm.memory.words, lay)
+        assert problems == []
+        assert visible == model.kv
+
+
+class TestOnTheMachine:
+    def test_machine_run_matches_reference_and_model(self):
+        requests = generate_workload("ycsb-a", 40, keyspace=10, seed=4)
+        prog, lay = baked(requests, keyspace=10)
+        compiled = compile_program(prog, DEFAULT_CONFIG.compiler)
+        machine = PersistentMachine(compiled)
+        machine.run()
+        assert machine.finished
+        assert machine.pm_data() == reference_pm(compiled)
+        model = StoreModel(lay)
+        model.apply_all(requests)
+        visible, problems = visible_state(machine.pm, lay)
+        assert problems == []
+        assert visible == model.kv
+
+    def test_response_io_payloads_are_request_ids(self):
+        requests = generate_workload("ycsb-c", 10, keyspace=6, seed=1)
+        prog, lay = baked(requests, keyspace=6)
+        compiled = compile_program(prog, DEFAULT_CONFIG.compiler)
+        machine = PersistentMachine(compiled)
+        machine.run()
+        from repro.store import RESP_DEVICE
+
+        acked = [e[3] for e in machine.io_log if e[1] == RESP_DEVICE]
+        assert acked == list(range(len(requests)))
+
+    def test_runtime_request_ring_equivalent_to_baked(self):
+        """Seeding the request ring into memory (the server's persistent
+        NIC model) must behave exactly like baking the batch into the
+        program."""
+        requests = generate_workload("ycsb-a", 20, keyspace=8, seed=6)
+        layout = StoreLayout.sized(8, value_words=2, max_batch=len(requests))
+        prog, lay = build_store_program(layout)
+        compiled = compile_program(prog, DEFAULT_CONFIG.compiler)
+        machine = PersistentMachine(compiled)
+        ring = request_words(lay, requests)
+        machine.pm.update(ring)
+        machine.volatile.words.update(ring)
+        machine.run()
+        assert machine.finished
+        model = StoreModel(lay)
+        want = model.apply_all(requests)
+        got = [machine.pm.get(lay.out + i, 0) for i in range(len(requests))]
+        assert got == want
+
+
+class TestLayout:
+    def test_sizing_invariants_enforced(self):
+        with pytest.raises(ValueError):
+            StoreLayout(keyspace=8, capacity=15, half_words=64,
+                        value_words=2, max_batch=4)
+        with pytest.raises(ValueError):
+            StoreLayout(keyspace=8, capacity=8, half_words=64,
+                        value_words=2, max_batch=4)
+        with pytest.raises(ValueError):
+            StoreLayout(keyspace=8, capacity=16, half_words=3,
+                        value_words=2, max_batch=4)
+
+    def test_place_is_deterministic(self):
+        from repro.compiler.ir import Program
+
+        layout = StoreLayout.sized(16, value_words=3)
+        a = layout.place(Program("a"))
+        b = layout.place(Program("b"))
+        assert a == b
+        assert a.idx_keys > 0 and a.out > a.reqs > a.meta > a.heap
+
+    def test_slot_of_stays_in_capacity(self):
+        layout = StoreLayout.sized(32)
+        slots = {layout.slot_of(k) for k in range(1, 33)}
+        assert all(0 <= s < layout.capacity for s in slots)
+        assert len(slots) > 16  # the hash spreads keys out

@@ -18,6 +18,13 @@ class TestCLI:
         assert "WHISPER" in out
         assert "fig7" in out
 
+    def test_list_includes_store_mixes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "STORE" in out
+        assert "ycsb-a" in out
+        assert "store-crud" in out
+
     def test_run_benchmark(self, capsys):
         assert main(["run", "namd", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
@@ -54,3 +61,36 @@ class TestCLI:
 
     def test_crash_sweep_unknown(self, capsys):
         assert main(["crash-sweep", "nope"]) == 2
+
+
+class TestServeCLI:
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "p50=" in out
+        assert "acked-write oracle: PASS" in out
+
+    def test_serve_smoke_deterministic(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--smoke", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "nope"]) == 2
+
+    def test_serve_crash_options(self, capsys):
+        assert main([
+            "serve", "--workload", "crud", "--ops", "60",
+            "--keys", "16", "--batch", "16", "--shards", "2",
+            "--seed", "3", "--crash-epoch", "1", "--crash-torn",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out
+        assert "acked-write oracle: PASS" in out
+
+    def test_faults_list_mentions_store_targets(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "store-ycsb-a" in out
