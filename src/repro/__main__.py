@@ -12,6 +12,9 @@ Commands:
                    ``replay``, ``list``)
 * ``compile``    — compile a textual-IR (.lir) file and print the
                    instrumented program (regions, checkpoints)
+* ``verify``     — statically verify compiled programs against the five
+                   recoverability rules (``--self-test`` runs the
+                   mutation harness that proves each rule can fire)
 * ``list``       — the 38 applications and the available schemes
 """
 
@@ -95,6 +98,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.scheme not in SCHEMES:
         print("unknown scheme %r (see `list`)" % args.scheme)
         return 2
+    if args.verify:
+        from .verify import VerificationError
+
+        try:
+            compile_program(
+                BENCHMARKS[args.benchmark].build(scale=args.scale),
+                DEFAULT_CONFIG.compiler,
+                verify=True,
+            )
+        except VerificationError as exc:
+            print("static verification FAILED, refusing to run:")
+            print(exc)
+            return 1
     ctx = ExperimentContext(scale=args.scale, benchmarks=[args.benchmark])
     slowdown, result = ctx.slowdown(args.benchmark, SCHEMES[args.scheme])
     print("%s under %s:" % (args.benchmark, args.scheme))
@@ -139,6 +155,83 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .config import CompilerConfig
+    from .store.bench import STORE_BENCHMARKS
+    from .verify import self_validate, verify_compiled
+
+    if args.self_test:
+        outcomes = self_validate()
+        ok = True
+        for rule, outcome in sorted(outcomes.items()):
+            status = "caught" if outcome.ok else "MISSED"
+            print("%s %-44s %s" % (rule, outcome.description, status))
+            print("    seeded: %s" % outcome.seeded_at)
+            if not outcome.ok:
+                ok = False
+                for diag in outcome.diagnostics[:5]:
+                    print("    " + diag.format().splitlines()[0])
+        print("self-test: %s" % ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+
+    config = CompilerConfig(store_threshold=args.threshold)
+    targets = []
+    if args.targets:
+        for name in args.targets:
+            if name.endswith(".lir"):
+                with open(name) as fh:
+                    targets.append((name, parse_program(fh.read())))
+            elif name in BENCHMARKS:
+                targets.append(
+                    (name, BENCHMARKS[name].build(scale=args.scale))
+                )
+            elif name in STORE_BENCHMARKS:
+                targets.append(
+                    (name, STORE_BENCHMARKS[name].build(scale=args.scale))
+                )
+            else:
+                print("unknown target %r: not a benchmark, store program, "
+                      "or .lir file (see `list`)" % name)
+                return 2
+    else:
+        for name, bench in list(BENCHMARKS.items()) + list(
+            STORE_BENCHMARKS.items()
+        ):
+            targets.append((name, bench.build(scale=args.scale)))
+
+    reports = []
+    failed = 0
+    for name, program in targets:
+        compiled = compile_program(program, config, verify=False)
+        report = verify_compiled(compiled)
+        reports.append((name, report))
+        if report.errors():
+            failed += 1
+        status = "FAIL" if report.errors() else (
+            "pass (%d warning(s))" % len(report.warnings())
+            if report.warnings() else "pass"
+        )
+        print("%-16s %s" % (name, status))
+        if report.errors() or (args.verbose and report.warnings()):
+            for line in report.format(limit=args.limit).splitlines()[1:]:
+                print("  " + line)
+
+    if args.json:
+        payload = {
+            "threshold": args.threshold,
+            "targets": {name: report.to_json() for name, report in reports},
+            "failed": failed,
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+
+    print("verified %d target(s): %d failure(s)" % (len(reports), failed))
+    return 1 if failed else 0
+
+
 def cmd_crash_sweep(args: argparse.Namespace) -> int:
     if args.benchmark not in BENCHMARKS:
         print("unknown benchmark %r (see `list`)" % args.benchmark)
@@ -171,21 +264,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("unknown workload %r (choose from: %s)"
               % (args.workload, ", ".join(MIXES)))
         return 2
-    report = run_serve(
-        workload=args.workload,
-        ops=args.ops,
-        shards=args.shards,
-        seed=args.seed,
-        keyspace=args.keys,
-        value_words=args.value_words,
-        batch=args.batch,
-        dist=args.dist,
-        crash_epoch=args.crash_epoch,
-        crash_seed=args.crash_seed,
-        crash_torn=args.crash_torn,
-        crash_step=args.crash_step,
-        progress=print,
-    )
+    from .verify import VerificationError
+
+    try:
+        report = run_serve(
+            workload=args.workload,
+            ops=args.ops,
+            shards=args.shards,
+            seed=args.seed,
+            keyspace=args.keys,
+            value_words=args.value_words,
+            batch=args.batch,
+            dist=args.dist,
+            crash_epoch=args.crash_epoch,
+            crash_seed=args.crash_seed,
+            crash_torn=args.crash_torn,
+            crash_step=args.crash_step,
+            progress=print,
+            verify=True if args.verify else None,
+        )
+    except VerificationError as exc:
+        print("static verification FAILED, refusing to serve:")
+        print(exc)
+        return 1
     print("%s/%s seed=%d: %d requests (%d load + %d mixed) over %d shard(s)"
           % (report.workload, report.dist, report.seed, report.total_ops,
              report.load_ops, report.ops, len(report.shards)))
@@ -243,14 +344,22 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.workload == "store" and benchmarks is None:
         benchmarks = list(STORE_CAMPAIGN_BENCHMARKS)
     trace_path = args.trace or ("faults-campaign-seed%d.jsonl" % args.seed)
-    result = run_campaign(
-        seed=args.seed,
-        benchmarks=benchmarks,
-        scale=args.scale,
-        trace_path=trace_path,
-        validate_defenses=not args.no_validate,
-        progress=print,
-    )
+    from .verify import VerificationError
+
+    try:
+        result = run_campaign(
+            seed=args.seed,
+            benchmarks=benchmarks,
+            scale=args.scale,
+            trace_path=trace_path,
+            validate_defenses=not args.no_validate,
+            progress=print,
+            verify=True if args.verify else None,
+        )
+    except VerificationError as exc:
+        print("static verification FAILED, refusing to inject faults:")
+        print(exc)
+        return 1
     print()
     print("campaign: %d scenarios over %d benchmarks x %d fault classes"
           % (result.scenarios_run, len(result.benchmarks),
@@ -287,6 +396,10 @@ def main(argv=None) -> int:
     p_run.add_argument("benchmark")
     p_run.add_argument("--scheme", default="LightWSP")
     p_run.add_argument("--scale", type=float, default=0.1)
+    p_run.add_argument(
+        "--verify", action="store_true",
+        help="statically verify the compiled benchmark before running",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate one figure")
     p_fig.add_argument("name")
@@ -326,10 +439,43 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="small fixed-cost run with a crash (CI smoke test)",
     )
+    p_serve.add_argument(
+        "--verify", action="store_true",
+        help="statically verify every epoch's program before serving",
+    )
 
     p_compile = sub.add_parser("compile", help="compile a .lir file")
     p_compile.add_argument("file")
     p_compile.add_argument("--threshold", type=int, default=32)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="statically verify compiled programs (5 recoverability rules)",
+    )
+    p_verify.add_argument(
+        "targets", nargs="*",
+        help="benchmark names, store programs, or .lir files "
+             "(default: the full suite + store benchmarks)",
+    )
+    p_verify.add_argument("--threshold", type=int, default=32)
+    p_verify.add_argument("--scale", type=float, default=1.0)
+    p_verify.add_argument(
+        "--self-test", action="store_true",
+        help="run the mutation harness: seed one violation per rule and "
+             "check each is caught with a witness",
+    )
+    p_verify.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write all diagnostics to a JSON file",
+    )
+    p_verify.add_argument(
+        "--limit", type=int, default=10,
+        help="max diagnostics printed per target",
+    )
+    p_verify.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print warnings for passing targets",
+    )
 
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
     p_sweep.add_argument("benchmark")
@@ -367,6 +513,11 @@ def main(argv=None) -> int:
         "--no-validate", action="store_true",
         help="skip the defense-off self-validation pass",
     )
+    p_camp.add_argument(
+        "--verify", action="store_true",
+        help="statically verify each compiled benchmark before "
+             "injecting faults",
+    )
     p_replay = fsub.add_parser(
         "replay", help="re-run every scenario of a recorded trace"
     )
@@ -381,6 +532,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "serve": cmd_serve,
         "compile": cmd_compile,
+        "verify": cmd_verify,
         "crash-sweep": cmd_crash_sweep,
         "faults": cmd_faults,
     }[args.command]

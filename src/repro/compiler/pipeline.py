@@ -17,6 +17,7 @@ dynamic counterparts).
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,7 +34,34 @@ from .opt import optimize_function
 from .regions import RegionFormationStats, form_regions
 from .unroll import UnrollStats, unroll_loops
 
-__all__ = ["CompiledProgram", "CompileStats", "compile_program", "clone_program"]
+__all__ = [
+    "CompiledProgram",
+    "CompileStats",
+    "compile_program",
+    "clone_program",
+    "set_default_verify",
+]
+
+#: process-wide default for post-compile verification; None falls back to
+#: the REPRO_VERIFY environment variable (tests/conftest.py turns it on
+#: for the whole suite).
+_DEFAULT_VERIFY: Optional[bool] = None
+
+
+def set_default_verify(enabled: Optional[bool]) -> None:
+    """Set the process-wide default for ``compile_program(verify=None)``.
+
+    ``None`` restores the environment-driven default (``REPRO_VERIFY``)."""
+    global _DEFAULT_VERIFY
+    _DEFAULT_VERIFY = enabled
+
+
+def _verify_enabled(verify: Optional[bool]) -> bool:
+    if verify is not None:
+        return verify
+    if _DEFAULT_VERIFY is not None:
+        return _DEFAULT_VERIFY
+    return os.environ.get("REPRO_VERIFY", "") not in ("", "0", "false", "off")
 
 
 @dataclass
@@ -91,9 +119,17 @@ def clone_program(program: Program) -> Program:
 
 
 def compile_program(
-    program: Program, config: Optional[CompilerConfig] = None
+    program: Program,
+    config: Optional[CompilerConfig] = None,
+    verify: Optional[bool] = None,
 ) -> CompiledProgram:
-    """Run the full Fig. 3 pipeline on a clone of ``program``."""
+    """Run the full Fig. 3 pipeline on a clone of ``program``.
+
+    ``verify=True`` re-checks the output with the independent static
+    verifier (:mod:`repro.verify`) and raises
+    :class:`~repro.verify.VerificationError` on any rule violation.
+    ``verify=None`` defers to :func:`set_default_verify` and then the
+    ``REPRO_VERIFY`` environment variable; the default is off."""
     config = config or CompilerConfig()
     program.validate()
     prog = clone_program(program)
@@ -119,6 +155,15 @@ def compile_program(
             stats.max_region_stores, max_region_store_count(func)
         )
     prog.validate()
+
+    if _verify_enabled(verify):
+        # Imported lazily: repro.verify audits this module's output and
+        # importing it at module scope would be circular.
+        from ..verify import VerificationError, verify_compiled
+
+        report = verify_compiled(compiled)
+        if not report.ok:
+            raise VerificationError(report)
     return compiled
 
 

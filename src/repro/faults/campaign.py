@@ -380,9 +380,13 @@ def run_campaign(
     trace_path: Optional[str] = None,
     validate_defenses: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    verify: Optional[bool] = None,
 ) -> CampaignResult:
     """Run the full deterministic campaign.  Same seed, same benchmarks,
-    same scale -> bit-identical trace (modulo the trace path)."""
+    same scale -> bit-identical trace (modulo the trace path).
+
+    ``verify=True`` statically verifies each compiled benchmark (see
+    :mod:`repro.verify`) before injecting any fault into it."""
     names = list(benchmarks or DEFAULT_CAMPAIGN_BENCHMARKS)
     say = progress or (lambda msg: None)
     trace = FaultTrace(trace_path) if trace_path else NullTrace()
@@ -407,7 +411,9 @@ def run_campaign(
                 "(got %r); the strict differential oracle does not "
                 "apply to racy interleavings" % name
             )
-        compiled = compile_program(bench.build(scale=scale), config.compiler)
+        compiled = compile_program(
+            bench.build(scale=scale), config.compiler, verify=verify
+        )
         compiled_cache[name] = compiled
         probe = _probe_benchmark(compiled, config)
         probes[name] = probe

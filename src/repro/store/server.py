@@ -161,11 +161,13 @@ class StoreServer:
         config: SystemConfig = DEFAULT_CONFIG,
         seed: int = 0,
         progress: Optional[Callable[[str], None]] = None,
+        verify: Optional[bool] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.config = config
         self.seed = seed
+        self.verify = verify
         # pin the absolute array addresses now; every epoch's program
         # places the same sizing in the same order, so the bases agree
         self.layout = layout.place(Program("layout-probe"))
@@ -201,7 +203,7 @@ class StoreServer:
         prog, placed = build_store_program(lay, epoch_base=first_id)
         if placed != lay:
             raise RuntimeError("store layout moved between epochs")
-        compiled = compile_program(prog, self.config.compiler)
+        compiled = compile_program(prog, self.config.compiler, verify=self.verify)
         machine = FaultyMachine(
             compiled, config=self.config, defenses=ALL_ON, max_steps=8_000_000
         )
@@ -380,8 +382,12 @@ def run_serve(
     crash_step: Optional[int] = None,
     config: SystemConfig = DEFAULT_CONFIG,
     progress: Optional[Callable[[str], None]] = None,
+    verify: Optional[bool] = None,
 ) -> ServeReport:
-    """Generate, shard, and serve a workload; see :class:`ServeReport`."""
+    """Generate, shard, and serve a workload; see :class:`ServeReport`.
+
+    ``verify=True`` statically verifies every epoch's compiled program
+    (see :mod:`repro.verify`) before serving from it."""
     requests = generate_workload(
         workload, ops, keyspace, seed=seed, dist=dist
     )
@@ -389,7 +395,8 @@ def run_serve(
         keyspace, value_words=value_words, max_batch=batch
     )
     server = StoreServer(
-        shards, layout, config=config, seed=seed, progress=progress
+        shards, layout, config=config, seed=seed, progress=progress,
+        verify=verify,
     )
     server.submit(requests)
     server.serve(

@@ -1,0 +1,58 @@
+"""Independent static verification of compiled LightWSP programs.
+
+The compiler passes in :mod:`repro.compiler` *establish* the paper's
+recoverability invariants; this package *checks* them from scratch, the
+way PSan-style persistency analyses audit flush/fence insertion rather
+than trusting the instrumenting pass.  The verifier shares only the IR
+data structures with the compiler — the CFG, dominators, back edges,
+liveness, and region reasoning are all re-derived here by independent
+implementations, so a bug in region combining, speculative unrolling, or
+checkpoint pruning cannot hide inside the analysis that is supposed to
+catch it.
+
+Five rules, one per paper invariant (see DESIGN.md "Static verification"):
+
+* **R1 store-budget** — no boundary-free CFG path accumulates more
+  store-like instructions than the threshold (WPQ/2), so a region can
+  always be held back in the write-pending queues.
+* **R2 checkpoint-completeness** — every register live-out at a boundary
+  is covered by that boundary's recovery plan (physically checkpointed or
+  reconstructible), including after pruning.
+* **R3 boundary-coverage** — boundaries sit at function entry/exit,
+  around callsites and irrevocable I/O, before synchronization, and at
+  the header of every storing loop.
+* **R4 region-wellformedness** — no boundary-free cycle contains a
+  store, so region IDs advance monotonically along every dynamic path and
+  no region spans a back edge after unrolling.
+* **R5 checkpoint-slot-safety** — checkpoint slots are written in the
+  region whose boundary needs them and never clobbered by provable data
+  stores; pruned recipes only read slots that are fresh at their boundary.
+
+Entry points: :func:`verify_compiled` (a ``CompiledProgram``),
+:func:`verify_program` (program + plans + explicit config), and the
+mutation self-validation harness in :mod:`repro.verify.mutate`.
+"""
+
+from .model import (
+    RULES,
+    Diagnostic,
+    VerificationError,
+    VerifyConfig,
+    VerifyReport,
+)
+from .mutate import MutationOutcome, mutation_catalog, self_validate
+from .verifier import verify_compiled, verify_function, verify_program
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "VerificationError",
+    "VerifyConfig",
+    "VerifyReport",
+    "MutationOutcome",
+    "mutation_catalog",
+    "self_validate",
+    "verify_compiled",
+    "verify_function",
+    "verify_program",
+]

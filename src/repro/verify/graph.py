@@ -1,0 +1,188 @@
+"""Instruction-granularity control-flow graph, re-derived from the IR.
+
+The compiler's own :mod:`repro.compiler.cfg` works at block granularity
+with iterative dominator *sets*; the verifier deliberately uses different
+machinery — an instruction-level node graph and the Cooper-Harvey-Kennedy
+immediate-dominator algorithm — so the two cannot share a bug.
+
+Nodes are ``(block_label, instruction_index)`` pairs.  Within a block,
+instruction ``i`` flows to ``i+1``; a terminator flows to the first
+instruction of each target block; ``ret`` flows nowhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..compiler.ir import Function, Instr, Op
+
+__all__ = ["Node", "InstrGraph"]
+
+#: one program point
+Node = Tuple[str, int]
+
+
+class InstrGraph:
+    """Successor/predecessor maps over a function's instructions, plus
+    dominator-based loop structure at block granularity."""
+
+    def __init__(self, func: Function) -> None:
+        if func.entry is None:
+            raise ValueError("function %s has no entry block" % func.name)
+        self.func = func
+        self.entry: Node = (func.entry, 0)
+        self.succs: Dict[Node, Tuple[Node, ...]] = {}
+        self.preds: Dict[Node, List[Node]] = {}
+
+        for label, block in func.blocks.items():
+            if not block.instrs:
+                raise ValueError(
+                    "empty block %s in %s" % (label, func.name)
+                )
+            for i, instr in enumerate(block.instrs):
+                node = (label, i)
+                if i + 1 < len(block.instrs):
+                    succ: Tuple[Node, ...] = ((label, i + 1),)
+                elif instr.op == Op.RET:
+                    succ = ()
+                else:
+                    succ = tuple((t, 0) for t in instr.targets)
+                self.succs[node] = succ
+                self.preds.setdefault(node, [])
+                for s in succ:
+                    self.preds.setdefault(s, []).append(node)
+
+        self.reachable: Set[Node] = self._reach(self.entry)
+        # Block-level edge relation among reachable blocks, for loop
+        # structure (loops are a block-level notion).
+        self._block_succs: Dict[str, Tuple[str, ...]] = {}
+        for label, block in func.blocks.items():
+            if (label, 0) in self.reachable:
+                self._block_succs[label] = tuple(
+                    t for t in block.instrs[-1].targets
+                ) if block.instrs[-1].op != Op.RET else ()
+        self._idom: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------
+    def instr(self, node: Node) -> Instr:
+        return self.func.blocks[node[0]].instrs[node[1]]
+
+    def render(self, node: Node) -> str:
+        return "%s:%s:%d  %s" % (
+            self.func.name, node[0], node[1], self.instr(node)
+        )
+
+    def nodes(self) -> Iterable[Node]:
+        return self.succs.keys()
+
+    def _reach(self, start: Node) -> Set[Node]:
+        seen: Set[Node] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.succs[node])
+        return seen
+
+    # ------------------------------------------------------------------
+    # Block-level dominators (Cooper-Harvey-Kennedy) and loops
+    # ------------------------------------------------------------------
+    def _block_rpo(self) -> List[str]:
+        order: List[str] = []
+        seen: Set[str] = set()
+        stack: List[Tuple[str, int]] = [(self.func.entry, 0)]
+        seen.add(self.func.entry)
+        while stack:
+            label, i = stack.pop()
+            succs = self._block_succs.get(label, ())
+            if i < len(succs):
+                stack.append((label, i + 1))
+                nxt = succs[i]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(label)
+        order.reverse()
+        return order
+
+    def idoms(self) -> Dict[str, str]:
+        """Immediate dominators of reachable blocks (entry maps to itself)."""
+        if self._idom is not None:
+            return self._idom
+        rpo = self._block_rpo()
+        index = {label: i for i, label in enumerate(rpo)}
+        block_preds: Dict[str, List[str]] = {label: [] for label in rpo}
+        for label in rpo:
+            for succ in self._block_succs.get(label, ()):
+                if succ in index:
+                    block_preds[succ].append(label)
+
+        idom: Dict[str, str] = {self.func.entry: self.func.entry}
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.func.entry:
+                    continue
+                candidates = [p for p in block_preds[label] if p in idom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom.get(label) != new:
+                    idom[label] = new
+                    changed = True
+        self._idom = idom
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b``."""
+        idom = self.idoms()
+        if b not in idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+    def back_edges(self) -> List[Tuple[str, str]]:
+        """Block edges (tail -> head) where the head dominates the tail."""
+        edges: List[Tuple[str, str]] = []
+        for tail, succs in sorted(self._block_succs.items()):
+            for head in succs:
+                if self.dominates(head, tail):
+                    edges.append((tail, head))
+        return edges
+
+    def loop_body(self, tail: str, head: str) -> Set[str]:
+        """Blocks of the natural loop of back edge ``tail -> head``."""
+        body: Set[str] = {head}
+        block_preds: Dict[str, List[str]] = {}
+        for label, succs in self._block_succs.items():
+            for succ in succs:
+                block_preds.setdefault(succ, []).append(label)
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            if label in body:
+                continue
+            body.add(label)
+            stack.extend(block_preds.get(label, []))
+        return body

@@ -1,0 +1,101 @@
+"""From-scratch backward liveness at instruction granularity.
+
+This is the verifier's own dataflow, independent of
+:mod:`repro.compiler.liveness` (which works block-wise with use/def
+summaries).  Two deliberate differences matter:
+
+* **granularity** — live sets are computed per instruction node over the
+  :class:`~repro.verify.graph.InstrGraph`, so a boundary's live-out set
+  falls straight out of the fixpoint rather than out of an intra-block
+  replay;
+* **checkpoint transparency** — ``checkpoint`` reads are instrumentation,
+  not program semantics: the recovery contract ("plan covers every
+  live-out") is defined over the *uninstrumented* liveness, and treating
+  checkpoint operands as uses would let the instrumentation justify
+  itself.  ``boundary`` has no uses or defs either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..compiler.ir import Instr, Op
+from .graph import InstrGraph, Node
+
+__all__ = ["InstrLiveness"]
+
+
+def _uses(instr: Instr) -> Tuple[str, ...]:
+    if instr.op == Op.CHECKPOINT:
+        return ()
+    return instr.uses()
+
+
+class InstrLiveness:
+    """Per-node live-in/live-out register sets."""
+
+    def __init__(self, graph: InstrGraph) -> None:
+        self.graph = graph
+        self.live_in: Dict[Node, FrozenSet[str]] = {}
+        self.live_out: Dict[Node, FrozenSet[str]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        graph = self.graph
+        nodes = list(graph.nodes())
+        empty: FrozenSet[str] = frozenset()
+        for node in nodes:
+            self.live_in[node] = empty
+            self.live_out[node] = empty
+        # Worklist seeded with every node; a change re-queues predecessors.
+        pending: List[Node] = list(nodes)
+        in_queue: Set[Node] = set(nodes)
+        while pending:
+            node = pending.pop()
+            in_queue.discard(node)
+            instr = graph.instr(node)
+            out: Set[str] = set()
+            for succ in graph.succs[node]:
+                out |= self.live_in[succ]
+            new_in = (out - set(instr.defs())) | set(_uses(instr))
+            frozen_out = frozenset(out)
+            frozen_in = frozenset(new_in)
+            if (
+                frozen_out == self.live_out[node]
+                and frozen_in == self.live_in[node]
+            ):
+                continue
+            self.live_out[node] = frozen_out
+            self.live_in[node] = frozen_in
+            for pred in graph.preds.get(node, ()):
+                if pred not in in_queue:
+                    in_queue.add(pred)
+                    pending.append(pred)
+
+    # ------------------------------------------------------------------
+    def first_use_path(self, start: Node, reg: str, limit: int = 64):
+        """A shortest path (list of nodes) from ``start``'s successors to
+        an instruction that *uses* ``reg`` before any redefinition — the
+        witness that ``reg`` really is live-out of ``start``.  Returns
+        None when no such use exists (i.e. ``reg`` is not live)."""
+        graph = self.graph
+        frontier: List[Tuple[Node, Tuple[Node, ...]]] = [
+            (succ, (succ,)) for succ in graph.succs[start]
+        ]
+        seen: Set[Node] = set()
+        while frontier:
+            next_frontier: List[Tuple[Node, Tuple[Node, ...]]] = []
+            for node, path in frontier:
+                if node in seen:
+                    continue
+                seen.add(node)
+                instr = graph.instr(node)
+                if reg in _uses(instr):
+                    return list(path)
+                if reg in instr.defs():
+                    continue  # redefined: this path stops being a witness
+                if len(path) < limit:
+                    for succ in graph.succs[node]:
+                        next_frontier.append((succ, path + (succ,)))
+            frontier = next_frontier
+        return None

@@ -1,0 +1,255 @@
+"""Mutation-based self-validation of the verifier.
+
+A checker that flags nothing is indistinguishable from a checker that
+checks nothing.  Mirroring the defense-off modes of :mod:`repro.faults`,
+this harness compiles a known-good target program, seeds exactly one
+violation per rule — a compiler bug in miniature — and asserts the
+verifier reports that rule with a concrete witness:
+
+* R1: a run of ``threshold + 1`` extra stores spliced into one region
+  (a broken region partitioner),
+* R2: a live register silently dropped from a boundary's plan and its
+  checkpoint store removed (broken checkpoint insertion),
+* R3: the exit boundary stripped from a ``ret`` (broken placement),
+* R4: the boundary removed from a storing loop header (a region left
+  spanning the back edge, as a broken unroller would),
+* R5: a plan still reloading a slot whose checkpoint store was deleted
+  (broken pruning: the recipe survives, the store does not).
+
+``repro verify --self-test`` runs this in CI: a rule going blind fails
+the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler.builder import FunctionBuilder
+from ..compiler.ir import Instr, Op, Program
+from ..compiler.pipeline import CompiledProgram, compile_program
+from ..config import CompilerConfig
+from .graph import InstrGraph
+from .liveness import InstrLiveness
+from .model import Diagnostic
+from .verifier import verify_compiled
+
+__all__ = ["MutationOutcome", "mutation_catalog", "self_validate"]
+
+#: small threshold so the target compiles to several regions
+SELF_TEST_THRESHOLD = 6
+
+
+@dataclass
+class MutationOutcome:
+    """Result of seeding one rule's violation and re-verifying."""
+
+    rule: str
+    description: str
+    seeded_at: str
+    caught: bool
+    with_witness: bool
+    fired_rules: Tuple[str, ...]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.caught and self.with_witness
+
+
+def _target_program() -> Program:
+    """A compact program exercising every surface the rules inspect: a
+    storing counted loop with a non-reconstructible live accumulator, a
+    callsite, a fence, and straight-line stores."""
+    prog = Program("verify-target")
+    a = prog.array("a", 64)
+
+    helper = FunctionBuilder(prog, "helper", params=("r1",))
+    helper.block("entry")
+    helper.mul("r2", "r1", 3)
+    helper.store("r2", "r1", base=a)
+    helper.ret("r2")
+    helper.build()
+
+    fb = FunctionBuilder(prog, "main")
+    fb.block("entry")
+    fb.const("r1", 0)
+    fb.const("r6", 0)
+    fb.br("loop")
+    fb.block("loop")
+    # r6 accumulates loaded data: not reconstructible, so its checkpoint
+    # survives pruning (the R2/R5 mutators need a real "ckpt" recipe).
+    fb.load("r5", "r1", base=a)
+    fb.add("r6", "r6", "r5")
+    fb.store("r6", "r1", base=a)
+    fb.add("r2", "r1", 1)
+    fb.store("r2", "r1", base=a + 32)
+    fb.add("r1", "r1", 1)
+    fb.lt("r3", "r1", 12)
+    fb.cbr("r3", "loop", "mid")
+    fb.block("mid")
+    fb.call("helper", args=("r6",), ret="r4")
+    fb.fence()
+    fb.store("r4", 63, base=a)
+    fb.store("r6", 62, base=a)
+    fb.ret()
+    fb.build()
+    return prog
+
+
+# ----------------------------------------------------------------------
+# mutators: CompiledProgram -> description of the seeded defect site
+# ----------------------------------------------------------------------
+
+def _mutate_r1(compiled: CompiledProgram) -> str:
+    threshold = compiled.config.store_threshold
+    for func in compiled.program.functions.values():
+        for block in func.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if instr.op == Op.STORE:
+                    burst = [
+                        Instr(Op.STORE, srcs=instr.srcs, addr=instr.addr,
+                              offset=instr.offset)
+                        for _ in range(threshold + 1)
+                    ]
+                    block.instrs[i:i] = burst
+                    return "%d-store burst before %s:%s:%d" % (
+                        threshold + 1, func.name, block.label, i
+                    )
+    raise RuntimeError("target program has no data store to amplify")
+
+
+def _live_ckpt_site(compiled: CompiledProgram):
+    """(func, block, ckpt_index, boundary, reg): a physically checkpointed
+    register that is live-out of its boundary by the verifier's own
+    liveness and whose plan recipe is a plain slot reload."""
+    for func in compiled.program.functions.values():
+        graph = InstrGraph(func)
+        live = InstrLiveness(graph)
+        for node in sorted(graph.reachable):
+            instr = graph.instr(node)
+            if instr.op != Op.BOUNDARY:
+                continue
+            plan = compiled.plans.get(instr.uid)
+            if plan is None:
+                continue
+            block = func.blocks[node[0]]
+            for reg in sorted(live.live_out[node]):
+                if plan.recipes.get(reg) != ("ckpt",):
+                    continue
+                for j in range(node[1] - 1, -1, -1):
+                    prev = block.instrs[j]
+                    if prev.op == Op.BOUNDARY:
+                        break
+                    if prev.op == Op.CHECKPOINT and prev.srcs[0] == reg:
+                        return func, block, j, instr, reg
+    raise RuntimeError("no live checkpointed register found in target")
+
+
+def _mutate_r2(compiled: CompiledProgram) -> str:
+    func, block, ckpt_idx, boundary, reg = _live_ckpt_site(compiled)
+    del compiled.plans[boundary.uid].recipes[reg]
+    block.instrs.pop(ckpt_idx)
+    return "dropped live register %s from plan of boundary at %s:%s" % (
+        reg, func.name, block.label
+    )
+
+
+def _mutate_r3(compiled: CompiledProgram) -> str:
+    for func in compiled.program.functions.values():
+        for block in func.blocks.values():
+            instrs = block.instrs
+            if (
+                len(instrs) >= 2
+                and instrs[-1].op == Op.RET
+                and instrs[-2].op == Op.BOUNDARY
+            ):
+                instrs.pop(-2)
+                return "stripped exit boundary before ret at %s:%s" % (
+                    func.name, block.label
+                )
+    raise RuntimeError("no exit boundary found in target")
+
+
+def _mutate_r4(compiled: CompiledProgram) -> str:
+    for func in compiled.program.functions.values():
+        graph = InstrGraph(func)
+        for tail, head in graph.back_edges():
+            body = graph.loop_body(tail, head)
+            if not any(
+                func.blocks[lbl].store_count() > 0 for lbl in body
+            ):
+                continue
+            for lbl in sorted(body):
+                block = func.blocks[lbl]
+                for i, instr in enumerate(block.instrs):
+                    if instr.op == Op.BOUNDARY:
+                        block.instrs.pop(i)
+                        compiled.plans.pop(instr.uid, None)
+                        return (
+                            "removed boundary %s from storing loop %s->%s "
+                            "at %s:%s" % (instr.note, tail, head,
+                                          func.name, lbl)
+                        )
+    raise RuntimeError("no storing loop with a boundary found in target")
+
+
+def _mutate_r5(compiled: CompiledProgram) -> str:
+    func, block, ckpt_idx, boundary, reg = _live_ckpt_site(compiled)
+    # Keep the recipe (the plan still promises a slot reload) but delete
+    # the store that would have made the slot fresh.
+    block.instrs.pop(ckpt_idx)
+    return (
+        "deleted checkpoint store of %s while its plan at %s:%s still "
+        "reloads the slot" % (reg, func.name, block.label)
+    )
+
+
+def mutation_catalog() -> Dict[str, Tuple[str, Callable[[CompiledProgram], str]]]:
+    """rule -> (defect description, mutator)."""
+    return {
+        "R1": ("region over WPQ/2 store budget", _mutate_r1),
+        "R2": ("live register missing from recovery plan", _mutate_r2),
+        "R3": ("ret without exit boundary", _mutate_r3),
+        "R4": ("region spanning a storing back edge", _mutate_r4),
+        "R5": ("plan reloads a slot never checkpointed", _mutate_r5),
+    }
+
+
+def self_validate(
+    threshold: int = SELF_TEST_THRESHOLD,
+    rules: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, MutationOutcome]:
+    """Seed each rule's violation into a fresh compile of the target and
+    check the verifier catches it with a witness.  The unmutated target
+    must verify clean first, or the harness itself is broken."""
+    config = CompilerConfig(store_threshold=threshold)
+    baseline = verify_compiled(compile_program(_target_program(), config))
+    if not baseline.ok:
+        raise RuntimeError(
+            "self-test target does not verify clean:\n" + baseline.format()
+        )
+
+    outcomes: Dict[str, MutationOutcome] = {}
+    catalog = mutation_catalog()
+    for rule in rules or tuple(sorted(catalog)):
+        description, mutator = catalog[rule]
+        compiled = compile_program(_target_program(), config)
+        seeded_at = mutator(compiled)
+        report = verify_compiled(compiled)
+        hits = [
+            d for d in report.diagnostics
+            if d.rule == rule and d.severity == "error"
+        ]
+        outcomes[rule] = MutationOutcome(
+            rule=rule,
+            description=description,
+            seeded_at=seeded_at,
+            caught=bool(hits),
+            with_witness=any(d.witness for d in hits),
+            fired_rules=tuple(
+                sorted({d.rule for d in report.diagnostics})
+            ),
+            diagnostics=report.diagnostics,
+        )
+    return outcomes

@@ -1,0 +1,592 @@
+"""The five recoverability rules, each an independent analysis.
+
+Every rule consumes the verifier's own :class:`InstrGraph` (and, where
+needed, :class:`InstrLiveness`) — never the compiler's CFG or liveness —
+and yields :class:`Diagnostic` objects carrying a concrete witness path.
+
+Rule map (the paper invariant each one proves):
+
+* R1 ``store-budget``      — §IV-A threshold: max store-like count on any
+  boundary-free path <= WPQ/2, so an uncommitted region always fits in
+  the write-pending queues.  Intra-procedural; sound because R3 proves
+  every callsite is bracketed by boundaries.
+* R2 ``checkpoint-completeness`` — §IV-A checkpoint insertion: each
+  boundary's recovery plan covers every register live-out of it.
+* R3 ``boundary-coverage`` — §IV-A placement: entry/exit, callsites,
+  irrevocable I/O, synchronization (§III-D), storing loop headers.
+* R4 ``region-wellformedness`` — §IV-B/§IV-C: no boundary-free cycle
+  contains a store (a region may not span a back edge), and no store
+  executes before the function's first boundary — together these make
+  the dynamic region-ID sequence strictly monotone per thread.
+* R5 ``checkpoint-slot-safety`` — §IV-A pruning: a slot is written in
+  the region whose boundary needs it (so rollback discards it together
+  with the region), recipes only read slots fresh at their boundary, and
+  no provable data store lands inside the checkpoint array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..compiler.checkpoints import RecoveryPlan
+from ..compiler.ir import Instr, Op
+from .graph import InstrGraph, Node
+from .liveness import InstrLiveness
+from .model import Diagnostic, Site, VerifyConfig
+
+__all__ = [
+    "check_store_budget",
+    "check_checkpoint_completeness",
+    "check_boundary_coverage",
+    "check_region_wellformedness",
+    "check_checkpoint_slot_safety",
+]
+
+#: instructions that adjacency walks may step over: instrumentation the
+#: normalizer is free to interleave (checkpoint groups) and pure control
+#: transfer (unconditional/conditional branches, nops)
+_TRANSPARENT = frozenset({Op.CHECKPOINT, Op.NOP, Op.BR, Op.CBR})
+
+
+def _site(graph: InstrGraph, node: Node) -> Site:
+    return Site(graph.func.name, node[0], node[1])
+
+
+def _render_path(graph: InstrGraph, nodes, cfg: VerifyConfig) -> Tuple[str, ...]:
+    rendered = [graph.render(n) for n in nodes]
+    if len(rendered) <= cfg.max_witness:
+        return tuple(rendered)
+    head = cfg.max_witness // 2
+    tail = cfg.max_witness - head - 1
+    return tuple(
+        rendered[:head]
+        + ["... %d step(s) elided ..." % (len(rendered) - head - tail)]
+        + rendered[-tail:]
+    )
+
+
+# ----------------------------------------------------------------------
+# R1 — store budget
+# ----------------------------------------------------------------------
+
+def check_store_budget(
+    graph: InstrGraph, cfg: VerifyConfig
+) -> List[Diagnostic]:
+    """Forward max-count dataflow: ``in[n]`` is the largest number of
+    store-like instructions accumulated since the most recent boundary on
+    any path reaching ``n``.  Clamped at ``wpq_entries + 1`` so that
+    boundary-free storing cycles (an R4 violation) terminate here too."""
+    cap = cfg.wpq_entries + 1
+    # Nodes absent from count_in are unvisited; 0 is a real value (just
+    # past a boundary) and must still propagate.
+    count_in: Dict[Node, int] = {graph.entry: 0}
+    best_pred: Dict[Node, Node] = {}
+
+    def out_of(node: Node) -> int:
+        instr = graph.instr(node)
+        if instr.op == Op.BOUNDARY:
+            # The terminating boundary's own PC store is excluded from
+            # its region's budget, as in the paper's accounting.
+            return 0
+        if instr.is_store_like():
+            return min(cap, count_in[node] + 1)
+        return count_in[node]
+
+    pending = [graph.entry]
+    queued = {graph.entry}
+    while pending:
+        node = pending.pop()
+        queued.discard(node)
+        out = out_of(node)
+        for succ in graph.succs[node]:
+            if succ not in count_in or out > count_in[succ]:
+                count_in[succ] = out
+                best_pred[succ] = node
+                if succ not in queued:
+                    queued.add(succ)
+                    pending.append(succ)
+
+    diagnostics: List[Diagnostic] = []
+    for node in sorted(count_in):
+        instr = graph.instr(node)
+        if not instr.is_store_like() or instr.op == Op.BOUNDARY:
+            continue
+        reached = count_in[node] + 1
+        crossing_threshold = count_in[node] == cfg.threshold
+        crossing_wpq = count_in[node] == cfg.wpq_entries
+        if not (crossing_threshold or crossing_wpq):
+            continue
+        # A compile that declared non-convergence makes no budget claim —
+        # an unsplittable checkpoint group can exceed any cap — so its
+        # overshoots are warnings; the report still surfaces them.
+        severity = "warn" if cfg.allow_overshoot else "error"
+        limit = cfg.wpq_entries if crossing_wpq else cfg.threshold
+        witness = _budget_witness(graph, node, count_in, best_pred, cfg)
+        diagnostics.append(
+            Diagnostic(
+                rule="R1",
+                site=_site(graph, node),
+                severity=severity,
+                message=(
+                    "store #%d on a boundary-free path (budget %d%s)"
+                    % (
+                        reached,
+                        limit,
+                        "" if crossing_wpq else ", WPQ %d" % cfg.wpq_entries,
+                    )
+                ),
+                witness=witness,
+            )
+        )
+    return diagnostics
+
+
+def _budget_witness(
+    graph: InstrGraph,
+    node: Node,
+    count_in: Dict[Node, int],
+    best_pred: Dict[Node, Node],
+    cfg: VerifyConfig,
+) -> Tuple[str, ...]:
+    """Walk the argmax-predecessor chain back to the region start and
+    keep the store-like steps: the path that accumulates the count."""
+    chain: List[Node] = [node]
+    seen = {node}
+    cur = node
+    while cur in best_pred:
+        cur = best_pred[cur]
+        if cur in seen:
+            break  # store-free cycle in the chain; witness is complete
+        seen.add(cur)
+        instr = graph.instr(cur)
+        if instr.op == Op.BOUNDARY:
+            break
+        if instr.is_store_like():
+            chain.append(cur)
+        if count_in.get(cur, 0) == 0 and not instr.is_store_like():
+            break
+    chain.reverse()
+    return _render_path(graph, chain, cfg)
+
+
+# ----------------------------------------------------------------------
+# R2 — checkpoint completeness
+# ----------------------------------------------------------------------
+
+def check_checkpoint_completeness(
+    graph: InstrGraph,
+    live: InstrLiveness,
+    plans: Optional[Dict[int, RecoveryPlan]],
+    cfg: VerifyConfig,
+) -> List[Diagnostic]:
+    """At each boundary, the registers live-out (by the verifier's own
+    liveness) must all be covered by the boundary's recovery plan.  When
+    no plans are supplied, physical checkpoint stores in the region stand
+    in for the plan."""
+    diagnostics: List[Diagnostic] = []
+    fresh = _must_checkpointed(graph)
+    for node in sorted(graph.reachable):
+        instr = graph.instr(node)
+        if instr.op != Op.BOUNDARY:
+            continue
+        required = live.live_out[node]
+        if plans is not None:
+            plan = plans.get(instr.uid)
+            if plan is None:
+                if required:
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="R2",
+                            site=_site(graph, node),
+                            message=(
+                                "boundary (kind %r) has no recovery plan but "
+                                "%d live-out register(s): %s"
+                                % (instr.note, len(required),
+                                   ", ".join(sorted(required)))
+                            ),
+                            boundary_uid=instr.uid,
+                        )
+                    )
+                continue
+            covered = set(plan.recipes)
+        else:
+            covered = set(fresh.get(node) or ())
+        for reg in sorted(required - covered):
+            path = live.first_use_path(node, reg)
+            witness = (
+                _render_path(graph, path, cfg) if path else ()
+            )
+            diagnostics.append(
+                Diagnostic(
+                    rule="R2",
+                    site=_site(graph, node),
+                    message=(
+                        "register %s is live-out of boundary (kind %r) but "
+                        "not covered by its recovery plan: a crash in the "
+                        "next region recovers an undefined value" % (reg, instr.note)
+                    ),
+                    witness=witness,
+                    boundary_uid=instr.uid,
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R3 — boundary coverage
+# ----------------------------------------------------------------------
+
+def _adjacent_boundary(
+    graph: InstrGraph, start: Node, forward: bool
+) -> Optional[List[Node]]:
+    """None when every path from ``start`` (exclusive) reaches a boundary
+    before any non-transparent instruction; otherwise the offending path
+    (ending at the first significant non-boundary instruction, or empty
+    when the walk ran off the function entry/exit)."""
+    step = (
+        (lambda n: graph.succs[n])
+        if forward
+        else (lambda n: tuple(graph.preds.get(n, ())))
+    )
+    frontier: List[Tuple[Node, Tuple[Node, ...]]] = [
+        (nxt, (nxt,)) for nxt in step(start)
+    ]
+    if not frontier and not forward:
+        return []  # walked off the function entry without a boundary
+    seen: Set[Node] = set()
+    while frontier:
+        node, path = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        instr = graph.instr(node)
+        if instr.op == Op.BOUNDARY:
+            continue
+        if instr.op in _TRANSPARENT:
+            nxt = step(node)
+            if not nxt:
+                return list(path)  # ran off entry/exit: no boundary
+            frontier.extend((n, path + (n,)) for n in nxt)
+            continue
+        return list(path)
+    return None
+
+
+def check_boundary_coverage(
+    graph: InstrGraph, cfg: VerifyConfig
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def flag(node: Node, what: str, path: Optional[List[Node]]) -> None:
+        order = path if path else [node]
+        diagnostics.append(
+            Diagnostic(
+                rule="R3",
+                site=_site(graph, node),
+                message=what,
+                witness=_render_path(graph, order, cfg),
+            )
+        )
+
+    # Function entry: the first significant instruction on every path
+    # must be a boundary (the callee-prologue boundary that ends the
+    # caller's region).
+    entry_instr = graph.instr(graph.entry)
+    if entry_instr.op != Op.BOUNDARY:
+        if entry_instr.op in _TRANSPARENT:
+            path = _adjacent_boundary(graph, graph.entry, forward=True)
+        else:
+            path = [graph.entry]
+        if path is not None:
+            flag(
+                graph.entry,
+                "function entry is not bracketed by a boundary",
+                path,
+            )
+
+    for node in sorted(graph.reachable):
+        instr = graph.instr(node)
+        if instr.op == Op.RET:
+            path = _adjacent_boundary(graph, node, forward=False)
+            if path is not None:
+                flag(node, "ret without an exit boundary", path)
+        elif instr.op == Op.CALL:
+            path = _adjacent_boundary(graph, node, forward=False)
+            if path is not None:
+                flag(node, "callsite not preceded by a boundary", path)
+            path = _adjacent_boundary(graph, node, forward=True)
+            if path is not None:
+                flag(node, "callsite not followed by a boundary", path)
+        elif instr.op in Op.IRREVOCABLE:
+            path = _adjacent_boundary(graph, node, forward=False)
+            if path is not None:
+                flag(node, "irrevocable I/O not preceded by a boundary", path)
+            path = _adjacent_boundary(graph, node, forward=True)
+            if path is not None:
+                flag(
+                    node,
+                    "irrevocable I/O not followed by a boundary "
+                    "(must sit alone in its region)",
+                    path,
+                )
+        elif instr.op in Op.SYNC:
+            path = _adjacent_boundary(graph, node, forward=False)
+            if path is not None:
+                flag(
+                    node,
+                    "synchronization (%s) does not begin a fresh region"
+                    % instr.op,
+                    path,
+                )
+
+    # Loops with data stores need a boundary at the header, so every
+    # traversal of the back edge crosses it (the §IV-A placement rule).
+    # Instrumentation stores (checkpoint groups around a callsite inside
+    # the loop) do not trigger the header rule — their own boundaries
+    # already cut every cycle, which R4 checks path-wise.
+    for tail, head in graph.back_edges():
+        body = graph.loop_body(tail, head)
+        if not any(
+            instr.op in (Op.STORE, Op.ATOMIC_RMW)
+            for lbl in body
+            for instr in graph.func.blocks[lbl].instrs
+        ):
+            continue
+        header = graph.func.blocks[head]
+        if not any(i.op == Op.BOUNDARY for i in header.instrs):
+            flag(
+                (head, 0),
+                "storing loop (back edge %s -> %s) has no boundary in its "
+                "header" % (tail, head),
+                [(head, 0), (tail, len(graph.func.blocks[tail].instrs) - 1)],
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R4 — region-ID well-formedness
+# ----------------------------------------------------------------------
+
+def check_region_wellformedness(
+    graph: InstrGraph, cfg: VerifyConfig
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    # (a) No boundary-free storing cycle: for each back edge tail->head,
+    # search the natural loop for a boundary-free path head ->* tail-end
+    # that contains a store.  Such a path closes into a cycle via the
+    # back edge, i.e. one region ID would tag an unbounded store stream.
+    for tail, head in graph.back_edges():
+        body = graph.loop_body(tail, head)
+        tail_end = (tail, len(graph.func.blocks[tail].instrs) - 1)
+        witness = _storing_boundary_free_path(graph, (head, 0), tail_end, body)
+        if witness is not None:
+            diagnostics.append(
+                Diagnostic(
+                    rule="R4",
+                    site=_site(graph, (head, 0)),
+                    message=(
+                        "region spans back edge %s -> %s: boundary-free "
+                        "storing cycle, region ID never advances" % (tail, head)
+                    ),
+                    witness=_render_path(graph, witness, cfg),
+                )
+            )
+
+    # (b) No store before the function's first boundary on any path: the
+    # first region this function persists into must be one it opened, or
+    # the ID sequence seen by its stores is not monotone from the
+    # caller's boundary.
+    frontier: List[Tuple[Node, Tuple[Node, ...]]] = [
+        (graph.entry, (graph.entry,))
+    ]
+    seen: Set[Node] = set()
+    while frontier:
+        node, path = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        instr = graph.instr(node)
+        if instr.op == Op.BOUNDARY:
+            continue
+        if instr.is_store_like() and instr.op != Op.CHECKPOINT:
+            diagnostics.append(
+                Diagnostic(
+                    rule="R4",
+                    site=_site(graph, node),
+                    message=(
+                        "store reachable from function entry before any "
+                        "boundary: it persists under the caller's region ID"
+                    ),
+                    witness=_render_path(graph, path, cfg),
+                )
+            )
+            continue
+        for succ in graph.succs[node]:
+            frontier.append((succ, path + (succ,)))
+    return diagnostics
+
+
+def _storing_boundary_free_path(
+    graph: InstrGraph, start: Node, goal: Node, body: Set[str]
+) -> Optional[List[Node]]:
+    """A boundary-free path ``start -> goal`` within ``body`` blocks that
+    contains at least one store-like instruction, or None.  DFS over
+    (node, seen-store) states."""
+    start_instr = graph.instr(start)
+    if start_instr.op == Op.BOUNDARY:
+        return None
+    stack: List[Tuple[Node, bool, Tuple[Node, ...]]] = [
+        (start, False, (start,))
+    ]
+    visited: Set[Tuple[Node, bool]] = set()
+    while stack:
+        node, stored, path = stack.pop()
+        if (node, stored) in visited:
+            continue
+        visited.add((node, stored))
+        instr = graph.instr(node)
+        if instr.op == Op.BOUNDARY:
+            continue
+        stored = stored or instr.is_store_like()
+        if node == goal and stored:
+            return [n for n in path if graph.instr(n).is_store_like()] or list(
+                path
+            )
+        for succ in graph.succs[node]:
+            if succ[0] in body:
+                stack.append((succ, stored, path + (succ,)))
+    return None
+
+
+# ----------------------------------------------------------------------
+# R5 — checkpoint-slot safety
+# ----------------------------------------------------------------------
+
+def _must_checkpointed(graph: InstrGraph) -> Dict[Node, Optional[FrozenSet[str]]]:
+    """Forward must-analysis: ``in[n]`` is the set of registers whose
+    checkpoint slot has been written since the last boundary on *every*
+    path reaching ``n`` (intersection meet; boundaries reset to empty).
+    These are exactly the slots a recovery at the next boundary may
+    trust."""
+    state: Dict[Node, Optional[FrozenSet[str]]] = {
+        n: None for n in graph.reachable
+    }
+    state[graph.entry] = frozenset()
+
+    def transfer(node: Node, inset: FrozenSet[str]) -> FrozenSet[str]:
+        instr = graph.instr(node)
+        if instr.op == Op.BOUNDARY:
+            return frozenset()
+        if instr.op == Op.CHECKPOINT:
+            return inset | {instr.srcs[0]}
+        return inset
+
+    pending = [graph.entry]
+    queued = {graph.entry}
+    while pending:
+        node = pending.pop()
+        queued.discard(node)
+        inset = state[node]
+        if inset is None:
+            continue
+        out = transfer(node, inset)
+        for succ in graph.succs[node]:
+            old = state.get(succ)
+            new = out if old is None else (old & out)
+            if new != old:
+                state[succ] = new
+                if succ not in queued:
+                    queued.add(succ)
+                    pending.append(succ)
+    return state
+
+
+def check_checkpoint_slot_safety(
+    graph: InstrGraph,
+    plans: Optional[Dict[int, RecoveryPlan]],
+    cfg: VerifyConfig,
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    fresh = _must_checkpointed(graph)
+
+    for node in sorted(graph.reachable):
+        instr = graph.instr(node)
+
+        # (a) A checkpoint store must reach a boundary before any other
+        # significant instruction: its slot write belongs to the region
+        # that boundary terminates, so rollback discards slot and region
+        # together.  A checkpoint dangling into the next region would
+        # clobber the slot while the *previous* plan still owns it.
+        if instr.op == Op.CHECKPOINT:
+            path = _adjacent_boundary(graph, node, forward=True)
+            if path is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="R5",
+                        site=_site(graph, node),
+                        message=(
+                            "checkpoint of %s is not followed by its "
+                            "boundary: the slot write escapes the region "
+                            "that must own it" % instr.srcs[0]
+                        ),
+                        witness=_render_path(graph, [node] + path, cfg),
+                    )
+                )
+
+        # (c) Provable data stores into the checkpoint array clobber
+        # slots live regions rely on.
+        if instr.op in (Op.STORE, Op.ATOMIC_RMW) and isinstance(
+            instr.addr, int
+        ):
+            word = instr.addr + instr.offset
+            if 0 <= word < cfg.checkpoint_words:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="R5",
+                        site=_site(graph, node),
+                        message=(
+                            "data store to word %d lands inside the "
+                            "checkpoint array [0, %d)"
+                            % (word, cfg.checkpoint_words)
+                        ),
+                        witness=(graph.render(node),),
+                    )
+                )
+
+        # (b) Recipe freshness: every slot a recovery plan reads must
+        # have been written in the region the plan's boundary ends.
+        if instr.op == Op.BOUNDARY and plans is not None:
+            plan = plans.get(instr.uid)
+            if plan is None:
+                continue
+            have = fresh.get(node) or frozenset()
+            for reg in sorted(plan.recipes):
+                recipe = plan.recipes[reg]
+                needs: List[str] = []
+                if recipe[0] == "ckpt":
+                    needs = [reg]
+                elif recipe[0] == "expr":
+                    needs = [
+                        operand[1]
+                        for operand in recipe[2]
+                        if operand[0] == "ckpt"
+                    ]
+                for src in needs:
+                    if src not in have:
+                        diagnostics.append(
+                            Diagnostic(
+                                rule="R5",
+                                site=_site(graph, node),
+                                message=(
+                                    "recovery plan for %s reads slot of %s, "
+                                    "which is not checkpointed on every path "
+                                    "through this region: recovery would read "
+                                    "a stale value from an older region"
+                                    % (reg, src)
+                                ),
+                                witness=(graph.render(node),),
+                                boundary_uid=instr.uid,
+                            )
+                        )
+    return diagnostics

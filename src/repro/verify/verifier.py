@@ -1,0 +1,100 @@
+"""Verifier entry points.
+
+``verify_compiled`` is the common path: it takes the compiler's output
+(:class:`~repro.compiler.pipeline.CompiledProgram`) and checks it against
+the configuration it was compiled under — threshold from the compile
+config, hard cap from the WPQ, overshoot tolerance from the compiler's
+own ``converged`` verdict (a region above the threshold but within the
+WPQ is degraded service, not data loss; the compiler is required to have
+*declared* it).
+
+``verify_program`` / ``verify_function`` take raw IR + plans and an
+explicit :class:`VerifyConfig`, for tests and for auditing programs that
+did not come out of this process' pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..compiler.checkpoints import RecoveryPlan
+from ..compiler.ir import Function, Program
+from .graph import InstrGraph
+from .liveness import InstrLiveness
+from .model import Diagnostic, VerifyConfig, VerifyReport
+from .rules import (
+    check_boundary_coverage,
+    check_checkpoint_completeness,
+    check_checkpoint_slot_safety,
+    check_region_wellformedness,
+    check_store_budget,
+)
+
+__all__ = ["verify_function", "verify_program", "verify_compiled"]
+
+#: severity sort: errors first, then by rule and site
+_SEV = {"error": 0, "warn": 1}
+
+
+def verify_function(
+    func: Function,
+    plans: Optional[Dict[int, RecoveryPlan]],
+    cfg: VerifyConfig,
+) -> List[Diagnostic]:
+    """All diagnostics for one function."""
+    graph = InstrGraph(func)
+    live = InstrLiveness(graph)
+    diagnostics: List[Diagnostic] = []
+    diagnostics += check_store_budget(graph, cfg)
+    diagnostics += check_checkpoint_completeness(graph, live, plans, cfg)
+    diagnostics += check_boundary_coverage(graph, cfg)
+    diagnostics += check_region_wellformedness(graph, cfg)
+    diagnostics += check_checkpoint_slot_safety(graph, plans, cfg)
+    return diagnostics
+
+
+def verify_program(
+    program: Program,
+    plans: Optional[Dict[int, RecoveryPlan]] = None,
+    cfg: Optional[VerifyConfig] = None,
+) -> VerifyReport:
+    """Verify every function of an instrumented program."""
+    cfg = cfg or VerifyConfig(
+        checkpoint_words=Program.CHECKPOINT_WORDS_PER_CORE
+        * Program.MAX_CONTEXTS
+    )
+    report = VerifyReport(program=program.name, config=cfg)
+    for func in program.functions.values():
+        report.functions += 1
+        graph = InstrGraph(func)
+        report.boundaries += sum(
+            1
+            for node in graph.reachable
+            if graph.instr(node).op == "boundary"
+        )
+        report.diagnostics.extend(verify_function(func, plans, cfg))
+    report.diagnostics.sort(
+        key=lambda d: (_SEV.get(d.severity, 2), d.rule, str(d.site))
+    )
+    return report
+
+
+def verify_compiled(compiled, cfg: Optional[VerifyConfig] = None) -> VerifyReport:
+    """Verify a :class:`CompiledProgram` against its own compile config.
+
+    Accepts anything with ``program`` / ``plans`` / ``stats`` / ``config``
+    attributes, so the compiler pipeline can call this lazily without an
+    import cycle.
+    """
+    if cfg is None:
+        threshold = compiled.config.store_threshold
+        cfg = VerifyConfig(
+            threshold=threshold,
+            # The WPQ is a machine property the compiler does not know;
+            # the paper's rule threshold = WPQ/2 runs backwards here.
+            wpq_entries=max(2 * threshold, threshold + 1),
+            allow_overshoot=not compiled.stats.converged,
+            checkpoint_words=Program.CHECKPOINT_WORDS_PER_CORE
+            * Program.MAX_CONTEXTS,
+        )
+    return verify_program(compiled.program, compiled.plans, cfg)

@@ -166,3 +166,105 @@ class TestPruneCheckpoints:
         for plan in plans.values():
             for recipe in plan.recipes.values():
                 assert recipe == ("ckpt",)
+
+
+class TestPruningEdgeCases:
+    """Edge cases where pruning interacts with liveness at boundaries,
+    cross-checked against the verifier's independent liveness."""
+
+    def _compiled(self, prog, threshold=4):
+        from repro.compiler.pipeline import compile_program
+        from repro.config import CompilerConfig
+
+        return compile_program(
+            prog, CompilerConfig(store_threshold=threshold)
+        )
+
+    def _prunable_program(self):
+        # r9 is const-defined in the same block as the threshold
+        # boundaries that follow and stays live across them: its
+        # checkpoint is reconstructible (("const", 41)) and gets pruned.
+        from repro.compiler import Program
+
+        prog = Program("prunable")
+        a = prog.array("a", 8)
+        fb = FunctionBuilder(prog, "main")
+        fb.block("entry")
+        fb.const("r9", 41)
+        for i in range(6):
+            fb.store("r9", i, base=a)
+        fb.ret()
+        fb.build()
+        return prog
+
+    def test_pruned_register_still_covered_by_plan(self):
+        # A register whose checkpoint store is pruned must keep a recipe:
+        # prune removes the store, never the recovery obligation.
+        from repro.verify.graph import InstrGraph
+        from repro.verify.liveness import InstrLiveness
+
+        compiled = self._compiled(self._prunable_program(), threshold=2)
+        pruned_any = False
+        for func in compiled.program.functions.values():
+            graph = InstrGraph(func)
+            live = InstrLiveness(graph)
+            for node in graph.reachable:
+                instr = graph.instr(node)
+                if instr.op != Op.BOUNDARY:
+                    continue
+                plan = compiled.plans.get(instr.uid)
+                if plan is None:
+                    continue
+                for reg in plan.pruned():
+                    pruned_any = True
+                    recipe = plan.recipes[reg]
+                    assert recipe[0] in ("const", "expr")
+                    if reg in live.live_out[node]:
+                        # still live-out: physically checkpointed sources
+                        # must back every ckpt operand of the recipe
+                        if recipe[0] == "expr":
+                            for operand in recipe[2]:
+                                if operand[0] == "ckpt":
+                                    assert (
+                                        plan.recipes[operand[1]][0] == "ckpt"
+                                    )
+        assert pruned_any, "expected at least one pruned checkpoint"
+
+    def test_loop_header_boundary_covers_live_induction_variable(self):
+        # The loop-header boundary's plan must cover the induction
+        # variable, which is live around the back edge.
+        from repro.verify.graph import InstrGraph
+        from repro.verify.liveness import InstrLiveness
+
+        compiled = self._compiled(saxpy_program(n=8))
+        func = compiled.program.functions["main"]
+        graph = InstrGraph(func)
+        live = InstrLiveness(graph)
+        checked = 0
+        for node in graph.reachable:
+            instr = graph.instr(node)
+            if instr.op == Op.BOUNDARY and instr.note == "loop":
+                assert "r1" in live.live_out[node]
+                plan = compiled.plans[instr.uid]
+                assert "r1" in plan.recipes
+                checked += 1
+        assert checked > 0, "saxpy should have loop-header boundaries"
+
+    def test_prune_disabled_keeps_physical_checkpoints(self):
+        from repro.compiler.pipeline import compile_program
+        from repro.config import CompilerConfig
+
+        pruned = compile_program(
+            saxpy_program(n=8), CompilerConfig(store_threshold=4)
+        )
+        kept = compile_program(
+            saxpy_program(n=8),
+            CompilerConfig(store_threshold=4, prune_checkpoints=False),
+        )
+        assert kept.stats.pruned_checkpoints == 0
+        assert kept.stats.checkpoint_stores >= pruned.stats.checkpoint_stores
+        # both variants must satisfy the verifier
+        from repro.verify import verify_compiled
+
+        assert verify_compiled(pruned).ok
+        assert verify_compiled(kept).ok

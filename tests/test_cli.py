@@ -94,3 +94,50 @@ class TestServeCLI:
         assert main(["faults", "list"]) == 0
         out = capsys.readouterr().out
         assert "store-ycsb-a" in out
+
+
+class TestVerifyCLI:
+    def test_verify_single_benchmark(self, capsys):
+        assert main(["verify", "bzip2"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out
+        assert "0 failure(s)" in out
+
+    def test_verify_store_program(self, capsys):
+        assert main(["verify", "store-crud"]) == 0
+        out = capsys.readouterr().out
+        assert "store-crud" in out
+
+    def test_verify_unknown_target(self, capsys):
+        assert main(["verify", "nope"]) == 2
+
+    def test_verify_self_test(self, capsys):
+        assert main(["verify", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test: PASS" in out
+        for rule in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule in out
+
+    def test_verify_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "diag.json"
+        assert main(["verify", "hmmer", "--json", str(path)]) == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["failed"] == 0
+        assert payload["targets"]["hmmer"]["ok"] is True
+
+    def test_verify_nonconverged_threshold_warns(self, capsys):
+        assert main(["verify", "bzip2", "--threshold", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out
+
+    def test_run_with_verify_gate(self, capsys):
+        assert main(["run", "namd", "--scale", "0.02", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_serve_smoke_with_verify_gate(self, capsys):
+        assert main(["serve", "--smoke", "--seed", "7", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "acked-write oracle: PASS" in out

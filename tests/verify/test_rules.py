@@ -1,0 +1,335 @@
+"""Unit tests for the five recoverability rules on hand-built IR.
+
+These construct instrumented programs directly — boundaries and
+checkpoints spliced in by hand — so each rule is exercised in isolation,
+without trusting the compiler whose output the verifier audits.
+"""
+
+from repro.compiler.ir import Function, Instr, Op, Program
+from repro.verify import VerifyConfig, verify_program
+from repro.verify.graph import InstrGraph
+from repro.verify.liveness import InstrLiveness
+
+CFG = VerifyConfig(threshold=2, wpq_entries=4, checkpoint_words=100)
+
+
+def boundary(note="threshold"):
+    return Instr(Op.BOUNDARY, note=note)
+
+
+def checkpoint(reg):
+    return Instr(Op.CHECKPOINT, srcs=(reg,), addr=200, offset=0)
+
+
+def store(addr=500):
+    return Instr(Op.STORE, srcs=(0,), addr=addr)
+
+
+def func_of(*blocks):
+    """blocks: (label, [instrs]) pairs; first is the entry."""
+    prog = Program("rules-test")
+    func = Function("main")
+    for label, instrs in blocks:
+        block = func.add_block(label)
+        block.instrs = list(instrs)
+    func.entry = blocks[0][0]
+    prog.functions["main"] = func
+    return prog
+
+
+def diags(prog, rule, cfg=CFG):
+    report = verify_program(prog, plans=None, cfg=cfg)
+    return [d for d in report.diagnostics if d.rule == rule]
+
+
+class TestStoreBudget:
+    def test_at_threshold_is_clean(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       store(), store(),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R1") == []
+
+    def test_one_over_threshold_fires_with_witness(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       store(), store(), store(),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R1")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+        # The witness is the accumulating store chain itself.
+        assert len(found[0].witness) == 3
+
+    def test_overshoot_declared_downgrades_to_warning(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       store(), store(), store(),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        cfg = VerifyConfig(threshold=2, wpq_entries=4, allow_overshoot=True,
+                           checkpoint_words=100)
+        found = diags(prog, "R1", cfg)
+        assert found and all(d.severity == "warn" for d in found)
+
+    def test_max_over_joining_paths(self):
+        # Two paths join; only the heavier one overflows.
+        prog = func_of(
+            ("entry", [boundary("entry"), Instr(Op.CONST, dst="r1", imm=1),
+                       Instr(Op.CBR, srcs=("r1",), targets=("a", "b"))]),
+            ("a", [store(), store(), Instr(Op.BR, targets=("join",))]),
+            ("b", [Instr(Op.BR, targets=("join",))]),
+            ("join", [store(), boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R1")
+        assert len(found) == 1
+        assert found[0].site.block == "join"
+
+    def test_boundary_resets_the_count(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), store(), store(),
+                       boundary(), store(), store(),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R1") == []
+
+
+class TestCheckpointCompleteness:
+    def test_missing_checkpoint_for_live_register(self):
+        # r1 is defined before the middle boundary and used after it, but
+        # never checkpointed (plans=None -> physical checkpoints stand in).
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       Instr(Op.CONST, dst="r1", imm=7),
+                       boundary(),
+                       Instr(Op.ADD, dst="r2", srcs=("r1", 1)),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R2")
+        assert any("r1" in d.message for d in found)
+        assert any(d.witness for d in found)
+
+    def test_checkpointed_register_is_covered(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       Instr(Op.CONST, dst="r1", imm=7),
+                       checkpoint("r1"), boundary(),
+                       Instr(Op.ADD, dst="r2", srcs=("r1", 1)),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R2") == []
+
+    def test_checkpoint_reads_are_not_uses(self):
+        # A checkpoint must not make its own operand live: r1 is dead
+        # after the middle boundary, so no plan needs to cover it.
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       Instr(Op.CONST, dst="r1", imm=7),
+                       boundary(),
+                       checkpoint("r1"),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R2") == []
+
+
+class TestBoundaryCoverage:
+    def test_ret_without_exit_boundary(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), store(), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R3")
+        assert any("ret" in d.message for d in found)
+
+    def test_entry_without_boundary(self):
+        prog = func_of(
+            ("entry", [Instr(Op.CONST, dst="r1", imm=0),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R3")
+        assert any("entry" in d.message for d in found)
+
+    def test_unbracketed_call(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.CALL, callee="main"),
+                       Instr(Op.ADD, dst="r2", srcs=("r1", 1)),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R3")
+        kinds = {d.message for d in found}
+        assert any("not preceded" in m for m in kinds)
+        assert any("not followed" in m for m in kinds)
+
+    def test_bracketed_call_is_clean(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), checkpoint("r1"), boundary("call"),
+                       Instr(Op.CALL, callee="main"),
+                       boundary("call"),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R3") == []
+
+    def test_fence_needs_fresh_region(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), store(),
+                       Instr(Op.FENCE),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R3")
+        assert any("synchronization" in d.message for d in found)
+
+    def test_storing_loop_without_header_boundary(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.BR, targets=("loop",))]),
+            ("loop", [store(),
+                      Instr(Op.ADD, dst="r1", srcs=("r1", 1)),
+                      Instr(Op.LT, dst="r2", srcs=("r1", 9)),
+                      Instr(Op.CBR, srcs=("r2",), targets=("loop", "done"))]),
+            ("done", [boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R3")
+        assert any("header" in d.message for d in found)
+
+    def test_callonly_loop_needs_no_header_boundary(self):
+        # A loop whose only store-like instructions are a callsite's
+        # bracketing instrumentation is legal without a header boundary:
+        # the call boundaries already cut every cycle.
+        prog = func_of(
+            ("entry", [boundary("entry"), Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.BR, targets=("loop",))]),
+            ("loop", [checkpoint("r1"), boundary("call"),
+                      Instr(Op.CALL, callee="main"),
+                      boundary("call"),
+                      Instr(Op.ADD, dst="r1", srcs=("r1", 1)),
+                      Instr(Op.LT, dst="r2", srcs=("r1", 9)),
+                      Instr(Op.CBR, srcs=("r2",), targets=("loop", "done"))]),
+            ("done", [boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R3") == []
+
+
+class TestRegionWellformedness:
+    def test_boundary_free_storing_cycle(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.BR, targets=("loop",))]),
+            ("loop", [store(),
+                      Instr(Op.ADD, dst="r1", srcs=("r1", 1)),
+                      Instr(Op.LT, dst="r2", srcs=("r1", 9)),
+                      Instr(Op.CBR, srcs=("r2",), targets=("loop", "done"))]),
+            ("done", [boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R4")
+        assert any("back edge" in d.message for d in found)
+        assert any(d.witness for d in found)
+
+    def test_store_before_first_boundary(self):
+        prog = func_of(
+            ("entry", [store(), boundary("entry"),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R4")
+        assert any("before any" in d.message for d in found)
+
+    def test_bounded_loop_is_clean(self):
+        prog = func_of(
+            ("entry", [boundary("entry"), Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.BR, targets=("loop",))]),
+            ("loop", [boundary("loop"), store(),
+                      Instr(Op.ADD, dst="r1", srcs=("r1", 1)),
+                      Instr(Op.LT, dst="r2", srcs=("r1", 9)),
+                      Instr(Op.CBR, srcs=("r2",), targets=("loop", "done"))]),
+            ("done", [boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R4") == []
+
+
+class TestCheckpointSlotSafety:
+    def test_dangling_checkpoint(self):
+        # The checkpoint's slot write escapes into the next region: a
+        # rollback of that region would keep the clobbered slot.
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       Instr(Op.CONST, dst="r1", imm=1),
+                       checkpoint("r1"),
+                       Instr(Op.ADD, dst="r1", srcs=("r1", 1)),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R5")
+        assert any("escapes" in d.message for d in found)
+
+    def test_data_store_into_checkpoint_array(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       store(addr=CFG.checkpoint_words - 1),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        found = diags(prog, "R5")
+        assert any("checkpoint array" in d.message for d in found)
+
+    def test_data_store_above_array_is_clean(self):
+        prog = func_of(
+            ("entry", [boundary("entry"),
+                       store(addr=CFG.checkpoint_words),
+                       boundary("exit"), Instr(Op.RET)]),
+        )
+        assert diags(prog, "R5") == []
+
+
+class TestGraphAndLiveness:
+    def test_idoms_on_diamond(self):
+        prog = func_of(
+            ("entry", [Instr(Op.CONST, dst="r1", imm=0),
+                       Instr(Op.CBR, srcs=("r1",), targets=("a", "b"))]),
+            ("a", [Instr(Op.BR, targets=("join",))]),
+            ("b", [Instr(Op.BR, targets=("join",))]),
+            ("join", [Instr(Op.RET)]),
+        )
+        graph = InstrGraph(prog.functions["main"])
+        idom = graph.idoms()
+        assert idom["a"] == "entry"
+        assert idom["b"] == "entry"
+        assert idom["join"] == "entry"
+        assert graph.dominates("entry", "join")
+        assert not graph.dominates("a", "join")
+
+    def test_back_edge_and_loop_body(self):
+        prog = func_of(
+            ("entry", [Instr(Op.BR, targets=("loop",))]),
+            ("loop", [Instr(Op.CONST, dst="r1", imm=0),
+                      Instr(Op.CBR, srcs=("r1",), targets=("loop", "done"))]),
+            ("done", [Instr(Op.RET)]),
+        )
+        graph = InstrGraph(prog.functions["main"])
+        assert graph.back_edges() == [("loop", "loop")]
+        assert graph.loop_body("loop", "loop") == {"loop"}
+
+    def test_liveness_across_blocks(self):
+        prog = func_of(
+            ("entry", [Instr(Op.CONST, dst="r1", imm=3),
+                       Instr(Op.BR, targets=("use",))]),
+            ("use", [Instr(Op.ADD, dst="r2", srcs=("r1", 1)),
+                     Instr(Op.RET)]),
+        )
+        graph = InstrGraph(prog.functions["main"])
+        live = InstrLiveness(graph)
+        assert "r1" in live.live_out[("entry", 0)]
+        assert "r1" not in live.live_out[("use", 0)]
+
+    def test_first_use_path_witness(self):
+        prog = func_of(
+            ("entry", [Instr(Op.CONST, dst="r1", imm=3),
+                       Instr(Op.BR, targets=("use",))]),
+            ("use", [Instr(Op.NOP),
+                     Instr(Op.ADD, dst="r2", srcs=("r1", 1)),
+                     Instr(Op.RET)]),
+        )
+        graph = InstrGraph(prog.functions["main"])
+        live = InstrLiveness(graph)
+        path = live.first_use_path(("entry", 0), "r1")
+        assert path is not None and path[-1] == ("use", 1)
+        assert live.first_use_path(("use", 1), "r1") is None
