@@ -6,7 +6,9 @@ Subpackages:
 * :mod:`repro.compiler` — the region-partitioning compiler substrate,
 * :mod:`repro.sim` — the timing simulator substrate,
 * :mod:`repro.core` — LightWSP itself (WPQ redo buffering, LRPO, recovery),
-* :mod:`repro.baselines` — Capri / PPA / cWSP / ideal-PSP / memory-mode,
+* :mod:`repro.runtime` — the pluggable persist-path backends (every
+  scheme's timing policy + functional crash semantics, one registry),
+* :mod:`repro.baselines` — deprecation shims over :mod:`repro.runtime`,
 * :mod:`repro.workloads` — the 38-application synthetic suite,
 * :mod:`repro.analysis` — metrics, hardware-cost model, experiment drivers.
 """
@@ -33,6 +35,7 @@ from .core import (
     run_with_crashes,
     simulate_lightwsp,
 )
+from .runtime import BACKENDS, PersistBackend, compare_backends, get_backend
 from .sim import SchemePolicy, SimResult, simulate
 
 __version__ = "1.0.0"
@@ -55,6 +58,10 @@ __all__ = [
     "reference_pm",
     "run_with_crashes",
     "simulate_lightwsp",
+    "BACKENDS",
+    "PersistBackend",
+    "compare_backends",
+    "get_backend",
     "SchemePolicy",
     "SimResult",
     "simulate",

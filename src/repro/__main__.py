@@ -7,6 +7,8 @@ Commands:
 * ``figure``     — regenerate one table/figure
 * ``serve``      — serve a YCSB-style workload from the persistent KV
                    store (sharded, optional kill-and-recover)
+* ``compare``    — one workload across every persist backend: slowdown,
+                   persist traffic, and a mid-region crash/recovery probe
 * ``crash-sweep``— exhaustively crash-test one benchmark
 * ``faults``     — adversarial fault-injection campaigns (``campaign``,
                    ``replay``, ``list``)
@@ -39,6 +41,7 @@ from .compiler.textir import parse_program, print_program
 from .config import DEFAULT_CONFIG
 from .core.failure import crash_sweep
 from .core.lightwsp import LIGHTWSP
+from .runtime import BACKENDS, compare_backends, format_compare, get_backend
 from .workloads import BENCHMARKS, SUITES, benchmarks_of
 
 FIGURES = {
@@ -87,6 +90,14 @@ def cmd_list(args: argparse.Namespace) -> int:
         ", ".join(STORE_BENCHMARKS),
     ))
     print("\nschemes: %s" % ", ".join(sorted(SCHEMES)))
+    print("backends:")
+    for name in sorted(BACKENDS):
+        b = BACKENDS[name]
+        print("  %-14s %-12s %s" % (
+            name,
+            "recovers" if b.recovers else "no-recovery",
+            b.description,
+        ))
     print("figures: %s" % ", ".join(FIGURES))
     return 0
 
@@ -95,7 +106,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark not in BENCHMARKS:
         print("unknown benchmark %r (see `list`)" % args.benchmark)
         return 2
-    if args.scheme not in SCHEMES:
+    if args.backend:
+        try:
+            policy = get_backend(args.backend).policy
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        label = get_backend(args.backend).name
+    elif args.scheme in SCHEMES:
+        policy, label = SCHEMES[args.scheme], args.scheme
+    else:
         print("unknown scheme %r (see `list`)" % args.scheme)
         return 2
     if args.verify:
@@ -112,8 +132,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(exc)
             return 1
     ctx = ExperimentContext(scale=args.scale, benchmarks=[args.benchmark])
-    slowdown, result = ctx.slowdown(args.benchmark, SCHEMES[args.scheme])
-    print("%s under %s:" % (args.benchmark, args.scheme))
+    slowdown, result = ctx.slowdown(args.benchmark, policy)
+    print("%s under %s:" % (args.benchmark, label))
     print("  cycles       %12.0f" % result.cycles)
     print("  slowdown     %12.3f (vs memory-mode)" % slowdown)
     print("  instructions %12d" % result.instructions)
@@ -232,6 +252,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        chosen = [get_backend(b) for b in args.backends] \
+            if args.backends else None
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    report = compare_backends(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        backends=chosen,
+        smoke=args.smoke,
+    )
+    print(format_compare(report))
+    print("compare: %s" % ("PASS" if report.ok else
+                           "FAIL (a crash-consistent backend diverged)"))
+    return 0 if report.ok else 1
+
+
 def cmd_crash_sweep(args: argparse.Namespace) -> int:
     if args.benchmark not in BENCHMARKS:
         print("unknown benchmark %r (see `list`)" % args.benchmark)
@@ -242,7 +281,7 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
     entries = bench.entries(threads=min(bench.threads, 2))
     divergent = crash_sweep(
         compiled, entries=entries, stride=args.stride,
-        max_points=args.max_points,
+        max_points=args.max_points, backend=args.backend,
     )
     if divergent:
         print("DIVERGED at crash points: %s" % divergent[:20])
@@ -282,6 +321,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             crash_step=args.crash_step,
             progress=print,
             verify=True if args.verify else None,
+            backend=args.backend,
         )
     except VerificationError as exc:
         print("static verification FAILED, refusing to serve:")
@@ -355,15 +395,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
             validate_defenses=not args.no_validate,
             progress=print,
             verify=True if args.verify else None,
+            backend=args.backend,
         )
     except VerificationError as exc:
         print("static verification FAILED, refusing to inject faults:")
         print(exc)
         return 1
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc))
+        return 2
     print()
     print("campaign: %d scenarios over %d benchmarks x %d fault classes"
+          " (backend: %s)"
           % (result.scenarios_run, len(result.benchmarks),
-             len(FAULT_CLASSES)))
+             len(result.fault_classes), result.backend))
     print("oracle violations (defended protocol): %d"
           % len(result.violations))
     for v in result.violations[:10]:
@@ -395,6 +440,10 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark")
     p_run.add_argument("--scheme", default="LightWSP")
+    p_run.add_argument(
+        "--backend", default=None,
+        help="persist backend (see `list`); overrides --scheme",
+    )
     p_run.add_argument("--scale", type=float, default=0.1)
     p_run.add_argument(
         "--verify", action="store_true",
@@ -443,6 +492,11 @@ def main(argv=None) -> int:
         "--verify", action="store_true",
         help="statically verify every epoch's program before serving",
     )
+    p_serve.add_argument(
+        "--backend", default=None,
+        help="persist backend the shards run on (crash epochs require "
+             "a crash-consistent backend; see `list`)",
+    )
 
     p_compile = sub.add_parser("compile", help="compile a .lir file")
     p_compile.add_argument("file")
@@ -477,6 +531,20 @@ def main(argv=None) -> int:
         help="also print warnings for passing targets",
     )
 
+    p_cmp = sub.add_parser(
+        "compare", help="one workload across every persist backend"
+    )
+    p_cmp.add_argument("benchmark", nargs="?", default="bzip2")
+    p_cmp.add_argument("--scale", type=float, default=0.05)
+    p_cmp.add_argument(
+        "--backends", nargs="*", default=None,
+        help="subset of backends (default: all registered)",
+    )
+    p_cmp.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed-cost run over all backends (CI smoke test)",
+    )
+
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
     p_sweep.add_argument("benchmark")
     p_sweep.add_argument("--scale", type=float, default=0.02)
@@ -487,6 +555,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument(
         "--max-points", type=int, default=None,
         help="cap the probe count by even subsampling",
+    )
+    p_sweep.add_argument(
+        "--backend", default=None,
+        help="persist backend to sweep (see `list`)",
     )
 
     p_faults = sub.add_parser(
@@ -518,6 +590,11 @@ def main(argv=None) -> int:
         help="statically verify each compiled benchmark before "
              "injecting faults",
     )
+    p_camp.add_argument(
+        "--backend", default=None,
+        help="persist backend under attack (must be crash-consistent; "
+             "see `list`)",
+    )
     p_replay = fsub.add_parser(
         "replay", help="re-run every scenario of a recorded trace"
     )
@@ -531,6 +608,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "serve": cmd_serve,
+        "compare": cmd_compare,
         "compile": cmd_compile,
         "verify": cmd_verify,
         "crash-sweep": cmd_crash_sweep,

@@ -1,22 +1,32 @@
-"""Baseline persistence schemes, as policies over the shared engine.
+"""Baseline persistence schemes — deprecation shims.
 
-Each module documents how the paper describes the scheme and which policy
-knobs encode its behaviour; the policies are re-exported here with the
-baseline (memory-mode) policy.
+The schemes themselves moved into the unified runtime layer: each is a
+:class:`~repro.runtime.backend.PersistBackend` registered in
+:mod:`repro.runtime.backends`, owning both the timing policy replayed
+by the shared engine and the functional crash semantics executed by the
+persistence machine, fault injector, and KV store.  The modules here
+keep the paper-mapping rationale for each scheme's policy knobs and the
+historic ``from repro.baselines import ...`` spellings for one release;
+new code should resolve backends via :func:`repro.runtime.get_backend`.
 """
 
+from ..runtime.backend import BACKENDS, get_backend
 from .capri import CAPRI, capri_policy
 from .cwsp import CWSP, cwsp_policy
 from .memory_mode import MEMORY_MODE, memory_mode_policy
 from .ppa import PPA, ppa_policy
 from .psp import PSP_IDEAL, psp_ideal_policy
 
+#: legacy name -> policy map (timing plane only, LightWSP excluded);
+#: prefer iterating :data:`repro.runtime.BACKENDS`
 ALL_SCHEMES = {
     policy.name: policy
     for policy in (MEMORY_MODE, CAPRI, PPA, CWSP, PSP_IDEAL)
 }
 
 __all__ = [
+    "BACKENDS",
+    "get_backend",
     "CAPRI",
     "capri_policy",
     "CWSP",

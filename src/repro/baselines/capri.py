@@ -21,23 +21,15 @@ Hardware cost (§V-G4): 54 KB per core for the dual redo+undo buffers.
 
 from __future__ import annotations
 
-from ..sim.engine import SchemePolicy
+from ..runtime.backends import CAPRI
+from ..runtime.policy import SchemePolicy
 
 __all__ = ["CAPRI", "capri_policy"]
 
-CAPRI = SchemePolicy(
-    name="Capri",
-    persists=True,
-    entry_factor=8,          # 64 B of path traffic per 8 B store
-    gated=False,             # per-region eager persistence (own buffers)
-    boundary_wait=True,
-    wait_for="flush",        # stops traffic until flushed *in PM*
-    drain_factor=8.0,        # 64 B per entry hits the PM drain too
-    uses_dram_cache=True,
-    snoop=True,
-    implicit_region_stores=32,
-)
-
 
 def capri_policy() -> SchemePolicy:
+    """Deprecated: resolve the backend instead —
+    ``repro.runtime.get_backend("capri")``.  The policy is defined
+    once, in :mod:`repro.runtime.backends`; this shim keeps the historic
+    import path alive for one release."""
     return CAPRI

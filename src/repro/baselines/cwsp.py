@@ -26,23 +26,15 @@ near-zero hardware cost.
 
 from __future__ import annotations
 
-from ..sim.engine import SchemePolicy
+from ..runtime.backends import CWSP
+from ..runtime.policy import SchemePolicy
 
 __all__ = ["CWSP", "cwsp_policy"]
 
-CWSP = SchemePolicy(
-    name="cWSP",
-    persists=True,
-    entry_factor=1,
-    gated=False,
-    boundary_wait=False,
-    drain_factor=1.25,
-    region_comm_cycles=6.0,
-    uses_dram_cache=True,
-    snoop=True,
-    implicit_region_stores=16,
-)
-
 
 def cwsp_policy() -> SchemePolicy:
+    """Deprecated: resolve the backend instead —
+    ``repro.runtime.get_backend("cwsp-eager")``.  The policy is defined
+    once, in :mod:`repro.runtime.backends`; this shim keeps the historic
+    import path alive for one release."""
     return CWSP

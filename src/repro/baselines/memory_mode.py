@@ -8,17 +8,15 @@ configuration (§V-A)."""
 
 from __future__ import annotations
 
-from ..sim.engine import SchemePolicy
+from ..runtime.backends import MEMORY_MODE
+from ..runtime.policy import SchemePolicy
 
 __all__ = ["MEMORY_MODE", "memory_mode_policy"]
 
-MEMORY_MODE = SchemePolicy(
-    name="memory-mode",
-    persists=False,
-    uses_dram_cache=True,
-    snoop=False,
-)
-
 
 def memory_mode_policy() -> SchemePolicy:
+    """Deprecated: resolve the backend instead —
+    ``repro.runtime.get_backend("memory-mode")``.  The policy is defined
+    once, in :mod:`repro.runtime.backends`; this shim keeps the historic
+    import path alive for one release."""
     return MEMORY_MODE

@@ -24,21 +24,15 @@ timing effect we model).
 
 from __future__ import annotations
 
-from ..sim.engine import SchemePolicy
+from ..runtime.backends import PPA
+from ..runtime.policy import SchemePolicy
 
 __all__ = ["PPA", "ppa_policy"]
 
-PPA = SchemePolicy(
-    name="PPA",
-    persists=True,
-    entry_factor=1,
-    gated=False,
-    boundary_wait=True,
-    uses_dram_cache=True,
-    snoop=True,
-    implicit_region_stores=24,
-)
-
 
 def ppa_policy() -> SchemePolicy:
+    """Deprecated: resolve the backend instead —
+    ``repro.runtime.get_backend("ppa")``.  The policy is defined
+    once, in :mod:`repro.runtime.backends`; this shim keeps the historic
+    import path alive for one release."""
     return PPA

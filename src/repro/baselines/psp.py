@@ -16,17 +16,15 @@ persistence."""
 
 from __future__ import annotations
 
-from ..sim.engine import SchemePolicy
+from ..runtime.backends import PSP_IDEAL
+from ..runtime.policy import SchemePolicy
 
 __all__ = ["PSP_IDEAL", "psp_ideal_policy"]
 
-PSP_IDEAL = SchemePolicy(
-    name="PSP-Ideal",
-    persists=False,
-    uses_dram_cache=False,
-    snoop=False,
-)
-
 
 def psp_ideal_policy() -> SchemePolicy:
+    """Deprecated: resolve the backend instead —
+    ``repro.runtime.get_backend("psp")``.  The policy is defined
+    once, in :mod:`repro.runtime.backends`; this shim keeps the historic
+    import path alive for one release."""
     return PSP_IDEAL

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.pipeline import CompiledProgram
 from ..config import DEFAULT_CONFIG, SystemConfig
-from ..sim.trace import EK
+from ..trace import EK
 from .machine import MachineStats, PersistentMachine
 
 __all__ = ["reference_pm", "run_with_crashes", "crash_sweep"]
@@ -31,9 +31,11 @@ def _machine(
     entries: Entries,
     config: SystemConfig,
     schedule_seed: int,
+    backend=None,
 ) -> PersistentMachine:
     return PersistentMachine(
-        compiled, entries=entries, config=config, schedule_seed=schedule_seed
+        compiled, entries=entries, config=config,
+        schedule_seed=schedule_seed, backend=backend,
     )
 
 
@@ -42,9 +44,10 @@ def reference_pm(
     entries: Entries = DEFAULT_ENTRIES,
     config: SystemConfig = DEFAULT_CONFIG,
     schedule_seed: int = 0,
+    backend=None,
 ) -> Dict[int, int]:
     """Run to completion with no failures; the persisted data image."""
-    machine = _machine(compiled, entries, config, schedule_seed)
+    machine = _machine(compiled, entries, config, schedule_seed, backend)
     if not machine.run():
         raise RuntimeError("program did not finish within the step budget")
     return machine.pm_data()
@@ -56,13 +59,14 @@ def run_with_crashes(
     entries: Entries = DEFAULT_ENTRIES,
     config: SystemConfig = DEFAULT_CONFIG,
     schedule_seed: int = 0,
+    backend=None,
 ) -> Tuple[Dict[int, int], MachineStats]:
     """Execute, cutting power after each (cumulative-step) crash point,
     recovering, and resuming.  Crash points past program completion are
     ignored — the ones that actually fired are recorded in
     ``MachineStats.crash_points_fired`` so callers can assert coverage.
     Returns (final data image, machine stats)."""
-    machine = _machine(compiled, entries, config, schedule_seed)
+    machine = _machine(compiled, entries, config, schedule_seed, backend)
     executed = 0
     for point in sorted(crash_points):
         budget = point - executed
@@ -87,6 +91,7 @@ def crash_sweep(
     stride: Optional[int] = None,
     schedule_seed: int = 0,
     max_points: Optional[int] = None,
+    backend=None,
 ) -> List[int]:
     """Crash once per probe point of the failure-free execution and check
     recovery each time.  Returns the list of crash points whose final
@@ -103,9 +108,10 @@ def crash_sweep(
     Cost model: one shared execution is advanced point to point and a
     clone is forked (``PersistentMachine.clone``) at each probe, so the
     program prefix is never re-executed per crash point."""
-    reference = reference_pm(compiled, entries, config, schedule_seed)
+    reference = reference_pm(compiled, entries, config, schedule_seed,
+                             backend=backend)
 
-    probe = _machine(compiled, entries, config, schedule_seed)
+    probe = _machine(compiled, entries, config, schedule_seed, backend)
     boundary_steps: List[int] = []
     while True:
         event = probe.step()
@@ -133,7 +139,7 @@ def crash_sweep(
         points = sorted({points[i] for i in idx})
 
     divergent: List[int] = []
-    walker = _machine(compiled, entries, config, schedule_seed)
+    walker = _machine(compiled, entries, config, schedule_seed, backend)
     for point in points:
         walker.run(steps=point - walker.stats.steps)
         if walker.finished:

@@ -20,24 +20,17 @@ from typing import Sequence, Tuple
 from ..compiler.interp import run_single, run_threads
 from ..compiler.pipeline import CompiledProgram
 from ..config import DEFAULT_CONFIG, SystemConfig
-from ..sim.engine import SchemePolicy, SimResult, simulate
+from ..runtime.backends import LIGHTWSP
+from ..runtime.policy import SchemePolicy
+from ..sim.engine import SimResult, simulate
 from ..sim.trace import TraceEvent
 
 __all__ = ["LIGHTWSP", "lightwsp_policy", "simulate_lightwsp", "trace_of"]
 
-LIGHTWSP = SchemePolicy(
-    name="LightWSP",
-    persists=True,
-    entry_factor=1,
-    gated=True,
-    boundary_wait=False,
-    drain_factor=1.0,
-    uses_dram_cache=True,
-    snoop=True,
-)
-
 
 def lightwsp_policy() -> SchemePolicy:
+    """The LightWSP timing policy (defined once, in
+    :mod:`repro.runtime.backends`)."""
     return LIGHTWSP
 
 

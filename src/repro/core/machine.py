@@ -37,10 +37,9 @@ from ..compiler.interp import LockTable, ThreadVM, WordMemory
 from ..compiler.ir import Program
 from ..compiler.pipeline import CompiledProgram
 from ..config import SystemConfig, DEFAULT_CONFIG
-from ..sim.trace import EK, TraceEvent
-from .recovery import rebuild_registers, rollback_undo
+from ..trace import EK, TraceEvent
+from .recovery import rebuild_registers
 from .regionid import RegionIdAllocator
-from .wpq import FunctionalWPQ, WPQFullError
 
 __all__ = ["PersistentMachine", "Continuation", "MachineStats"]
 
@@ -96,7 +95,15 @@ class _HookedMemory(WordMemory):
 
 
 class PersistentMachine:
-    """Functional LightWSP machine over a compiled program."""
+    """Functional persistence machine over a compiled program.
+
+    The persist path is pluggable: a
+    :class:`~repro.runtime.backend.PersistBackend` (default:
+    ``lightwsp-lrpo``) supplies the functional runtime that owns WPQ
+    admission, boundary/commit gating, drain ordering, and the
+    crash-time durable set; this class owns execution, scheduling,
+    continuations, the durable I/O log, and the recovery protocol's
+    orchestration."""
 
     def __init__(
         self,
@@ -106,7 +113,11 @@ class PersistentMachine:
         quantum: int = 16,
         schedule_seed: int = 0,
         max_steps: int = 2_000_000,
+        backend=None,
     ) -> None:
+        # lazy: repro.runtime imports core submodules (wpq, recovery)
+        from ..runtime.backend import get_backend
+
         self.compiled = compiled
         self.config = config
         self.quantum = quantum
@@ -117,15 +128,10 @@ class PersistentMachine:
         self.volatile = _HookedMemory(self)
         self.locks = LockTable()
         self.allocator = RegionIdAllocator()
-        self.wpqs = [
-            FunctionalWPQ(config.mc.wpq_entries) for _ in range(config.mc.n_mcs)
-        ]
-        #: regions whose boundary has been broadcast
-        self.boundary_issued: Set[int] = set()
-        #: next region the (global) flush ID expects
-        self.committed_upto = 0
-        #: region -> {word: pre-overwrite PM value} (overflow fallback)
-        self.undo_log: Dict[int, Dict[int, int]] = {}
+        #: the persistence scheme (PersistBackend) and its functional
+        #: runtime — all WPQ/boundary/commit/crash state lives there
+        self.backend = get_backend(backend)
+        self.persist = self.backend.create_runtime(self)
 
         self.vms: List[ThreadVM] = []
         #: per-thread boundary history: (ended_region, Continuation)
@@ -162,50 +168,50 @@ class PersistentMachine:
             self.history.append([(-1, start)])
 
     # ------------------------------------------------------------------
-    # persistence model hooks
+    # persistence model hooks (delegating to the backend runtime)
     # ------------------------------------------------------------------
+
+    # The runtime owns the protocol state; these views keep the historic
+    # attribute surface (fault injection, campaigns, and tests use it).
+    @property
+    def wpqs(self):
+        return self.persist.wpqs
+
+    @property
+    def boundary_issued(self) -> Set[int]:
+        return self.persist.boundary_issued
+
+    @property
+    def committed_upto(self) -> int:
+        return self.persist.committed_upto
+
+    @committed_upto.setter
+    def committed_upto(self, value: int) -> None:
+        self.persist.committed_upto = value
+
+    @property
+    def undo_log(self) -> Dict[int, Dict[int, int]]:
+        return self.persist.undo_log
+
+    @undo_log.setter
+    def undo_log(self, value: Dict[int, Dict[int, int]]) -> None:
+        self.persist.undo_log = value
+
     def _mc_of_word(self, word: int) -> int:
-        return ((word * 8) // 64) % len(self.wpqs)
+        return ((word * 8) // 64) % self.config.mc.n_mcs
 
     def _on_store(self, word: int, value: int) -> None:
         tid = self._stepping_tid
         region = self.allocator.region_of(tid)
-        wpq = self.wpqs[self._mc_of_word(word)]
         self.stats.stores += 1
-        try:
-            wpq.put(region, word, value)
-        except WPQFullError:
-            self._resolve_full(wpq, region, word, value)
-        self.stats.max_wpq_occupancy = max(self.stats.max_wpq_occupancy, len(wpq))
+        occupancy = self.persist.admit(region, word, value)
+        if occupancy > self.stats.max_wpq_occupancy:
+            self.stats.max_wpq_occupancy = occupancy
 
-    def _resolve_full(
-        self, wpq: FunctionalWPQ, region: int, word: int, value: int
-    ) -> None:
-        """§IV-D deadlock fallback: flush the *oldest region present* in
-        this WPQ to PM with undo logging, then quarantine the incoming
-        store normally.
-
-        The flush-ID region is the preferred victim (the paper's rule);
-        when it has no entries here (e.g. it belongs to a lock-blocked
-        thread), the oldest present region generalizes it safely: per
-        word, all conflicting writes of *older* regions have already
-        arrived (DRF + the sync-refresh ID ordering), so flushing the
-        oldest present never lets an older value overwrite a newer one —
-        and the undo log covers crash rollback."""
-        self.stats.overflow_events += 1
-        present = wpq.regions_present()
-        victim = (
-            self.committed_upto
-            if self.committed_upto in present
-            else min(present)
-        )
-        entries = wpq.pop_region(victim)
-        undo = self.undo_log.setdefault(victim, {})
-        for entry in entries:
-            undo.setdefault(entry.word, self.pm.get(entry.word, 0))
-            self.pm[entry.word] = entry.value
-            self.stats.undo_writes += 1
-        wpq.put(region, word, value)
+    def _resolve_full(self, wpq, region: int, word: int, value: int) -> None:
+        """§IV-D overflow fallback (gated backends); overridable so the
+        fault subsystem can model the undo-logging defense switched off."""
+        self.persist.resolve_full(wpq, region, word, value)
 
     def _boundary_executed(self, tid: int, boundary_uid: int) -> None:
         vm = self.vms[tid]
@@ -243,34 +249,36 @@ class PersistentMachine:
         ended = self.allocator.region_of(tid)
         self._broadcast_boundary(ended)
         self._try_commit()
+        if all(vm.halted for vm in self.vms):
+            # clean completion: schemes without a persist protocol drain
+            # their volatile dirty state here (the flush a crash never gets)
+            self.persist.on_all_halted()
 
     # -- overridable persistence-protocol hooks (the fault-injection
     # -- subsystem in repro.faults specializes these; see FaultyMachine) --
     def _broadcast_boundary(self, region: int) -> None:
-        """The ended region's boundary is broadcast to every MC.  The base
-        machine models a perfectly reliable interconnect: the broadcast is
-        instantly delivered and ACKed everywhere."""
-        self.boundary_issued.add(region)
+        """The ended region's boundary leaves the core.  The base machine
+        models a perfectly reliable interconnect: gated backends record
+        the broadcast as instantly delivered and ACKed everywhere."""
+        self.persist.region_ended(region)
 
     def _region_committable(self, region: int) -> bool:
-        """Whether the flush-ID region may commit now (its boundary has
-        been broadcast to, and ACKed by, all MCs)."""
-        return region in self.boundary_issued
+        """Whether the commit candidate may commit now (gated backends:
+        its boundary has been broadcast to, and ACKed by, all MCs)."""
+        return self.persist.committable(region)
 
     def _commit_flush(self, region: int) -> None:
-        """Bulk-flush the committing region's quarantined entries to PM on
-        every MC."""
-        for wpq in self.wpqs:
-            for entry in wpq.pop_region(region):
-                self.pm[entry.word] = entry.value
+        """Move the committing region's quarantined entries to PM (no-op
+        for backends that persisted them at admission)."""
+        self.persist.commit_flush(region)
 
     def _try_commit(self) -> None:
-        while self._region_committable(self.committed_upto):
-            region = self.committed_upto
+        while True:
+            region = self.persist.next_commit()
+            if region is None or not self._region_committable(region):
+                return
             self._commit_flush(region)
-            self.undo_log.pop(region, None)
-            self.boundary_issued.discard(region)
-            self.committed_upto += 1
+            self.persist.mark_committed(region)
             self.stats.commits += 1
             if self.stats.commit_steps is not None:
                 self.stats.commit_steps.append((region, self.stats.steps))
@@ -365,44 +373,44 @@ class PersistentMachine:
         return report
 
     def _battery_drain(self, report: Dict[str, int]) -> None:
-        """Steps 1-5: commit every region whose boundary broadcast happened
-        (battery covers in-flight ACKs), in flush-ID order."""
-        before = self.committed_upto
+        """Steps 1-5: commit every region the backend can still make
+        durable (the battery covers in-flight ACKs), in drain order."""
+        before = self.stats.commits
         self._try_commit()
-        report["flushed"] += self.committed_upto - before
+        report["flushed"] += self.stats.commits - before
 
     def _rollback_overflow(self, report: Dict[str, int]) -> None:
-        """Roll back overflow-flushed writes of uncommitted regions,
-        youngest region first so the oldest pre-image wins."""
-        report["undone"] += rollback_undo(self.pm, self.undo_log)
-        self.undo_log.clear()
+        """Roll back speculatively persisted writes of uncommitted
+        regions (overflow flushes under LRPO, every store under the
+        eager-undo schemes), youngest region first so the oldest
+        pre-image wins."""
+        report["undone"] += self.persist.rollback()
 
     def _discard_quarantined(self, report: Dict[str, int]) -> None:
-        """Step 6: everything still quarantined is lost with the power."""
-        for wpq in self.wpqs:
-            report["discarded"] += wpq.discard_all()
+        """Step 6: everything still volatile is lost with the power
+        (quarantined WPQ entries; memory-mode's whole dirty set)."""
+        report["discarded"] += self.persist.discard()
 
     def _drop_interrupted_io(self, report: Dict[str, int]) -> None:
         """Irrevocable operations of interrupted regions will re-execute;
         drop them from the durable log (they were not "completed")."""
         before_io = len(self.io_log)
         self.io_log = [
-            entry for entry in self.io_log if entry[2] < self.committed_upto
+            entry for entry in self.io_log
+            if self.persist.region_durable(entry[2])
         ]
         report["io_replayed"] += before_io - len(self.io_log)
 
     def _restore_threads(self) -> None:
-        committed = self.committed_upto
         self.volatile.words = dict(self.pm)  # caches are gone
         self.locks = LockTable()
-        self.boundary_issued.clear()
         self._halted_closed.clear()
 
         for tid, vm in enumerate(self.vms):
-            # latest boundary whose *ended* region committed
+            # latest boundary whose *ended* region is durable
             resume: Optional[Continuation] = None
             for ended, continuation in reversed(self.history[tid]):
-                if ended < committed:
+                if self.persist.region_durable(ended):
                     resume = continuation
                     break
             assert resume is not None  # the thread-start sentinel has -1
@@ -426,7 +434,7 @@ class PersistentMachine:
         # Dead region IDs (allocated to interrupted regions) will never be
         # re-broadcast; re-executed code gets fresh IDs.  Footnote 7: the
         # region ID register is reseeded from the flush ID domain.
-        self.committed_upto = self.allocator.allocated
+        self.persist.reseed(self.allocator.allocated)
         for tid in range(len(self.vms)):
             self.allocator.start_thread(tid)
             if self.vms[tid].halted:
@@ -460,10 +468,8 @@ class PersistentMachine:
         new.locks = LockTable()
         new.locks.owner = dict(self.locks.owner)
         new.allocator = copy.deepcopy(self.allocator)
-        new.wpqs = copy.deepcopy(self.wpqs)
-        new.boundary_issued = set(self.boundary_issued)
-        new.committed_upto = self.committed_upto
-        new.undo_log = {r: dict(w) for r, w in self.undo_log.items()}
+        new.backend = self.backend
+        new.persist = self.persist.clone_onto(new)
         new.io_log = [list(e) for e in self.io_log]
         new._stepping_tid = self._stepping_tid
         new._turn = self._turn
@@ -496,4 +502,4 @@ class PersistentMachine:
         return {w: v for w, v in self.pm.items() if w >= floor and v != 0}
 
     def wpq_occupancy(self) -> List[int]:
-        return [len(w) for w in self.wpqs]
+        return self.persist.occupancy()

@@ -129,11 +129,11 @@ class _Probe:
 
 
 def _probe_benchmark(
-    compiled: CompiledProgram, config: SystemConfig
+    compiled: CompiledProgram, config: SystemConfig, backend=None
 ) -> _Probe:
-    from ..sim.trace import EK
+    from ..trace import EK
 
-    machine = FaultyMachine(compiled, config=config)
+    machine = FaultyMachine(compiled, config=config, backend=backend)
     boundary_steps: List[int] = []
     while True:
         event = machine.step()
@@ -143,8 +143,20 @@ def _probe_benchmark(
             boundary_steps.append(machine.stats.steps)
     total = machine.stats.steps
 
+    reference = reference_pm(compiled, config=config, backend=backend)
+    if not machine.persist.gated:
+        # no WPQ to shrink: the tiny-WPQ overflow surface only exists
+        # for gated (quarantine-based) backends
+        return _Probe(
+            total_steps=total,
+            boundary_steps=boundary_steps,
+            open_undo_steps=[],
+            reference=reference,
+            reference_tiny=reference,
+        )
+
     tiny = _tiny_config(config)
-    walker = FaultyMachine(compiled, config=tiny)
+    walker = FaultyMachine(compiled, config=tiny, backend=backend)
     open_undo: List[int] = []
     while True:
         if walker.step() is None:
@@ -158,8 +170,8 @@ def _probe_benchmark(
         total_steps=total,
         boundary_steps=boundary_steps,
         open_undo_steps=open_undo,
-        reference=reference_pm(compiled, config=config),
-        reference_tiny=reference_pm(compiled, config=tiny),
+        reference=reference,
+        reference_tiny=reference_pm(compiled, config=tiny, backend=backend),
     )
 
 
@@ -330,6 +342,8 @@ class CampaignResult:
 
     seed: int
     benchmarks: List[str]
+    backend: str = "lightwsp-lrpo"
+    fault_classes: Tuple[str, ...] = FAULT_CLASSES
     scenarios_run: int = 0
     #: oracle failures of the DEFENDED protocol (must stay empty)
     violations: List[Dict] = field(default_factory=list)
@@ -355,9 +369,11 @@ def _run_one(
     defenses: Defenses,
     reference: Dict[int, int],
     trace,
+    backend=None,
 ) -> Tuple[Optional[Violation], Dict]:
     result = run_scenario(
-        compiled, schedule, config=config, defenses=defenses, trace=trace
+        compiled, schedule, config=config, defenses=defenses, trace=trace,
+        backend=backend,
     )
     violation = check_image(result.finished, result.image, reference)
     record = {
@@ -381,23 +397,46 @@ def run_campaign(
     validate_defenses: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     verify: Optional[bool] = None,
+    backend=None,
 ) -> CampaignResult:
     """Run the full deterministic campaign.  Same seed, same benchmarks,
     same scale -> bit-identical trace (modulo the trace path).
 
     ``verify=True`` statically verifies each compiled benchmark (see
-    :mod:`repro.verify`) before injecting any fault into it."""
+    :mod:`repro.verify`) before injecting any fault into it.
+
+    ``backend`` selects the persist backend under attack.  The sweep is
+    restricted to the backend's meaningful fault classes; the differential
+    oracle demands a crash-consistent scheme, so backends with
+    ``recovers=False`` (PSP, memory-mode) are refused — every scenario
+    would be a guaranteed, uninformative violation."""
+    from ..runtime.backend import get_backend
+
+    backend = get_backend(backend)
+    if not backend.recovers:
+        raise ValueError(
+            "backend %r is not crash-consistent by design; the "
+            "differential campaign oracle would flag every scenario. "
+            "Use `repro compare` to quantify its divergence instead."
+            % backend.name
+        )
+    fault_classes = tuple(
+        fc for fc in FAULT_CLASSES if fc in backend.fault_classes
+    )
     names = list(benchmarks or DEFAULT_CAMPAIGN_BENCHMARKS)
     say = progress or (lambda msg: None)
     trace = FaultTrace(trace_path) if trace_path else NullTrace()
     result = CampaignResult(seed=seed, benchmarks=names,
+                            backend=backend.name,
+                            fault_classes=fault_classes,
                             trace_path=trace_path)
     tiny = _tiny_config(config)
     configs = {"default": config, "tiny_wpq": tiny}
 
     trace.emit(
         "campaign_start", seed=seed, scale=scale, benchmarks=names,
-        fault_classes=list(FAULT_CLASSES),
+        backend=backend.name,
+        fault_classes=list(fault_classes),
         tiny_wpq_entries=TINY_WPQ_ENTRIES, version=1,
     )
 
@@ -415,20 +454,21 @@ def run_campaign(
             bench.build(scale=scale), config.compiler, verify=verify
         )
         compiled_cache[name] = compiled
-        probe = _probe_benchmark(compiled, config)
+        probe = _probe_benchmark(compiled, config, backend=backend)
         probes[name] = probe
 
         cells: List[Tuple[str, str, List[FaultEvent]]] = []
-        for fault_class in FAULT_CLASSES:
+        for fault_class in fault_classes:
             rng = _rng(seed, name, fault_class)
             for schedule in generate_schedules(
                 fault_class, probe, rng, config
             ):
                 cells.append((fault_class, "default", schedule))
-        for fault_class, schedule in _tiny_wpq_schedules(
-            probe, _rng(seed, name, "tiny_wpq")
-        ):
-            cells.append((fault_class, "tiny_wpq", schedule))
+        if backend.gated:
+            for fault_class, schedule in _tiny_wpq_schedules(
+                probe, _rng(seed, name, "tiny_wpq")
+            ):
+                cells.append((fault_class, "tiny_wpq", schedule))
 
         bench_violations = 0
         for fault_class, cfg_tag, schedule in cells:
@@ -438,7 +478,7 @@ def run_campaign(
             )
             violation, record = _run_one(
                 compiled, schedule, configs[cfg_tag], ALL_ON,
-                reference, trace,
+                reference, trace, backend=backend,
             )
             record.update(
                 benchmark=name, fault_class=fault_class,
@@ -452,10 +492,14 @@ def run_campaign(
         say("%-10s %2d scenarios, %d violation(s)"
             % (name, len(cells), bench_violations))
 
-    if validate_defenses:
+    if validate_defenses and backend.validates_defenses:
         _validate_defenses(
-            result, compiled_cache, probes, configs, seed, trace, say
+            result, compiled_cache, probes, configs, seed, trace, say,
+            backend=backend,
         )
+    elif validate_defenses:
+        say("defense validation skipped: backend %r has no LRPO "
+            "defenses to switch off" % backend.name)
 
     trace.emit(
         "campaign_end",
@@ -476,6 +520,7 @@ def _validate_defenses(
     seed: int,
     trace,
     say: Callable[[str], None],
+    backend=None,
 ) -> None:
     """Self-validation: every defense-off mode must be flagged, then its
     failing schedule is shrunk to a minimal reproducer (verified to still
@@ -499,7 +544,7 @@ def _validate_defenses(
             def fails(schedule: List[FaultEvent]) -> bool:
                 res = run_scenario(
                     compiled, schedule, config=cfg, defenses=defenses,
-                    trace=NullTrace(),
+                    trace=NullTrace(), backend=backend,
                 )
                 return check_image(
                     res.finished, res.image, reference
@@ -520,7 +565,7 @@ def _validate_defenses(
             # record the minimal reproducer's actual violation
             res = run_scenario(
                 compiled, minimal, config=cfg, defenses=defenses,
-                trace=NullTrace(),
+                trace=NullTrace(), backend=backend,
             )
             violation = check_image(res.finished, res.image, reference)
             entry.update(
@@ -559,6 +604,7 @@ def replay_trace(
     if not starts:
         raise ValueError("not a campaign trace: %s" % path)
     scale = starts[0]["scale"]
+    backend = starts[0].get("backend", "lightwsp-lrpo")
     configs = {"default": config, "tiny_wpq": _tiny_config(config)}
 
     compiled_cache: Dict[str, CompiledProgram] = {}
@@ -579,7 +625,8 @@ def replay_trace(
         )
         schedule = schedule_from_json(record["schedule"])
         res = run_scenario(
-            compiled_cache[name], schedule, config=cfg, defenses=defenses
+            compiled_cache[name], schedule, config=cfg, defenses=defenses,
+            backend=backend,
         )
         checked += 1
         # the recorded hash pins the exact final image (including any

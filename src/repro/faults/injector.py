@@ -49,6 +49,7 @@ def run_scenario(
     quantum: int = 16,
     max_steps: int = 2_000_000,
     trace=None,
+    backend=None,
 ) -> ScenarioResult:
     machine = FaultyMachine(
         compiled,
@@ -59,6 +60,7 @@ def run_scenario(
         max_steps=max_steps,
         defenses=defenses,
         trace=trace,
+        backend=backend,
     )
     skipped = 0
     for event in sorted(schedule, key=lambda e: e.step):

@@ -74,6 +74,7 @@ class FaultyMachine(PersistentMachine):
         max_steps: int = 2_000_000,
         defenses: Defenses = ALL_ON,
         trace=None,
+        backend=None,
     ) -> None:
         self.defenses = defenses
         self.trace = trace if trace is not None else NullTrace()
@@ -84,8 +85,9 @@ class FaultyMachine(PersistentMachine):
             quantum=quantum,
             schedule_seed=schedule_seed,
             max_steps=max_steps,
+            backend=backend,
         )
-        n_mcs = len(self.wpqs)
+        n_mcs = config.mc.n_mcs
         #: per-MC set of region boundaries delivered (and ACKed)
         self.mc_seen: List[Set[int]] = [set() for _ in range(n_mcs)]
         #: region -> step at which its flush-ACK exchange completes
@@ -140,7 +142,12 @@ class FaultyMachine(PersistentMachine):
         return None
 
     def _broadcast_boundary(self, region: int) -> None:
-        self.boundary_issued.add(region)
+        if not self.persist.gated:
+            # no boundary/ACK message layer to attack: eager schemes
+            # persist at admission, so the broadcast faults are inert
+            super()._broadcast_boundary(region)
+            return
+        self.persist.region_ended(region)
         self._boundary_seq += 1
         self._deliver_due()
         for mc in range(len(self.wpqs)):
@@ -235,6 +242,8 @@ class FaultyMachine(PersistentMachine):
     # commit gating
     # ------------------------------------------------------------------
     def _region_committable(self, region: int) -> bool:
+        if not self.persist.gated:
+            return super()._region_committable(region)
         if region not in self.boundary_issued:
             return False
         if not self._seen_ok(region):
@@ -246,13 +255,16 @@ class FaultyMachine(PersistentMachine):
 
     def step(self):
         event = super().step()
-        if event is not None:
+        if event is not None and self.persist.gated:
             due = self._ack_due.get(self.committed_upto)
             if due is not None and self.stats.steps >= due:
                 self._try_commit()
         return event
 
     def _commit_flush(self, region: int) -> None:
+        if not self.persist.gated:
+            super()._commit_flush(region)
+            return
         self._ack_due.pop(region, None)
         if self._battery_powered:
             for mc, wpq in enumerate(self.wpqs):
@@ -274,7 +286,7 @@ class FaultyMachine(PersistentMachine):
     # stores
     # ------------------------------------------------------------------
     def _on_store(self, word: int, value: int) -> None:
-        if self._mc_of_word(word) in self.down_mcs:
+        if self.persist.gated and self._mc_of_word(word) in self.down_mcs:
             # the target MC's power domain is gone: the persist-path entry
             # vanishes (its region can never commit, so recovery will
             # re-execute the store)

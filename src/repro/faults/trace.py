@@ -1,76 +1,23 @@
-"""Append-only JSONL fault-trace artifacts.
-
-Every campaign writes one ``.jsonl`` file: one JSON object per line, in
-the order things happened, never rewritten.  The trace is the campaign's
-replay artifact — it records each scenario's benchmark, fault schedule,
-defense switches, and outcome (violation flag + a stable hash of the
-final persisted image), so ``repro faults replay <trace>`` can re-run
-every scenario and verify the outcomes reproduce bit-for-bit.
-"""
+"""Compatibility shim: the append-only JSONL trace artifacts moved to
+:mod:`repro.trace` so runtime-layer events have a single schema.  Import
+from there (``FaultTrace`` is an alias of :class:`repro.trace.JsonlTrace`)."""
 
 from __future__ import annotations
 
-import hashlib
-import json
-from typing import Dict, Iterator, List, Optional
+from ..trace import (
+    FaultTrace,
+    JsonlTrace,
+    NullTrace,
+    image_hash,
+    iter_scenarios,
+    read_trace,
+)
 
-__all__ = ["FaultTrace", "NullTrace", "image_hash", "read_trace"]
-
-
-def image_hash(image: Dict[int, int]) -> str:
-    """A stable fingerprint of a persisted data image."""
-    digest = hashlib.sha256()
-    for word in sorted(image):
-        digest.update(("%d:%d;" % (word, image[word])).encode())
-    return digest.hexdigest()[:16]
-
-
-class FaultTrace:
-    """Append-only JSONL writer.  One instance per campaign run."""
-
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self._fh = open(path, "a")
-        self.lines_written = 0
-
-    def emit(self, rectype: str, **fields) -> None:
-        record = {"type": rectype}
-        record.update(fields)
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        self.lines_written += 1
-
-    def close(self) -> None:
-        self._fh.close()
-
-    def __enter__(self) -> "FaultTrace":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-class NullTrace:
-    """Trace sink for runs that don't record (shrinking probes, tests)."""
-
-    path: Optional[str] = None
-    lines_written = 0
-
-    def emit(self, rectype: str, **fields) -> None:
-        pass
-
-    def close(self) -> None:
-        pass
-
-
-def read_trace(path: str) -> List[Dict]:
-    with open(path) as fh:
-        return [json.loads(line) for line in fh if line.strip()]
-
-
-def iter_scenarios(records: List[Dict]) -> Iterator[Dict]:
-    """Yield the scenario_end records (each carries everything needed to
-    replay: benchmark, fault class, schedule, defenses, outcome)."""
-    for record in records:
-        if record.get("type") == "scenario_end":
-            yield record
+__all__ = [
+    "FaultTrace",
+    "JsonlTrace",
+    "NullTrace",
+    "image_hash",
+    "iter_scenarios",
+    "read_trace",
+]

@@ -1,0 +1,58 @@
+"""The unified persist-path runtime layer.
+
+One :class:`~repro.runtime.backend.PersistBackend` per persistence
+scheme, each owning
+
+* a :class:`~repro.runtime.policy.SchemePolicy` — the timing-plane
+  knobs the shared engine (:mod:`repro.sim.engine`) replays traces
+  under, and
+* a :class:`~repro.runtime.runtime.PersistRuntime` — the functional
+  crash semantics the persistence machine
+  (:mod:`repro.core.machine`), the fault injector, and the KV store
+  execute.
+
+Consumers resolve backends through :func:`get_backend`; the registry
+lives in :mod:`repro.runtime.backends`.
+"""
+
+from .backend import ALIASES, BACKENDS, PersistBackend, get_backend
+from .backends import (
+    CAPRI,
+    CWSP,
+    LIGHTWSP,
+    MEMORY_MODE,
+    PPA,
+    PSP_IDEAL,
+)
+from .compare import CompareReport, CompareRow, compare_backends, format_compare
+from .policy import SchemePolicy
+from .runtime import (
+    EadrRuntime,
+    EagerUndoRuntime,
+    LrpoRuntime,
+    PersistRuntime,
+    VolatileCacheRuntime,
+)
+
+__all__ = [
+    "ALIASES",
+    "BACKENDS",
+    "PersistBackend",
+    "get_backend",
+    "CAPRI",
+    "CWSP",
+    "LIGHTWSP",
+    "MEMORY_MODE",
+    "PPA",
+    "PSP_IDEAL",
+    "CompareReport",
+    "CompareRow",
+    "compare_backends",
+    "format_compare",
+    "SchemePolicy",
+    "PersistRuntime",
+    "LrpoRuntime",
+    "EagerUndoRuntime",
+    "EadrRuntime",
+    "VolatileCacheRuntime",
+]

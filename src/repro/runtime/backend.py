@@ -1,0 +1,105 @@
+"""The :class:`PersistBackend` interface: one persistence scheme, both
+planes.
+
+A backend bundles the two halves that used to be defined separately —
+the *timing* face (a :class:`~repro.runtime.policy.SchemePolicy` the
+shared engine replays traces under) and the *functional* face (a
+:class:`~repro.runtime.runtime.PersistRuntime` class giving the scheme
+executable crash semantics) — plus the capability flags the harnesses
+gate on:
+
+* ``recovers`` — whether the scheme upholds the crash-consistency
+  theorem (resume-from-boundary reproduces the failure-free image).
+  Fault campaigns refuse backends that don't; ``repro compare`` probes
+  and reports the verdict instead.
+* ``gated`` — whether stores quarantine behind the boundary/ACK
+  protocol.  Only gated backends have a message layer for the fault
+  injector to attack (drop/delay/dup broadcasts, MC skew) or a WPQ for
+  the tiny-WPQ overflow sweep.
+* ``fault_classes`` — the campaign fault classes that are meaningful
+  for the scheme (a subset of :data:`repro.faults.model.FAULT_CLASSES`).
+
+Look backends up with :func:`get_backend`; legacy scheme names
+("LightWSP", "cWSP", ...) resolve through :data:`ALIASES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+from .policy import SchemePolicy
+from .runtime import PersistRuntime
+
+__all__ = ["PersistBackend", "BACKENDS", "ALIASES", "get_backend", "register"]
+
+
+@dataclass(frozen=True)
+class PersistBackend:
+    """One persistence scheme: timing policy + functional runtime +
+    harness capabilities."""
+
+    name: str
+    policy: SchemePolicy
+    runtime_cls: Type[PersistRuntime]
+    #: does the scheme uphold the crash-consistency theorem?
+    recovers: bool = True
+    #: campaign fault classes applicable to the scheme
+    fault_classes: Tuple[str, ...] = ()
+    #: does the defense-off self-validation sweep apply?  (Only the
+    #: full LRPO protocol has the defenses to switch off.)
+    validates_defenses: bool = False
+    description: str = ""
+
+    @property
+    def gated(self) -> bool:
+        return self.runtime_cls.gated
+
+    def create_runtime(self, machine) -> PersistRuntime:
+        return self.runtime_cls(self, machine)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: registry of concrete backends, keyed by canonical name (filled by
+#: :mod:`repro.runtime.backends` at import time)
+BACKENDS: Dict[str, PersistBackend] = {}
+
+#: legacy scheme-policy names -> canonical backend names
+ALIASES: Dict[str, str] = {}
+
+
+def register(backend: PersistBackend) -> PersistBackend:
+    if backend.name in BACKENDS:
+        raise ValueError("duplicate backend %r" % backend.name)
+    BACKENDS[backend.name] = backend
+    if backend.policy.name != backend.name:
+        ALIASES[backend.policy.name] = backend.name
+    return backend
+
+
+def get_backend(spec=None) -> PersistBackend:
+    """Resolve ``spec`` to a backend: an instance passes through, None
+    means the default (``lightwsp-lrpo``), and strings match canonical
+    names or legacy policy names ("LightWSP", "cWSP", ...),
+    case-insensitively."""
+    if isinstance(spec, PersistBackend):
+        return spec
+    if spec is None:
+        return BACKENDS["lightwsp-lrpo"]
+    name = str(spec)
+    if name in BACKENDS:
+        return BACKENDS[name]
+    if name in ALIASES:
+        return BACKENDS[ALIASES[name]]
+    folded = {k.lower(): v for k, v in BACKENDS.items()}
+    folded.update(
+        (k.lower(), BACKENDS[v]) for k, v in ALIASES.items()
+    )
+    if name.lower() in folded:
+        return folded[name.lower()]
+    raise KeyError(
+        "unknown backend %r (available: %s)"
+        % (spec, ", ".join(sorted(BACKENDS)))
+    )

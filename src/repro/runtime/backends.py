@@ -1,0 +1,183 @@
+"""The concrete backends: every scheme's policy + runtime, defined once.
+
+Each scheme's timing knobs used to live in ``repro.baselines`` (and
+LightWSP's in ``repro.core.lightwsp``) while its functional behaviour
+was hard-coded into the machine; both now derive from the single
+:class:`~repro.runtime.backend.PersistBackend` registered here.  The
+paper-mapping rationale for each policy's knob values stays with the
+deprecation shims in :mod:`repro.baselines` (cwsp/capri/ppa/psp/
+memory_mode module docstrings) and :mod:`repro.core.lightwsp`.
+
+Fault-class capabilities are literal tuples (kept a subset of
+:data:`repro.faults.model.FAULT_CLASSES` by test) rather than imports,
+so this module never pulls the fault subsystem into the import chain.
+"""
+
+from __future__ import annotations
+
+from .backend import PersistBackend, register
+from .policy import SchemePolicy
+from .runtime import (
+    EadrRuntime,
+    EagerUndoRuntime,
+    LrpoRuntime,
+    VolatileCacheRuntime,
+)
+
+__all__ = [
+    "LIGHTWSP",
+    "CWSP",
+    "CAPRI",
+    "PPA",
+    "PSP_IDEAL",
+    "MEMORY_MODE",
+    "LIGHTWSP_LRPO",
+    "CWSP_EAGER",
+    "CAPRI_BACKEND",
+    "PPA_BACKEND",
+    "PSP_BACKEND",
+    "MEMORY_MODE_BACKEND",
+]
+
+#: every fault class is meaningful against the full gated protocol
+_LRPO_FAULTS = (
+    "clean_cut", "torn_cut", "drained_cut",
+    "msg_drop", "msg_delay", "msg_dup", "skew_cut", "nested_cut",
+)
+#: eager-undo schemes have no boundary message layer, no battery-drained
+#: WPQ, and no per-MC skew surface — cuts (plain and nested) remain
+_EAGER_FAULTS = ("clean_cut", "nested_cut")
+
+
+# ----------------------------------------------------------------------
+# timing policies (one per scheme; knob rationale in the shim modules)
+# ----------------------------------------------------------------------
+
+LIGHTWSP = SchemePolicy(
+    name="LightWSP",
+    persists=True,
+    entry_factor=1,
+    gated=True,
+    boundary_wait=False,
+    drain_factor=1.0,
+    uses_dram_cache=True,
+    snoop=True,
+)
+
+CWSP = SchemePolicy(
+    name="cWSP",
+    persists=True,
+    entry_factor=1,
+    gated=False,
+    boundary_wait=False,
+    drain_factor=1.25,
+    region_comm_cycles=6.0,
+    uses_dram_cache=True,
+    snoop=True,
+    implicit_region_stores=16,
+)
+
+CAPRI = SchemePolicy(
+    name="Capri",
+    persists=True,
+    entry_factor=8,          # 64 B of path traffic per 8 B store
+    gated=False,             # per-region eager persistence (own buffers)
+    boundary_wait=True,
+    wait_for="flush",        # stops traffic until flushed *in PM*
+    drain_factor=8.0,        # 64 B per entry hits the PM drain too
+    uses_dram_cache=True,
+    snoop=True,
+    implicit_region_stores=32,
+)
+
+PPA = SchemePolicy(
+    name="PPA",
+    persists=True,
+    entry_factor=1,
+    gated=False,
+    boundary_wait=True,
+    uses_dram_cache=True,
+    snoop=True,
+    implicit_region_stores=24,
+)
+
+PSP_IDEAL = SchemePolicy(
+    name="PSP-Ideal",
+    persists=False,
+    uses_dram_cache=False,
+    snoop=False,
+)
+
+MEMORY_MODE = SchemePolicy(
+    name="memory-mode",
+    persists=False,
+    uses_dram_cache=True,
+    snoop=False,
+)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+
+LIGHTWSP_LRPO = register(PersistBackend(
+    name="lightwsp-lrpo",
+    policy=LIGHTWSP,
+    runtime_cls=LrpoRuntime,
+    recovers=True,
+    fault_classes=_LRPO_FAULTS,
+    validates_defenses=True,
+    description="LightWSP: WPQ quarantine + lazy region-level persist "
+                "ordering (boundary broadcast/ACK, flush-ID commits)",
+))
+
+CWSP_EAGER = register(PersistBackend(
+    name="cwsp-eager",
+    policy=CWSP,
+    runtime_cls=EagerUndoRuntime,
+    recovers=True,
+    fault_classes=_EAGER_FAULTS,
+    description="cWSP: eager speculative persistence, hardware undo "
+                "logs rolled back on a mis-speculated power failure",
+))
+
+CAPRI_BACKEND = register(PersistBackend(
+    name="capri",
+    policy=CAPRI,
+    runtime_cls=EagerUndoRuntime,
+    recovers=True,
+    fault_classes=_EAGER_FAULTS,
+    description="Capri: cacheline-granular eager persist path with "
+                "redo+undo buffers (undo rollback at a crash)",
+))
+
+PPA_BACKEND = register(PersistBackend(
+    name="ppa",
+    policy=PPA,
+    runtime_cls=EagerUndoRuntime,
+    recovers=True,
+    fault_classes=_EAGER_FAULTS,
+    description="PPA: eager writeback with store-integrity replay "
+                "(modelled as undo-logged write-through)",
+))
+
+PSP_BACKEND = register(PersistBackend(
+    name="psp",
+    policy=PSP_IDEAL,
+    runtime_cls=EadrRuntime,
+    recovers=False,
+    fault_classes=(),
+    description="ideal PSP/eADR: every store durable at retire — "
+                "partial-region state persists, so whole-system "
+                "recovery is NOT crash-consistent",
+))
+
+MEMORY_MODE_BACKEND = register(PersistBackend(
+    name="memory-mode",
+    policy=MEMORY_MODE,
+    runtime_cls=VolatileCacheRuntime,
+    recovers=False,
+    fault_classes=(),
+    description="memory-mode: DRAM-cached, nothing persists before a "
+                "clean shutdown — acked writes are lost at a crash",
+))

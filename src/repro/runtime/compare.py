@@ -1,0 +1,217 @@
+"""``repro compare``: one workload, every backend, both planes.
+
+For each backend the driver runs
+
+* the **timing plane** — the shared engine replays the benchmark's
+  dynamic trace under the backend's policy: cycles, slowdown vs the
+  memory-mode baseline, persist-path traffic, persistence efficiency;
+* the **functional plane** — the benchmark executes on a
+  :class:`~repro.core.machine.PersistentMachine` with the backend's
+  runtime, power is cut mid-region, recovery runs, and the final
+  persisted image is checked against the failure-free reference.  A
+  backend whose scheme is crash-consistent (LRPO, the eager-undo
+  family) reports ``recovered``; PSP/eADR and memory-mode report the
+  divergence their schemes actually produce.
+
+Everything is deterministic: fixed benchmark, fixed scale, crash point
+derived from the failure-free boundary schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from .backend import BACKENDS, PersistBackend, get_backend
+
+__all__ = ["CompareRow", "CompareReport", "compare_backends", "format_compare"]
+
+#: default comparison workload: single-threaded, deterministic, small
+DEFAULT_BENCHMARK = "bzip2"
+SMOKE_SCALE = 0.01
+
+
+@dataclass
+class CompareRow:
+    """One backend's line in the comparison table."""
+
+    backend: str
+    # timing plane
+    cycles: float = 0.0
+    slowdown: float = 0.0            # vs memory-mode
+    throughput_minst_s: float = 0.0
+    persist_entries: int = 0
+    persist_bytes: int = 0
+    efficiency: float = 100.0        # Eq. 1
+    # functional plane (mid-region crash probe)
+    crash_step: int = 0
+    flushed: int = 0
+    undone: int = 0
+    discarded: int = 0
+    recovery: str = "n/a"
+    recovered: bool = False
+
+
+@dataclass
+class CompareReport:
+    benchmark: str
+    scale: float
+    crash_step: int
+    rows: List[CompareRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every backend that *claims* crash consistency delivered it at
+        the probe point.  Non-recovering backends (PSP, memory-mode) are
+        reported but never gate: whether a given probe point exposes
+        their unsoundness is workload-dependent (the oracle tests pin a
+        guaranteed-divergent case)."""
+        return all(
+            row.recovered
+            for row in self.rows
+            if get_backend(row.backend).recovers
+        )
+
+
+def _timing_rows(
+    compiled, backends: Sequence[PersistBackend], config: SystemConfig
+) -> Dict[str, CompareRow]:
+    from ..core.lightwsp import trace_of
+    from ..sim.engine import simulate
+    from .backends import MEMORY_MODE
+
+    events = trace_of(compiled)
+    baseline = simulate(events, config, MEMORY_MODE).cycles
+    rows: Dict[str, CompareRow] = {}
+    for backend in backends:
+        res = simulate(events, config, backend.policy)
+        ns = config.cycles_to_ns(res.cycles)
+        rows[backend.name] = CompareRow(
+            backend=backend.name,
+            cycles=res.cycles,
+            slowdown=(res.cycles / baseline) if baseline else 0.0,
+            throughput_minst_s=(res.instructions / ns * 1e3) if ns else 0.0,
+            persist_entries=res.persist_entries,
+            persist_bytes=res.persist_entries * 8 * backend.policy.entry_factor,
+            efficiency=res.persistence_efficiency,
+        )
+    return rows
+
+
+def _crash_point(compiled, config: SystemConfig) -> int:
+    """A mid-region instant: one step past a mid-run boundary, where the
+    previous region's durability is still in flight under LRPO and the
+    next region has begun."""
+    from ..core.machine import PersistentMachine
+    from ..trace import EK
+
+    probe = PersistentMachine(compiled, config=config)
+    boundaries: List[int] = []
+    while True:
+        event = probe.step()
+        if event is None:
+            break
+        if event.kind == EK.BOUNDARY:
+            boundaries.append(probe.stats.steps)
+    if not boundaries:
+        return max(1, probe.stats.steps // 2)
+    return boundaries[len(boundaries) // 2] + 1
+
+
+def _probe_recovery(
+    compiled,
+    backend: PersistBackend,
+    crash_step: int,
+    config: SystemConfig,
+    row: CompareRow,
+) -> None:
+    from ..core.failure import reference_pm
+    from ..core.machine import PersistentMachine
+
+    reference = reference_pm(compiled, config=config, backend=backend)
+    machine = PersistentMachine(compiled, config=config, backend=backend)
+    row.crash_step = crash_step
+    try:
+        machine.run(steps=crash_step)
+        if machine.finished:
+            row.recovery = "n/a (program finished before probe)"
+            row.recovered = True
+            return
+        report = machine.crash()
+        row.flushed = report["flushed"]
+        row.undone = report["undone"]
+        row.discarded = report["discarded"]
+        if not machine.run():
+            row.recovery = "FAILED (did not finish after recovery)"
+            return
+    except Exception as exc:
+        # a scheme without sound recovery may resume into garbage state
+        # (zeroed registers, missing checkpoint slots) and die arbitrarily
+        row.recovery = "FAILED (%s: %s)" % (type(exc).__name__, exc)
+        return
+    if machine.pm_data() == reference:
+        row.recovery = "recovered (image == reference)"
+        row.recovered = True
+    else:
+        diff = len(
+            set(machine.pm_data().items()) ^ set(reference.items())
+        )
+        row.recovery = "DIVERGED (%d word(s) off reference)" % diff
+
+
+def compare_backends(
+    benchmark: str = DEFAULT_BENCHMARK,
+    scale: float = 0.05,
+    backends: Optional[Sequence] = None,
+    config: SystemConfig = DEFAULT_CONFIG,
+    smoke: bool = False,
+) -> CompareReport:
+    """Run the cross-backend comparison; see the module docstring."""
+    from ..compiler.pipeline import compile_program
+    from ..workloads import BENCHMARKS
+
+    if smoke:
+        scale = min(scale, SMOKE_SCALE)
+    chosen = [
+        get_backend(b)
+        for b in (backends if backends else sorted(BACKENDS))
+    ]
+    bench = BENCHMARKS[benchmark]
+    if bench.threads != 1:
+        raise ValueError(
+            "compare needs a single-threaded benchmark (got %r)" % benchmark
+        )
+    compiled = compile_program(bench.build(scale=scale), config.compiler)
+
+    rows = _timing_rows(compiled, chosen, config)
+    crash_step = _crash_point(compiled, config)
+    for backend in chosen:
+        _probe_recovery(compiled, backend, crash_step, config, rows[backend.name])
+    return CompareReport(
+        benchmark=benchmark,
+        scale=scale,
+        crash_step=crash_step,
+        rows=[rows[b.name] for b in chosen],
+    )
+
+
+def format_compare(report: CompareReport) -> str:
+    header = (
+        "%-14s %9s %9s %11s %12s %7s  %s"
+        % ("backend", "slowdown", "Minst/s", "persist-ent",
+           "persist-B", "eff%", "recovery @ step %d" % report.crash_step)
+    )
+    lines = [
+        "compare: %s scale=%.3g (slowdown vs memory-mode)"
+        % (report.benchmark, report.scale),
+        header,
+        "-" * len(header),
+    ]
+    for r in report.rows:
+        lines.append(
+            "%-14s %9.3f %9.2f %11d %12d %7.2f  %s"
+            % (r.backend, r.slowdown, r.throughput_minst_s,
+               r.persist_entries, r.persist_bytes, r.efficiency, r.recovery)
+        )
+    return "\n".join(lines)

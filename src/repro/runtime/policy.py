@@ -1,0 +1,42 @@
+"""The timing-plane face of a persistence scheme.
+
+One :class:`SchemePolicy` is the complete set of knobs the shared timing
+engine (:mod:`repro.sim.engine`) needs to replay a trace under a scheme:
+persist-path entry granularity, WPQ gating vs eager drain, whether the
+core stalls at region boundaries, per-entry drain inflation for undo
+logging, DRAM cache availability.  Policies used to be defined twice —
+once here (for timing) and once implicitly in the functional machine —
+which is why they now live in :mod:`repro.runtime`: each
+:class:`~repro.runtime.backend.PersistBackend` owns exactly one policy
+and exactly one functional runtime, and both planes derive from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SchemePolicy"]
+
+
+@dataclass(frozen=True)
+class SchemePolicy:
+    """What distinguishes one persistence scheme from another."""
+
+    name: str
+    persists: bool = True
+    entry_factor: int = 1
+    gated: bool = True
+    boundary_wait: bool = False
+    drain_factor: float = 1.0
+    region_comm_cycles: float = 0.0
+    uses_dram_cache: bool = True
+    snoop: bool = True
+    #: synthesize a region boundary every N store-like events (hardware-
+    #: delineated regions: PPA's PRF pressure, Capri's buffer capacity).
+    implicit_region_stores: Optional[int] = None
+    #: what a boundary_wait core polls (eager schemes): "arrival" = the
+    #: region's entries reached the battery-backed WPQ (PPA's durability
+    #: point), "flush" = they landed in PM (Capri stops its persist-path
+    #: traffic until then).
+    wait_for: str = "arrival"

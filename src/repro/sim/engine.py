@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..config import SystemConfig, VictimPolicy
+from ..runtime.policy import SchemePolicy
 from .snoop import make_victim_selector
 from .cache import CacheHierarchy
 from .mc import AckFaults, CommitPipeline, MemoryController
@@ -48,28 +49,9 @@ LOCK_OP_CYCLES = 6.0
 #: MMIO doorbell write, not a full block transfer
 IO_OP_CYCLES = 300.0
 
-
-@dataclass(frozen=True)
-class SchemePolicy:
-    """What distinguishes one persistence scheme from another."""
-
-    name: str
-    persists: bool = True
-    entry_factor: int = 1
-    gated: bool = True
-    boundary_wait: bool = False
-    drain_factor: float = 1.0
-    region_comm_cycles: float = 0.0
-    uses_dram_cache: bool = True
-    snoop: bool = True
-    #: synthesize a region boundary every N store-like events (hardware-
-    #: delineated regions: PPA's PRF pressure, Capri's buffer capacity).
-    implicit_region_stores: Optional[int] = None
-    #: what a boundary_wait core polls (eager schemes): "arrival" = the
-    #: region's entries reached the battery-backed WPQ (PPA's durability
-    #: point), "flush" = they landed in PM (Capri stops its persist-path
-    #: traffic until then).
-    wait_for: str = "arrival"
+# SchemePolicy lives in repro.runtime.policy now (one definition shared
+# by the timing and functional planes); re-exported here for the
+# historic ``from repro.sim.engine import SchemePolicy`` spelling.
 
 
 @dataclass
@@ -161,6 +143,8 @@ class TimingEngine:
         hardware_cores: Optional[int] = None,
         ack_faults: Optional[AckFaults] = None,
     ) -> None:
+        # accept a PersistBackend anywhere a policy is expected
+        policy = getattr(policy, "policy", policy)
         if policy.gated and policy.boundary_wait:
             raise ValueError(
                 "gated + boundary_wait is not a modelled scheme: the global "
@@ -678,7 +662,9 @@ def simulate(
     hardware_cores: Optional[int] = None,
     ack_faults: Optional[AckFaults] = None,
 ) -> SimResult:
-    """Convenience wrapper: run one trace under one policy."""
+    """Convenience wrapper: run one trace under one policy (or a
+    :class:`~repro.runtime.backend.PersistBackend`, whose policy is
+    used)."""
     return TimingEngine(
         config, policy, cache_scale=cache_scale,
         hardware_cores=hardware_cores, ack_faults=ack_faults,

@@ -1,109 +1,9 @@
-"""Dynamic trace events — the interface between the compiler's execution
-(or a synthetic workload generator) and the timing simulator.
-
-One event per retired instruction, at the abstraction level the timing
-model needs: instruction class, byte address for memory operations, and
-region-boundary markers.  Addresses are in *bytes* (the IR is
-word-addressed; the interpreter multiplies by the 8-byte word size) so the
-cache models can index 64 B blocks directly.
-"""
+"""Compatibility shim: the dynamic-instruction trace schema moved to
+:mod:`repro.trace` so the runtime layer, the timing simulator, and the
+fault subsystem share one event definition.  Import from there."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from ..trace import EK, TraceEvent, TraceStats, count_events
 
 __all__ = ["EK", "TraceEvent", "TraceStats", "count_events"]
-
-
-class EK:
-    """Trace event kinds."""
-
-    ALU = "alu"                # any non-memory instruction
-    LOAD = "load"
-    STORE = "store"            # a data store (persist-path entry)
-    CHECKPOINT = "ckpt"        # compiler checkpoint store (persist-path entry)
-    BOUNDARY = "bdry"          # region end: PC-checkpointing store + broadcast
-    ATOMIC = "atomic"          # atomic RMW: load + store + boundary forced earlier
-    FENCE = "fence"
-    LOCK = "lock"
-    UNLOCK = "unlock"
-    IO = "io"                  # irrevocable external operation
-    HALT = "halt"              # thread finished
-
-    #: kinds that place an 8 B entry on the persist path
-    STORE_LIKE = frozenset({STORE, CHECKPOINT, BOUNDARY, ATOMIC})
-    #: kinds that read memory through the regular (cache) path
-    LOAD_LIKE = frozenset({LOAD, ATOMIC})
-
-
-@dataclass
-class TraceEvent:
-    """One dynamic instruction."""
-
-    kind: str
-    addr: int = 0              # byte address (memory events only)
-    tid: int = 0               # hardware thread
-    lock_id: int = 0           # LOCK/UNLOCK only; IO: device id
-    boundary_uid: int = -1     # BOUNDARY only: static boundary identity
-    payload: int = 0           # IO only: the value written to the device
-
-    def is_store_like(self) -> bool:
-        return self.kind in EK.STORE_LIKE
-
-    def is_load_like(self) -> bool:
-        return self.kind in EK.LOAD_LIKE
-
-
-@dataclass
-class TraceStats:
-    """Aggregate counts over a trace (feeds §V-G3)."""
-
-    instructions: int = 0
-    loads: int = 0
-    data_stores: int = 0
-    checkpoint_stores: int = 0
-    boundaries: int = 0
-    atomics: int = 0
-
-    @property
-    def persist_entries(self) -> int:
-        return (
-            self.data_stores
-            + self.checkpoint_stores
-            + self.boundaries
-            + self.atomics
-        )
-
-    @property
-    def instrumentation(self) -> int:
-        return self.checkpoint_stores + self.boundaries
-
-    def instructions_per_region(self) -> float:
-        return self.instructions / self.boundaries if self.boundaries else 0.0
-
-    def stores_per_region(self) -> float:
-        if not self.boundaries:
-            return 0.0
-        return (self.data_stores + self.checkpoint_stores + self.atomics) / (
-            self.boundaries
-        )
-
-
-def count_events(events: Iterable[TraceEvent]) -> TraceStats:
-    stats = TraceStats()
-    for ev in events:
-        if ev.kind == EK.HALT:
-            continue
-        stats.instructions += 1
-        if ev.kind == EK.LOAD:
-            stats.loads += 1
-        elif ev.kind == EK.STORE:
-            stats.data_stores += 1
-        elif ev.kind == EK.CHECKPOINT:
-            stats.checkpoint_stores += 1
-        elif ev.kind == EK.BOUNDARY:
-            stats.boundaries += 1
-        elif ev.kind == EK.ATOMIC:
-            stats.atomics += 1
-    return stats

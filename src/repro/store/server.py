@@ -162,12 +162,16 @@ class StoreServer:
         seed: int = 0,
         progress: Optional[Callable[[str], None]] = None,
         verify: Optional[bool] = None,
+        backend=None,
     ) -> None:
+        from ..runtime.backend import get_backend
+
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.config = config
         self.seed = seed
         self.verify = verify
+        self.backend = get_backend(backend)
         # pin the absolute array addresses now; every epoch's program
         # places the same sizing in the same order, so the bases agree
         self.layout = layout.place(Program("layout-probe"))
@@ -205,7 +209,8 @@ class StoreServer:
             raise RuntimeError("store layout moved between epochs")
         compiled = compile_program(prog, self.config.compiler, verify=self.verify)
         machine = FaultyMachine(
-            compiled, config=self.config, defenses=ALL_ON, max_steps=8_000_000
+            compiled, config=self.config, defenses=ALL_ON,
+            max_steps=8_000_000, backend=self.backend,
         )
         machine.pm.update(shard.image)
         machine.volatile.words.update(shard.image)
@@ -311,6 +316,12 @@ class StoreServer:
         requests per epoch.  With ``crash_epoch`` set, power fails on
         every shard during that epoch, at ``crash_step`` (or a
         per-shard seeded step), optionally with a torn battery write."""
+        if crash_epoch is not None and not self.backend.recovers:
+            raise ValueError(
+                "backend %r loses acked writes at a power cut by design; "
+                "the store's acked-prefix recovery oracle requires a "
+                "crash-consistent backend" % self.backend.name
+            )
         n_epochs = 0
         for shard in self.shards:
             n_epochs = max(
@@ -383,6 +394,7 @@ def run_serve(
     config: SystemConfig = DEFAULT_CONFIG,
     progress: Optional[Callable[[str], None]] = None,
     verify: Optional[bool] = None,
+    backend=None,
 ) -> ServeReport:
     """Generate, shard, and serve a workload; see :class:`ServeReport`.
 
@@ -396,7 +408,7 @@ def run_serve(
     )
     server = StoreServer(
         shards, layout, config=config, seed=seed, progress=progress,
-        verify=verify,
+        verify=verify, backend=backend,
     )
     server.submit(requests)
     server.serve(

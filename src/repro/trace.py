@@ -1,0 +1,210 @@
+"""The single trace-event schema shared by every layer.
+
+Two kinds of trace live here, historically split between
+``repro.sim.trace`` and ``repro.faults.trace`` (both remain as
+compatibility re-export shims):
+
+* **dynamic instruction events** (:class:`TraceEvent`, :class:`EK`) — the
+  interface between the compiler's execution (or a synthetic workload
+  generator) and the timing simulator.  One event per retired
+  instruction, at the abstraction level the timing model needs:
+  instruction class, byte address for memory operations, and
+  region-boundary markers.  Addresses are in *bytes* (the IR is
+  word-addressed; the interpreter multiplies by the 8-byte word size) so
+  the cache models can index 64 B blocks directly.
+
+* **append-only JSONL run artifacts** (:class:`JsonlTrace`,
+  :class:`NullTrace`) — one JSON object per line, in the order things
+  happened, never rewritten.  Fault campaigns use it as their replay
+  artifact: it records each scenario's benchmark, fault schedule, defense
+  switches, and outcome (violation flag + a stable hash of the final
+  persisted image), so ``repro faults replay <trace>`` can re-run every
+  scenario and verify the outcomes reproduce bit-for-bit.
+
+The runtime layer (:mod:`repro.runtime`) emits both kinds through this
+module, so backend-agnostic tools see one schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "EK",
+    "TraceEvent",
+    "TraceStats",
+    "count_events",
+    "JsonlTrace",
+    "FaultTrace",
+    "NullTrace",
+    "image_hash",
+    "read_trace",
+    "iter_scenarios",
+]
+
+
+# ----------------------------------------------------------------------
+# dynamic instruction events
+# ----------------------------------------------------------------------
+
+class EK:
+    """Trace event kinds."""
+
+    ALU = "alu"                # any non-memory instruction
+    LOAD = "load"
+    STORE = "store"            # a data store (persist-path entry)
+    CHECKPOINT = "ckpt"        # compiler checkpoint store (persist-path entry)
+    BOUNDARY = "bdry"          # region end: PC-checkpointing store + broadcast
+    ATOMIC = "atomic"          # atomic RMW: load + store + boundary forced earlier
+    FENCE = "fence"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    IO = "io"                  # irrevocable external operation
+    HALT = "halt"              # thread finished
+
+    #: kinds that place an 8 B entry on the persist path
+    STORE_LIKE = frozenset({STORE, CHECKPOINT, BOUNDARY, ATOMIC})
+    #: kinds that read memory through the regular (cache) path
+    LOAD_LIKE = frozenset({LOAD, ATOMIC})
+
+
+@dataclass
+class TraceEvent:
+    """One dynamic instruction."""
+
+    kind: str
+    addr: int = 0              # byte address (memory events only)
+    tid: int = 0               # hardware thread
+    lock_id: int = 0           # LOCK/UNLOCK only; IO: device id
+    boundary_uid: int = -1     # BOUNDARY only: static boundary identity
+    payload: int = 0           # IO only: the value written to the device
+
+    def is_store_like(self) -> bool:
+        return self.kind in EK.STORE_LIKE
+
+    def is_load_like(self) -> bool:
+        return self.kind in EK.LOAD_LIKE
+
+
+@dataclass
+class TraceStats:
+    """Aggregate counts over a trace (feeds §V-G3)."""
+
+    instructions: int = 0
+    loads: int = 0
+    data_stores: int = 0
+    checkpoint_stores: int = 0
+    boundaries: int = 0
+    atomics: int = 0
+
+    @property
+    def persist_entries(self) -> int:
+        return (
+            self.data_stores
+            + self.checkpoint_stores
+            + self.boundaries
+            + self.atomics
+        )
+
+    @property
+    def instrumentation(self) -> int:
+        return self.checkpoint_stores + self.boundaries
+
+    def instructions_per_region(self) -> float:
+        return self.instructions / self.boundaries if self.boundaries else 0.0
+
+    def stores_per_region(self) -> float:
+        if not self.boundaries:
+            return 0.0
+        return (self.data_stores + self.checkpoint_stores + self.atomics) / (
+            self.boundaries
+        )
+
+
+def count_events(events: Iterable[TraceEvent]) -> TraceStats:
+    stats = TraceStats()
+    for ev in events:
+        if ev.kind == EK.HALT:
+            continue
+        stats.instructions += 1
+        if ev.kind == EK.LOAD:
+            stats.loads += 1
+        elif ev.kind == EK.STORE:
+            stats.data_stores += 1
+        elif ev.kind == EK.CHECKPOINT:
+            stats.checkpoint_stores += 1
+        elif ev.kind == EK.BOUNDARY:
+            stats.boundaries += 1
+        elif ev.kind == EK.ATOMIC:
+            stats.atomics += 1
+    return stats
+
+
+# ----------------------------------------------------------------------
+# append-only JSONL run artifacts
+# ----------------------------------------------------------------------
+
+def image_hash(image: Dict[int, int]) -> str:
+    """A stable fingerprint of a persisted data image."""
+    digest = hashlib.sha256()
+    for word in sorted(image):
+        digest.update(("%d:%d;" % (word, image[word])).encode())
+    return digest.hexdigest()[:16]
+
+
+class JsonlTrace:
+    """Append-only JSONL writer.  One instance per recorded run."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a")
+        self.lines_written = 0
+
+    def emit(self, rectype: str, **fields) -> None:
+        record = {"type": rectype}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: the historical name: fault campaigns were the first JSONL emitters
+FaultTrace = JsonlTrace
+
+
+class NullTrace:
+    """Trace sink for runs that don't record (shrinking probes, tests)."""
+
+    path: Optional[str] = None
+    lines_written = 0
+
+    def emit(self, rectype: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def read_trace(path: str) -> List[Dict]:
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def iter_scenarios(records: List[Dict]) -> Iterator[Dict]:
+    """Yield the scenario_end records (each carries everything needed to
+    replay: benchmark, fault class, schedule, defenses, outcome)."""
+    for record in records:
+        if record.get("type") == "scenario_end":
+            yield record

@@ -1,0 +1,44 @@
+"""``repro compare``: the cross-backend table is complete and sound."""
+
+import pytest
+
+from repro.runtime import BACKENDS, compare_backends, format_compare
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compare_backends(smoke=True)
+
+
+def test_smoke_covers_every_backend(report):
+    assert [r.backend for r in report.rows] == sorted(BACKENDS)
+    assert report.ok
+
+
+def test_recovering_backends_recover_at_probe(report):
+    for row in report.rows:
+        if BACKENDS[row.backend].recovers:
+            assert row.recovered, row.recovery
+
+
+def test_timing_plane_is_scheme_sensitive(report):
+    rows = {r.backend: r for r in report.rows}
+    # memory-mode is the normalization baseline
+    assert rows["memory-mode"].slowdown == pytest.approx(1.0)
+    # persist traffic honors the policy's entry granularity (Capri
+    # writes a 64 B line per 8 B store)
+    assert rows["capri"].persist_bytes == 8 * rows["cwsp-eager"].persist_bytes
+    # schemes that bypass the persist path generate no traffic
+    assert rows["psp"].persist_entries == 0
+    assert rows["memory-mode"].persist_entries == 0
+
+
+def test_format_is_one_line_per_backend(report):
+    text = format_compare(report)
+    for name in BACKENDS:
+        assert any(line.startswith(name) for line in text.splitlines())
+
+
+def test_rejects_multithreaded_benchmarks():
+    with pytest.raises(ValueError, match="single-threaded"):
+        compare_backends(benchmark="intruder", smoke=True)

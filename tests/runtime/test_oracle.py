@@ -1,0 +1,132 @@
+"""Crash-semantics oracle: recoverable backends recover, non-recoverable
+backends are caught.
+
+The probe crashes mid-region — after at least one store of an open
+(uncommitted) region has retired — which is exactly where the schemes
+diverge: LRPO discards the quarantined entries, the eager-undo family
+rolls its pre-images back, PSP/eADR leaves the partial region's stores
+durable (re-execution then double-applies read-modify-writes), and
+memory-mode loses every store since boot.
+"""
+
+import pytest
+
+from helpers import saxpy_program
+
+from repro.compiler import compile_program
+from repro.config import DEFAULT_CONFIG
+from repro.core.failure import reference_pm
+from repro.core.machine import PersistentMachine
+from repro.trace import EK
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(saxpy_program(n=48), DEFAULT_CONFIG.compiler)
+
+
+@pytest.fixture(scope="module")
+def mid_region_step(compiled):
+    """A step count that lands strictly inside a region, at least one
+    store after the region's first and before its boundary.  The LAST
+    such window is used so the crash interrupts saxpy's read-modify-
+    write loop (``y[i] += ...``) rather than the idempotent init loop —
+    the RMW is what separates PSP/eADR from the undo-logged schemes."""
+    machine = PersistentMachine(compiled)
+    last_boundary = 0
+    stores_since = 0
+    candidate = None
+    valid = []
+    while True:
+        event = machine.step()
+        if event is None:
+            break
+        if event.kind == EK.BOUNDARY:
+            # a candidate is only valid if its region kept running past
+            # it (i.e. we saw the boundary after picking it)
+            if candidate is not None:
+                valid.append(candidate)
+                candidate = None
+            last_boundary = machine.stats.steps
+            stores_since = 0
+        elif event.kind == EK.STORE and last_boundary > 0:
+            stores_since += 1
+            if stores_since == 2 and candidate is None:
+                candidate = machine.stats.steps
+    if not valid:
+        pytest.skip("program has no mid-region store window")
+    return valid[-1]
+
+
+def _crash_and_resume(compiled, backend, crash_step):
+    machine = PersistentMachine(compiled, backend=backend)
+    machine.run(steps=crash_step)
+    assert not machine.finished
+    machine.crash()
+    finished = machine.run()
+    return machine, finished
+
+
+def test_cwsp_eager_recovers_mid_region(compiled, mid_region_step):
+    reference = reference_pm(compiled, backend="cwsp-eager")
+    machine, finished = _crash_and_resume(
+        compiled, "cwsp-eager", mid_region_step
+    )
+    assert finished
+    assert machine.pm_data() == reference
+    # the recovery ran through the undo log, not the WPQ discard path
+    assert machine.stats.undo_writes > 0
+
+
+def test_lrpo_recovers_mid_region(compiled, mid_region_step):
+    reference = reference_pm(compiled)
+    machine, finished = _crash_and_resume(
+        compiled, "lightwsp-lrpo", mid_region_step
+    )
+    assert finished
+    assert machine.pm_data() == reference
+
+
+def test_memory_mode_flagged_non_recoverable(compiled, mid_region_step):
+    """Memory-mode persists nothing before a clean shutdown: a crash
+    must never reproduce the reference image (acked-write loss)."""
+    reference = reference_pm(compiled, backend="memory-mode")
+    try:
+        machine, finished = _crash_and_resume(
+            compiled, "memory-mode", mid_region_step
+        )
+    except Exception:
+        return  # resuming into a lost image may die outright: also a catch
+    assert (not finished) or machine.pm_data() != reference
+
+
+def test_psp_double_applies_rmw(compiled, mid_region_step):
+    """PSP/eADR makes every store durable at retire; crashing between a
+    region's read-modify-write store and its boundary makes re-execution
+    read its own partial output (saxpy: y[i] += ... applied twice)."""
+    reference = reference_pm(compiled, backend="psp")
+    try:
+        machine, finished = _crash_and_resume(
+            compiled, "psp", mid_region_step
+        )
+    except Exception:
+        return
+    assert (not finished) or machine.pm_data() != reference
+
+
+def test_campaign_refuses_non_recoverable_backends():
+    from repro.faults.campaign import run_campaign
+
+    for name in ("psp", "memory-mode"):
+        with pytest.raises(ValueError, match="not crash-consistent"):
+            run_campaign(benchmarks=["bzip2"], backend=name)
+
+
+def test_store_refuses_crash_epoch_on_non_recoverable_backend():
+    from repro.store.server import run_serve
+
+    with pytest.raises(ValueError, match="loses acked writes"):
+        run_serve(ops=64, crash_epoch=0, backend="psp")
+    # clean serving (no crash epoch) is fine on any backend
+    report = run_serve(ops=64, backend="psp")
+    assert not report.violations

@@ -1,0 +1,85 @@
+"""Refactor parity: the extracted ``lightwsp-lrpo`` backend IS the
+pre-refactor machine.
+
+The golden values below were produced by the machine as it stood
+immediately before the persist path moved into ``repro.runtime``
+(commit 8ded526): three evenly spaced crash points per benchmark, the
+post-recovery image hashed with :func:`repro.trace.image_hash`, and the
+``MachineStats`` counters recorded verbatim.  The extracted backend
+must reproduce every byte and every counter — a changed hash or stat
+means the refactor altered LRPO behaviour, not just its location.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.config import DEFAULT_CONFIG
+from repro.core.failure import run_with_crashes
+from repro.faults.campaign import resolve_benchmark
+from repro.trace import image_hash
+
+# benchmark -> (scale, crash_points, image_hash,
+#               (steps, stores, boundaries, commits, crashes))
+GOLDEN = {
+    "bzip2": (
+        0.01, [238, 477, 716], "97732a7691058081",
+        (1159, 148, 14, 15, 3),
+    ),
+    "hmmer": (
+        0.01, [3076, 6152, 9228], "e3b0c44298fc1c14",
+        (21526, 5, 3, 4, 3),
+    ),
+    "xz": (
+        0.01, [194, 388, 582], "0b5b541b1e4b04a5",
+        (889, 123, 12, 13, 3),
+    ),
+    "store-ycsb-a": (
+        0.05, [1011, 2022, 3033], "1e893ef09459402e",
+        (4056, 1690, 382, 383, 3),
+    ),
+}
+
+
+def _compiled(name, scale):
+    bench = resolve_benchmark(name)
+    return compile_program(bench.build(scale=scale), DEFAULT_CONFIG.compiler)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_lrpo_backend_matches_pre_refactor_golden(name):
+    scale, points, want_hash, want_stats = GOLDEN[name]
+    image, stats = run_with_crashes(
+        _compiled(name, scale), points, backend="lightwsp-lrpo"
+    )
+    assert image_hash(image) == want_hash
+    got = (stats.steps, stats.stores, stats.boundaries,
+           stats.commits, stats.crashes)
+    assert got == want_stats
+
+
+def test_default_backend_is_lrpo():
+    """No-backend callers (the entire pre-refactor API surface) still
+    get LRPO: same image, same stats."""
+    scale, points, want_hash, _ = GOLDEN["bzip2"]
+    image, stats = run_with_crashes(_compiled("bzip2", scale), points)
+    assert image_hash(image) == want_hash
+    assert stats.crashes == 3
+
+
+def test_tiny_wpq_overflow_path_matches_golden():
+    """The §IV-D overflow fallback (undo logging + oldest-region flush)
+    moved into LrpoRuntime; under a 4-entry WPQ it must fire exactly as
+    often as before and still converge to the same image."""
+    scale, points, want_hash, _ = GOLDEN["bzip2"]
+    tiny = replace(
+        DEFAULT_CONFIG,
+        mc=replace(DEFAULT_CONFIG.mc, wpq_entries=4),
+    )
+    image, stats = run_with_crashes(
+        _compiled("bzip2", scale), points, config=tiny
+    )
+    assert image_hash(image) == want_hash
+    assert stats.overflow_events == 16
+    assert stats.undo_writes == 64
