@@ -9,7 +9,15 @@ Commands:
                    store (sharded, optional kill-and-recover)
 * ``compare``    — one workload across every persist backend: slowdown,
                    persist traffic, and a mid-region crash/recovery probe
+* ``bench``      — run the curated perf suite (sim + store YCSB mixes),
+                   emit a machine-readable ``BENCH_*.json`` and
+                   optionally diff it against a ``--baseline`` artifact
+                   (nonzero exit on >10% regression)
 * ``crash-sweep``— exhaustively crash-test one benchmark
+
+Every expensive command takes ``--jobs N`` to fan its independent work
+units out over worker processes (results are bit-identical to serial;
+see ``repro.parallel``).
 * ``faults``     — adversarial fault-injection campaigns (``campaign``,
                    ``replay``, ``list``)
 * ``compile``    — compile a textual-IR (.lir) file and print the
@@ -99,6 +107,12 @@ def cmd_list(args: argparse.Namespace) -> int:
             b.description,
         ))
     print("figures: %s" % ", ".join(FIGURES))
+    from .perf import BENCH_SPECS
+
+    print("bench entries: %s" % ", ".join(
+        s.name + ("*" if s.smoke else "") for s in BENCH_SPECS
+    ))
+    print("  (* = in the --smoke subset)")
     return 0
 
 
@@ -264,11 +278,43 @@ def cmd_compare(args: argparse.Namespace) -> int:
         scale=args.scale,
         backends=chosen,
         smoke=args.smoke,
+        jobs=args.jobs,
     )
     print(format_compare(report))
     print("compare: %s" % ("PASS" if report.ok else
                            "FAIL (a crash-consistent backend diverged)"))
     return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import diff_reports, format_diff, format_report, load_report
+    from .perf import run_bench
+
+    try:
+        report = run_bench(
+            entries=args.entries or None,
+            smoke=args.smoke,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(format_report(report))
+    report.write(args.out)
+    print("wrote %s" % args.out)
+    if not args.baseline:
+        return 0
+    try:
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError) as exc:
+        print("cannot load baseline: %s" % exc)
+        return 2
+    diff = diff_reports(baseline, report.to_json(),
+                        threshold=args.threshold)
+    print(format_diff(diff))
+    return 0 if diff.ok else 1
 
 
 def cmd_crash_sweep(args: argparse.Namespace) -> int:
@@ -282,6 +328,7 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
     divergent = crash_sweep(
         compiled, entries=entries, stride=args.stride,
         max_points=args.max_points, backend=args.backend,
+        jobs=args.jobs,
     )
     if divergent:
         print("DIVERGED at crash points: %s" % divergent[:20])
@@ -370,7 +417,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return 0
 
     if args.faults_command == "replay":
-        report = replay_trace(args.trace, progress=print)
+        try:
+            report = replay_trace(args.trace, progress=print,
+                                  jobs=args.jobs)
+        except ValueError as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
         print("replayed %d scenarios, %d mismatch(es)"
               % (report["checked"], len(report["mismatches"])))
         for mm in report["mismatches"][:10]:
@@ -396,6 +448,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             progress=print,
             verify=True if args.verify else None,
             backend=args.backend,
+            jobs=args.jobs,
         )
     except VerificationError as exc:
         print("static verification FAILED, refusing to inject faults:")
@@ -544,6 +597,44 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="small fixed-cost run over all backends (CI smoke test)",
     )
+    p_cmp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (one backend per worker)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the curated perf suite, emit BENCH_*.json, and "
+             "optionally gate against a baseline",
+    )
+    p_bench.add_argument(
+        "entries", nargs="*",
+        help="bench entries to run (default: all, or the smoke subset "
+             "with --smoke; see `list`)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run over the smoke subset",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--scale", type=float, default=0.05)
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (one entry per worker)",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_pr5.json", metavar="PATH",
+        help="where to write the machine-readable report",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="diff against this earlier BENCH_*.json; exit nonzero on "
+             "any gated metric regressing past the threshold",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="regression threshold as a fraction (default 0.10)",
+    )
 
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
     p_sweep.add_argument("benchmark")
@@ -559,6 +650,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument(
         "--backend", default=None,
         help="persist backend to sweep (see `list`)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (probe points sharded round-robin)",
     )
 
     p_faults = sub.add_parser(
@@ -595,10 +690,20 @@ def main(argv=None) -> int:
         help="persist backend under attack (must be crash-consistent; "
              "see `list`)",
     )
+    p_camp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (benchmarks, then defense-off modes, "
+             "sharded round-robin; the trace is bit-identical to "
+             "--jobs 1)",
+    )
     p_replay = fsub.add_parser(
         "replay", help="re-run every scenario of a recorded trace"
     )
     p_replay.add_argument("trace")
+    p_replay.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (scenarios sharded round-robin)",
+    )
     fsub.add_parser("list", help="fault classes, nested points, modes")
 
     args = parser.parse_args(argv)
@@ -609,6 +714,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "serve": cmd_serve,
         "compare": cmd_compare,
+        "bench": cmd_bench,
         "compile": cmd_compile,
         "verify": cmd_verify,
         "crash-sweep": cmd_crash_sweep,

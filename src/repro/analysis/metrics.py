@@ -49,14 +49,25 @@ def overall(rows: Sequence[Mapping], value_key: str) -> float:
     return geomean([row[value_key] for row in rows])
 
 
+def _reject_nan(values: Sequence[float]) -> None:
+    """NaN poisons sorted() (its comparisons are all False, so ordering
+    becomes arbitrary) and would silently corrupt every quantile the
+    bench harness gates on — reject it loudly instead."""
+    if any(isinstance(v, float) and math.isnan(v) for v in values):
+        raise ValueError("latency samples must not contain NaN")
+
+
 def percentile(values: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0..100) with linear interpolation between
     order statistics — the tail-latency quantiles a serving system
-    reports (p50/p95/p99)."""
+    reports (p50/p95/p99).  NaN samples and a NaN ``p`` are rejected."""
     if not values:
         raise ValueError("percentile of an empty sequence")
+    if isinstance(p, float) and math.isnan(p):
+        raise ValueError("percentile must be in [0, 100], got NaN")
     if not 0.0 <= p <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
+    _reject_nan(values)
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
@@ -73,13 +84,15 @@ def latency_summary(
 ) -> Dict[str, float]:
     """Count, mean, max, and the requested percentiles of a latency
     sample, keyed ``p50``/``p95``/``p99``-style.  Empty input yields all
-    zeros (a crashed or empty epoch has no acknowledged requests)."""
+    zeros (a crashed or empty epoch has no acknowledged requests); NaN
+    samples are rejected."""
     summary: Dict[str, float] = {"count": float(len(values))}
     if not values:
         summary.update({"mean": 0.0, "max": 0.0})
         for p in percentiles:
             summary["p%g" % p] = 0.0
         return summary
+    _reject_nan(values)
     summary["mean"] = sum(values) / len(values)
     summary["max"] = float(max(values))
     for p in percentiles:

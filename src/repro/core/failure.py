@@ -92,6 +92,8 @@ def crash_sweep(
     schedule_seed: int = 0,
     max_points: Optional[int] = None,
     backend=None,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
 ) -> List[int]:
     """Crash once per probe point of the failure-free execution and check
     recovery each time.  Returns the list of crash points whose final
@@ -107,7 +109,10 @@ def crash_sweep(
 
     Cost model: one shared execution is advanced point to point and a
     clone is forked (``PersistentMachine.clone``) at each probe, so the
-    program prefix is never re-executed per crash point."""
+    program prefix is never re-executed per crash point.  ``jobs > 1``
+    shards the probe points round-robin across worker processes, each
+    with its own walker; every point's verdict depends only on the point
+    itself, so the sorted merge is identical to the serial sweep."""
     reference = reference_pm(compiled, entries, config, schedule_seed,
                              backend=backend)
 
@@ -138,16 +143,30 @@ def crash_sweep(
             if keep > 1 else [0]
         points = sorted({points[i] for i in idx})
 
-    divergent: List[int] = []
-    walker = _machine(compiled, entries, config, schedule_seed, backend)
-    for point in points:
-        walker.run(steps=point - walker.stats.steps)
-        if walker.finished:
-            break  # later points fall past program completion: ignored
-        fork = walker.clone()
-        fork.crash()
-        if not fork.run():
-            raise RuntimeError("program did not finish after recovery")
-        if fork.pm_data() != reference:
-            divergent.append(point)
-    return divergent
+    def sweep_points(shard_points: Sequence[int]) -> List[int]:
+        divergent: List[int] = []
+        walker = _machine(compiled, entries, config, schedule_seed, backend)
+        for point in shard_points:
+            walker.run(steps=point - walker.stats.steps)
+            if walker.finished:
+                break  # later points fall past program completion: ignored
+            fork = walker.clone()
+            fork.crash()
+            if not fork.run():
+                raise RuntimeError("program did not finish after recovery")
+            if fork.pm_data() != reference:
+                divergent.append(point)
+        return divergent
+
+    if jobs <= 1 or len(points) <= 1:
+        return sweep_points(points)
+    from ..parallel import run_shards, shard_units
+
+    shards = [
+        [points[i] for i in idx] for idx in shard_units(len(points), jobs)
+    ]
+    results = run_shards(
+        sweep_points, shards, jobs=jobs, timeout=worker_timeout,
+        label="crash-sweep",
+    )
+    return sorted(p for shard in results for p in shard)

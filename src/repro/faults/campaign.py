@@ -54,11 +54,31 @@ __all__ = [
     "DEFAULT_CAMPAIGN_SCALE",
     "STORE_CAMPAIGN_BENCHMARKS",
     "TINY_WPQ_ENTRIES",
+    "CAMPAIGN_SHARDING",
     "CampaignResult",
     "resolve_benchmark",
     "run_campaign",
     "replay_trace",
 ]
+
+#: the sharding contract this build uses when ``jobs > 1``, recorded in
+#: every trace's ``campaign_start``: work is partitioned round-robin
+#: over whole benchmarks (scenario phase) and defense-off modes
+#: (validation phase), every worker derives its RNG streams from
+#: ``(seed, label)`` alone, and records are merged back in canonical
+#: serial order before anything is written.  Because the partition
+#: never influences a unit's inputs, the trace is byte-identical for
+#: every ``--jobs`` value — which is exactly why replay can refuse any
+#: trace recorded under a sharding contract it does not know how to
+#: reproduce (see :func:`replay_trace`).
+CAMPAIGN_SHARDING = {
+    "strategy": "round-robin",
+    "unit": "benchmark+mode",
+    "version": 1,
+}
+
+#: sharding contracts this build can reproduce bit-for-bit
+SUPPORTED_SHARDINGS = (CAMPAIGN_SHARDING,)
 
 #: the deterministic (single-threaded) subset the campaign sweeps: every
 #: CPU2006/2017 benchmark whose clean run stays under ~15k steps at the
@@ -388,6 +408,68 @@ def _run_one(
     return violation, record
 
 
+def _benchmark_task(
+    name: str,
+    seed: int,
+    scale: float,
+    configs: Dict[str, SystemConfig],
+    fault_classes: Tuple[str, ...],
+    verify: Optional[bool],
+    backend,
+) -> Dict:
+    """One benchmark's whole scenario sweep — the unit of work the
+    scenario phase shards across workers.  A pure function of its
+    arguments (all RNG streams are keyed on ``(seed, name, ...)``), so
+    running it in a forked worker or in-process yields the same records
+    byte for byte."""
+    config = configs["default"]
+    bench = resolve_benchmark(name)
+    if bench.threads != 1:
+        raise ValueError(
+            "campaign benchmarks must be single-threaded "
+            "(got %r); the strict differential oracle does not "
+            "apply to racy interleavings" % name
+        )
+    compiled = compile_program(
+        bench.build(scale=scale), config.compiler, verify=verify
+    )
+    probe = _probe_benchmark(compiled, config, backend=backend)
+
+    cells: List[Tuple[str, str, List[FaultEvent]]] = []
+    for fault_class in fault_classes:
+        rng = _rng(seed, name, fault_class)
+        for schedule in generate_schedules(fault_class, probe, rng, config):
+            cells.append((fault_class, "default", schedule))
+    if backend.gated:
+        for fault_class, schedule in _tiny_wpq_schedules(
+            probe, _rng(seed, name, "tiny_wpq")
+        ):
+            cells.append((fault_class, "tiny_wpq", schedule))
+
+    records: List[Dict] = []
+    for fault_class, cfg_tag, schedule in cells:
+        reference = (
+            probe.reference if cfg_tag == "default"
+            else probe.reference_tiny
+        )
+        _, record = _run_one(
+            compiled, schedule, configs[cfg_tag], ALL_ON,
+            reference, NullTrace(), backend=backend,
+        )
+        record.update(
+            benchmark=name, fault_class=fault_class,
+            config=cfg_tag, mode="all_on",
+        )
+        records.append(record)
+    return {
+        "benchmark": name,
+        "n_cells": len(cells),
+        "records": records,
+        "compiled": compiled,
+        "probe": probe,
+    }
+
+
 def run_campaign(
     seed: int = 0,
     benchmarks: Optional[Sequence[str]] = None,
@@ -398,9 +480,15 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     verify: Optional[bool] = None,
     backend=None,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
 ) -> CampaignResult:
     """Run the full deterministic campaign.  Same seed, same benchmarks,
-    same scale -> bit-identical trace (modulo the trace path).
+    same scale -> bit-identical trace (modulo the trace path) — for
+    **every** value of ``jobs``: parallel workers are sharded round-robin
+    over benchmarks (then defense-off modes), never share RNG state, and
+    their records are merged back in canonical order before the trace is
+    written (see :data:`CAMPAIGN_SHARDING`).
 
     ``verify=True`` statically verifies each compiled benchmark (see
     :mod:`repro.verify`) before injecting any fault into it.
@@ -409,7 +497,12 @@ def run_campaign(
     restricted to the backend's meaningful fault classes; the differential
     oracle demands a crash-consistent scheme, so backends with
     ``recovers=False`` (PSP, memory-mode) are refused — every scenario
-    would be a guaranteed, uninformative violation."""
+    would be a guaranteed, uninformative violation.
+
+    ``jobs`` caps the worker processes (1 = serial, in-process);
+    ``worker_timeout`` kills any shard that exceeds the budget (seconds)
+    and raises a diagnostic instead of hanging."""
+    from ..parallel import fan_out
     from ..runtime.backend import get_backend
 
     backend = get_backend(backend)
@@ -438,64 +531,38 @@ def run_campaign(
         backend=backend.name,
         fault_classes=list(fault_classes),
         tiny_wpq_entries=TINY_WPQ_ENTRIES, version=1,
+        sharding=dict(CAMPAIGN_SHARDING),
     )
 
+    def scenario_worker(name: str) -> Dict:
+        return _benchmark_task(
+            name, seed, scale, configs, fault_classes, verify, backend
+        )
+
+    tasks = fan_out(
+        scenario_worker, names, jobs=jobs, timeout=worker_timeout,
+        label="campaign",
+    )
     compiled_cache: Dict[str, CompiledProgram] = {}
     probes: Dict[str, _Probe] = {}
-    for name in names:
-        bench = resolve_benchmark(name)
-        if bench.threads != 1:
-            raise ValueError(
-                "campaign benchmarks must be single-threaded "
-                "(got %r); the strict differential oracle does not "
-                "apply to racy interleavings" % name
-            )
-        compiled = compile_program(
-            bench.build(scale=scale), config.compiler, verify=verify
-        )
-        compiled_cache[name] = compiled
-        probe = _probe_benchmark(compiled, config, backend=backend)
-        probes[name] = probe
-
-        cells: List[Tuple[str, str, List[FaultEvent]]] = []
-        for fault_class in fault_classes:
-            rng = _rng(seed, name, fault_class)
-            for schedule in generate_schedules(
-                fault_class, probe, rng, config
-            ):
-                cells.append((fault_class, "default", schedule))
-        if backend.gated:
-            for fault_class, schedule in _tiny_wpq_schedules(
-                probe, _rng(seed, name, "tiny_wpq")
-            ):
-                cells.append((fault_class, "tiny_wpq", schedule))
-
+    for task in tasks:
+        name = task["benchmark"]
+        compiled_cache[name] = task["compiled"]
+        probes[name] = task["probe"]
         bench_violations = 0
-        for fault_class, cfg_tag, schedule in cells:
-            reference = (
-                probe.reference if cfg_tag == "default"
-                else probe.reference_tiny
-            )
-            violation, record = _run_one(
-                compiled, schedule, configs[cfg_tag], ALL_ON,
-                reference, trace, backend=backend,
-            )
-            record.update(
-                benchmark=name, fault_class=fault_class,
-                config=cfg_tag, mode="all_on",
-            )
+        for record in task["records"]:
             trace.emit("scenario_end", **record)
             result.scenarios_run += 1
-            if violation is not None:
+            if record["violation"] is not None:
                 bench_violations += 1
                 result.violations.append(record)
         say("%-10s %2d scenarios, %d violation(s)"
-            % (name, len(cells), bench_violations))
+            % (name, task["n_cells"], bench_violations))
 
     if validate_defenses and backend.validates_defenses:
         _validate_defenses(
             result, compiled_cache, probes, configs, seed, trace, say,
-            backend=backend,
+            backend=backend, jobs=jobs, worker_timeout=worker_timeout,
         )
     elif validate_defenses:
         say("defense validation skipped: backend %r has no LRPO "
@@ -512,6 +579,73 @@ def run_campaign(
     return result
 
 
+def _defense_mode_task(
+    mode: str,
+    benchmarks: Sequence[str],
+    compiled_cache: Dict[str, CompiledProgram],
+    probes: Dict[str, _Probe],
+    configs: Dict[str, SystemConfig],
+    seed: int,
+    backend,
+) -> Dict:
+    """One defense-off mode's whole hunt (candidates -> first failure ->
+    shrink) — the unit of work the validation phase shards across
+    workers.  Deterministic per ``(seed, mode)``."""
+    defenses = DEFENSE_OFF_MODES[mode]
+    entry: Dict = {"caught": False, "benchmark": None,
+                   "candidates_tried": 0}
+    for name in benchmarks:
+        compiled = compiled_cache[name]
+        probe = probes[name]
+        rng = _rng(seed, "defense", mode, name)
+        cfg_tag, candidates = _defense_candidates(
+            mode, probe, rng, configs["default"]
+        )
+        cfg = configs[cfg_tag]
+        reference = (
+            probe.reference if cfg_tag == "default"
+            else probe.reference_tiny
+        )
+
+        def fails(schedule: List[FaultEvent]) -> bool:
+            res = run_scenario(
+                compiled, schedule, config=cfg, defenses=defenses,
+                trace=NullTrace(), backend=backend,
+            )
+            return check_image(
+                res.finished, res.image, reference
+            ) is not None
+
+        caught_schedule = None
+        for schedule in candidates:
+            entry["candidates_tried"] += 1
+            if fails(schedule):
+                caught_schedule = schedule
+                break
+        if caught_schedule is None:
+            continue
+
+        minimal, evals = shrink_schedule(
+            caught_schedule, fails, budget=SHRINK_BUDGET
+        )
+        # record the minimal reproducer's actual violation
+        res = run_scenario(
+            compiled, minimal, config=cfg, defenses=defenses,
+            trace=NullTrace(), backend=backend,
+        )
+        violation = check_image(res.finished, res.image, reference)
+        entry.update(
+            caught=True, benchmark=name, config=cfg_tag,
+            minimal=schedule_to_json(minimal),
+            original_events=len(caught_schedule),
+            minimal_events=len(minimal),
+            shrink_evals=evals,
+            violation=violation.to_json() if violation else None,
+        )
+        break
+    return entry
+
+
 def _validate_defenses(
     result: CampaignResult,
     compiled_cache: Dict[str, CompiledProgram],
@@ -521,62 +655,28 @@ def _validate_defenses(
     trace,
     say: Callable[[str], None],
     backend=None,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
 ) -> None:
     """Self-validation: every defense-off mode must be flagged, then its
     failing schedule is shrunk to a minimal reproducer (verified to still
-    fail)."""
-    for mode, defenses in sorted(DEFENSE_OFF_MODES.items()):
-        entry: Dict = {"caught": False, "benchmark": None,
-                       "candidates_tried": 0}
-        for name in result.benchmarks:
-            compiled = compiled_cache[name]
-            probe = probes[name]
-            rng = _rng(seed, "defense", mode, name)
-            cfg_tag, candidates = _defense_candidates(
-                mode, probe, rng, configs["default"]
-            )
-            cfg = configs[cfg_tag]
-            reference = (
-                probe.reference if cfg_tag == "default"
-                else probe.reference_tiny
-            )
+    fail).  Modes are independent, so they shard round-robin across
+    workers; entries are merged back in sorted-mode order."""
+    from ..parallel import fan_out
 
-            def fails(schedule: List[FaultEvent]) -> bool:
-                res = run_scenario(
-                    compiled, schedule, config=cfg, defenses=defenses,
-                    trace=NullTrace(), backend=backend,
-                )
-                return check_image(
-                    res.finished, res.image, reference
-                ) is not None
+    modes = sorted(DEFENSE_OFF_MODES)
 
-            caught_schedule = None
-            for schedule in candidates:
-                entry["candidates_tried"] += 1
-                if fails(schedule):
-                    caught_schedule = schedule
-                    break
-            if caught_schedule is None:
-                continue
+    def mode_worker(mode: str) -> Dict:
+        return _defense_mode_task(
+            mode, result.benchmarks, compiled_cache, probes, configs,
+            seed, backend,
+        )
 
-            minimal, evals = shrink_schedule(
-                caught_schedule, fails, budget=SHRINK_BUDGET
-            )
-            # record the minimal reproducer's actual violation
-            res = run_scenario(
-                compiled, minimal, config=cfg, defenses=defenses,
-                trace=NullTrace(), backend=backend,
-            )
-            violation = check_image(res.finished, res.image, reference)
-            entry.update(
-                caught=True, benchmark=name, config=cfg_tag,
-                minimal=schedule_to_json(minimal),
-                original_events=len(caught_schedule),
-                minimal_events=len(minimal),
-                shrink_evals=evals,
-                violation=violation.to_json() if violation else None,
-            )
-            break
+    entries = fan_out(
+        mode_worker, modes, jobs=jobs, timeout=worker_timeout,
+        label="defense-validation",
+    )
+    for mode, entry in zip(modes, entries):
         result.defense_results[mode] = entry
         trace.emit("defense_mode", mode=mode, **entry)
         say("defense %-24s %s" % (
@@ -591,28 +691,67 @@ def _validate_defenses(
 # replay
 # ----------------------------------------------------------------------
 
+def _check_trace_sharding(start: Dict, path: str) -> None:
+    """Refuse a trace whose recorded sharding contract this build cannot
+    reproduce.  Re-sharding such a trace silently would partition the
+    scenarios differently from the run that produced it, so any
+    mismatch could be an artifact of the partitioning rather than a
+    regression — an explanatory refusal is the only honest outcome.
+    Traces from before the parallel layer carry no ``sharding`` field
+    and replay fine (their serial order is the canonical order)."""
+    sharding = start.get("sharding")
+    if sharding is None:
+        return
+    known = [
+        {k: s[k] for k in ("strategy", "unit", "version")}
+        for s in SUPPORTED_SHARDINGS
+    ]
+    probe = {
+        k: sharding.get(k) for k in ("strategy", "unit", "version")
+    }
+    if probe not in known:
+        raise ValueError(
+            "trace %s was recorded under sharding contract %r, which "
+            "this build cannot reproduce (supported: %r); refusing to "
+            "replay rather than silently re-sharding — scenario "
+            "partitioning would differ from the recording run"
+            % (path, sharding, list(SUPPORTED_SHARDINGS))
+        )
+
+
 def replay_trace(
     path: str,
     config: SystemConfig = DEFAULT_CONFIG,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
 ) -> Dict:
     """Re-run every scenario recorded in a campaign trace and verify the
-    outcome (image hash + oracle verdict) reproduces bit for bit."""
+    outcome (image hash + oracle verdict) reproduces bit for bit.
+
+    Scenarios are independent, so ``jobs > 1`` shards them round-robin
+    across workers; the report (checked count + mismatches in recorded
+    order) is identical for every ``jobs`` value.  A trace recorded
+    under a sharding contract this build does not support is refused
+    with an explanation (see :func:`_check_trace_sharding`)."""
+    from ..parallel import fan_out
+
     say = progress or (lambda msg: None)
     records = read_trace(path)
     starts = [r for r in records if r.get("type") == "campaign_start"]
     if not starts:
         raise ValueError("not a campaign trace: %s" % path)
+    _check_trace_sharding(starts[0], path)
     scale = starts[0]["scale"]
     backend = starts[0].get("backend", "lightwsp-lrpo")
     configs = {"default": config, "tiny_wpq": _tiny_config(config)}
 
+    scenarios = [r for r in records if r.get("type") == "scenario_end"]
     compiled_cache: Dict[str, CompiledProgram] = {}
-    mismatches: List[Dict] = []
-    checked = 0
-    for record in records:
-        if record.get("type") != "scenario_end":
-            continue
+
+    def replay_one(record: Dict) -> Optional[Dict]:
+        # the cache is per-process: the serial path fills one for the
+        # whole trace, a forked worker fills its own for its shard
         name = record["benchmark"]
         if name not in compiled_cache:
             compiled_cache[name] = compile_program(
@@ -628,18 +767,29 @@ def replay_trace(
             compiled_cache[name], schedule, config=cfg, defenses=defenses,
             backend=backend,
         )
-        checked += 1
         # the recorded hash pins the exact final image (including any
         # divergence), so one comparison verifies the whole outcome
         got_hash = image_hash(res.image)
-        if got_hash != record["image_hash"]:
-            mismatches.append({
-                "benchmark": name,
-                "fault_class": record["fault_class"],
-                "schedule": record["schedule"],
-                "want_hash": record["image_hash"],
-                "got_hash": got_hash,
-            })
+        if got_hash == record["image_hash"]:
+            return None
+        return {
+            "benchmark": name,
+            "fault_class": record["fault_class"],
+            "schedule": record["schedule"],
+            "want_hash": record["image_hash"],
+            "got_hash": got_hash,
+        }
+
+    outcomes = fan_out(
+        replay_one, scenarios, jobs=jobs, timeout=worker_timeout,
+        label="replay",
+    )
+    mismatches: List[Dict] = []
+    checked = 0
+    for outcome in outcomes:
+        checked += 1
+        if outcome is not None:
+            mismatches.append(outcome)
         if checked % 50 == 0:
             say("replayed %d scenarios..." % checked)
     return {"checked": checked, "mismatches": mismatches}

@@ -1,0 +1,27 @@
+"""Deterministic process-level parallelism for the expensive harnesses.
+
+See :mod:`repro.parallel.pool` for the sharding/merge contract and the
+determinism rules; DESIGN.md ("Parallel execution") for the narrative.
+"""
+
+from .pool import (
+    PoolStats,
+    WorkerError,
+    WorkerTimeout,
+    current_attempt,
+    fan_out,
+    last_stats,
+    run_shards,
+    shard_units,
+)
+
+__all__ = [
+    "PoolStats",
+    "WorkerError",
+    "WorkerTimeout",
+    "current_attempt",
+    "fan_out",
+    "last_stats",
+    "run_shards",
+    "shard_units",
+]

@@ -1,0 +1,319 @@
+"""The deterministic multiprocessing fan-out layer.
+
+Every expensive harness in this repo (fault campaigns, crash sweeps,
+the backend comparison matrix, ``repro bench``) is a loop over
+*independent, deterministic* work units — each unit's outcome depends
+only on the unit itself plus explicit inputs (seed, scale, config),
+never on execution order or shared mutable state.  That independence is
+what makes parallelism safe here, and this module is the one place the
+safety contract is enforced:
+
+* **Sharding is a pure function.**  :func:`shard_units` partitions unit
+  *indices* round-robin (shard ``i`` gets units ``i, i+jobs, ...``), so
+  the partition depends only on ``(len(units), jobs)`` — never on
+  timing, pids, or hashing.
+* **Merging is order-independent.**  Results are reassembled by unit
+  index, so the merged output is identical no matter which shard
+  finishes first — and identical to the serial run, because the serial
+  path executes the *same* worker callable in-process.
+* **Workers never share RNG state.**  The pool passes no RNG anywhere;
+  callers must derive any randomness from keyed streams (see
+  ``repro.faults.campaign._rng``) so a unit's stream is a function of
+  its label, not of which worker ran it.
+
+Process model: one forked child per shard (``fork`` keeps closures and
+compiled programs available without pickling the inputs; results travel
+back through a queue and must be picklable).  A shard whose process
+dies without delivering a result (OOM-kill, SIGKILL, a crashed
+interpreter) is retried once in a fresh process; a shard that exceeds
+``timeout`` seconds is killed and reported as :class:`WorkerTimeout`
+with a diagnostic — never a silent hang.  When ``jobs <= 1``, ``fork``
+is unavailable (or ``REPRO_PARALLEL_FORCE_SERIAL=1``), everything runs
+serially in-process: same worker, same order, same results.
+
+Chaos hook (used by the robustness tests, in the spirit of
+``repro.faults``): ``REPRO_PARALLEL_KILL="<shard>:<attempt>[,...]"``
+makes the matching child SIGKILL itself before touching its shard, so
+the retry path can be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "WorkerError",
+    "WorkerTimeout",
+    "PoolStats",
+    "shard_units",
+    "fan_out",
+    "run_shards",
+    "current_attempt",
+    "last_stats",
+]
+
+#: polling granularity of the parent's monitor loop (seconds)
+_POLL_S = 0.02
+
+#: how long a dead-looking worker gets for its already-queued result to
+#: drain before the death is declared real (a child that finished and
+#: exited cleanly may still have its result in flight in the queue)
+_DEATH_GRACE_S = 1.0
+
+#: attempt number inside a worker process (0 on first try, 1 on retry);
+#: module-global so worker callables can observe retries without any
+#: change to their signature
+_ATTEMPT = 0
+
+
+def current_attempt() -> int:
+    """The retry attempt of the calling worker (0 first try, 1 retry).
+    Serial execution always reports attempt 0."""
+    return _ATTEMPT
+
+
+class WorkerError(RuntimeError):
+    """A shard failed permanently (worker died twice, or raised an
+    exception that could not be re-raised verbatim)."""
+
+
+class WorkerTimeout(RuntimeError):
+    """A shard exceeded its time budget; the worker was killed and this
+    diagnostic raised instead of hanging the harness."""
+
+
+@dataclass
+class PoolStats:
+    """What one :func:`run_shards` call actually did (diagnostics +
+    robustness tests; never part of any result artifact)."""
+
+    jobs: int = 1
+    shards: int = 0
+    units: int = 0
+    mode: str = "serial"          # "serial" | "fork"
+    retries: int = 0
+    worker_deaths: int = 0
+
+
+#: stats of the most recent pool invocation in this process (test +
+#: diagnostic hook; results never depend on it)
+_LAST_STATS = PoolStats()
+
+
+def last_stats() -> PoolStats:
+    return _LAST_STATS
+
+
+def shard_units(n_units: int, jobs: int) -> List[List[int]]:
+    """Round-robin partition of unit indices: shard ``i`` owns indices
+    ``i, i+jobs, i+2*jobs, ...``.  Deterministic in ``(n_units, jobs)``;
+    empty shards are dropped (``jobs > n_units``)."""
+    jobs = max(1, jobs)
+    shards = [list(range(i, n_units, jobs)) for i in range(jobs)]
+    return [s for s in shards if s]
+
+
+def _chaos_kill_set() -> frozenset:
+    """Parse ``REPRO_PARALLEL_KILL`` into {(shard, attempt), ...}."""
+    spec = os.environ.get("REPRO_PARALLEL_KILL", "")
+    out = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        shard, _, attempt = part.partition(":")
+        out.add((int(shard), int(attempt or 0)))
+    return frozenset(out)
+
+
+def _fork_available() -> bool:
+    if os.environ.get("REPRO_PARALLEL_FORCE_SERIAL") == "1":
+        return False
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return False
+
+
+def _shard_main(worker, shard_id: int, shard: Any,
+                attempt: int, queue) -> None:
+    """Child entry point: run one shard, ship its result back."""
+    global _ATTEMPT
+    _ATTEMPT = attempt
+    if (shard_id, attempt) in _chaos_kill_set():
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        queue.put((shard_id, "ok", worker(shard)))
+    except BaseException as exc:
+        try:
+            payload = pickle.dumps(exc)
+            queue.put((shard_id, "exc", payload))
+        except Exception:
+            queue.put((shard_id, "err", traceback.format_exc()))
+
+
+@dataclass
+class _LiveShard:
+    shard_id: int
+    process: Any
+    attempt: int
+    started: float = field(default_factory=time.monotonic)
+    dead_since: Optional[float] = None
+
+
+def fan_out(
+    worker: Callable[[Any], Any],
+    units: Sequence[Any],
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    label: str = "work",
+) -> List[Any]:
+    """Apply ``worker`` to every unit, fanned out over up to ``jobs``
+    forked processes, and return the per-unit results **in input
+    order** — bit-for-bit what ``[worker(u) for u in units]`` returns,
+    because that is literally the serial path.
+
+    ``worker`` must be a deterministic function of its unit (plus
+    whatever it closes over, which the fork snapshots); its return value
+    must be picklable.  Exceptions raised by a worker are re-raised in
+    the parent with their original type whenever they pickle."""
+    shards = shard_units(len(units), jobs)
+
+    def shard_worker(indices: List[int]) -> List[Any]:
+        return [worker(units[i]) for i in indices]
+
+    shard_results = run_shards(
+        shard_worker, shards, jobs=jobs, timeout=timeout, label=label
+    )
+    merged: List[Any] = [None] * len(units)
+    for indices, results in zip(shards, shard_results):
+        for idx, value in zip(indices, results):
+            merged[idx] = value
+    return merged
+
+
+def run_shards(
+    worker: Callable[[Any], Any],
+    shards: Sequence[Any],
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    label: str = "work",
+) -> List[Any]:
+    """Lower-level primitive: run ``worker(shard)`` once per shard (one
+    process each, at most ``jobs`` live at a time) and return the shard
+    results in shard order.  Use this instead of :func:`fan_out` when a
+    shard benefits from shared incremental state across its units (the
+    crash sweep's point-to-point walker)."""
+    global _LAST_STATS
+    stats = PoolStats(jobs=max(1, jobs), shards=len(shards),
+                      units=sum(len(s) if hasattr(s, "__len__") else 1
+                                for s in shards))
+    _LAST_STATS = stats
+    if not shards:
+        return []
+    # A single shard runs in-process — unless a timeout was requested,
+    # which is only enforceable on a child we can kill.
+    if jobs <= 1 or not _fork_available() or \
+            (len(shards) == 1 and timeout is None):
+        global _ATTEMPT
+        _ATTEMPT = 0
+        return [worker(shard) for shard in shards]
+
+    import multiprocessing
+    from queue import Empty
+
+    ctx = multiprocessing.get_context("fork")
+    stats.mode = "fork"
+    queue = ctx.Queue()
+    results: Dict[int, Any] = {}
+    attempts: Dict[int, int] = {i: 0 for i in range(len(shards))}
+    pending = list(range(len(shards)))
+    live: Dict[int, _LiveShard] = {}
+
+    def spawn(shard_id: int) -> None:
+        proc = ctx.Process(
+            target=_shard_main,
+            args=(worker, shard_id, shards[shard_id],
+                  attempts[shard_id], queue),
+        )
+        proc.daemon = True
+        proc.start()
+        live[shard_id] = _LiveShard(shard_id, proc, attempts[shard_id])
+
+    def reap(shard_id: int) -> None:
+        entry = live.pop(shard_id, None)
+        if entry is not None:
+            entry.process.join(timeout=5)
+            if entry.process.is_alive():  # pragma: no cover - defensive
+                entry.process.kill()
+
+    def shutdown() -> None:
+        for entry in list(live.values()):
+            if entry.process.is_alive():
+                entry.process.kill()
+            entry.process.join(timeout=5)
+        live.clear()
+
+    try:
+        while len(results) < len(shards):
+            while pending and len(live) < jobs:
+                spawn(pending.pop(0))
+            try:
+                shard_id, status, payload = queue.get(timeout=_POLL_S)
+            except Empty:  # no result yet — check worker health
+                now = time.monotonic()
+                for shard_id, entry in list(live.items()):
+                    if timeout is not None and now - entry.started > timeout:
+                        entry.process.kill()
+                        reap(shard_id)
+                        raise WorkerTimeout(
+                            "%s shard %d (attempt %d) exceeded its %.1fs "
+                            "budget and was killed; partial results were "
+                            "discarded" % (label, shard_id,
+                                           entry.attempt, timeout)
+                        )
+                    if entry.process.is_alive():
+                        continue
+                    # the process is gone; give an already-queued result
+                    # a grace window to drain before declaring a death
+                    if entry.dead_since is None:
+                        entry.dead_since = now
+                        continue
+                    if now - entry.dead_since < _DEATH_GRACE_S:
+                        continue
+                    exitcode = entry.process.exitcode
+                    reap(shard_id)
+                    stats.worker_deaths += 1
+                    if attempts[shard_id] == 0:
+                        attempts[shard_id] = 1
+                        stats.retries += 1
+                        spawn(shard_id)
+                    else:
+                        raise WorkerError(
+                            "%s shard %d died twice (last exit code %s); "
+                            "giving up" % (label, shard_id, exitcode)
+                        )
+                continue
+            reap(shard_id)
+            if status == "ok":
+                results[shard_id] = payload
+            elif status == "exc":
+                raise pickle.loads(payload)
+            else:
+                raise WorkerError(
+                    "%s shard %d raised:\n%s" % (label, shard_id, payload)
+                )
+        return [results[i] for i in range(len(shards))]
+    finally:
+        shutdown()
+        queue.close()

@@ -1,0 +1,31 @@
+"""``repro bench``: the curated perf suite + the regression gate.
+
+See :mod:`repro.perf.suite` for what is tracked, :mod:`repro.perf.runner`
+for how it is measured (deterministic metrics, parallel fan-out), and
+:mod:`repro.perf.regress` for the ``--baseline`` diff semantics.
+"""
+
+from .regress import (
+    BenchDiff,
+    Regression,
+    diff_reports,
+    format_diff,
+    load_report,
+)
+from .runner import BenchEntry, BenchReport, format_report, run_bench
+from .suite import BENCH_SPECS, BenchSpec, select_specs
+
+__all__ = [
+    "BENCH_SPECS",
+    "BenchDiff",
+    "BenchEntry",
+    "BenchReport",
+    "BenchSpec",
+    "Regression",
+    "diff_reports",
+    "format_diff",
+    "format_report",
+    "load_report",
+    "run_bench",
+    "select_specs",
+]

@@ -1,0 +1,77 @@
+"""The curated entry list ``repro bench`` tracks over time.
+
+Two entry kinds cover the repo's two serving surfaces:
+
+* ``sim`` — one benchmark from the figure suite simulated under the
+  LightWSP backend (the hot path behind every ``benchmarks/bench_*.py``
+  figure script): cycles, slowdown vs memory-mode, instruction
+  throughput, persist-path traffic, persistence efficiency;
+* ``store`` — one YCSB-style mix served from the persistent KV store
+  (the ``repro serve`` hot path): request throughput and the
+  p50/p95/p99 tail-latency quantiles.
+
+The list is deliberately small and representative rather than
+exhaustive — a perf-trajectory artifact is only useful if regenerating
+it is cheap enough to run on every PR.  Entries marked ``smoke`` form
+the CI subset (``repro bench --smoke``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["BenchSpec", "BENCH_SPECS", "select_specs"]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One tracked entry: what to run and at what size."""
+
+    name: str                 # entry key in BENCH_*.json
+    kind: str                 # "sim" | "store"
+    target: str               # benchmark name (sim) / mix name (store)
+    smoke: bool = False       # part of the CI smoke subset?
+    # store-kind sizing (ops scales with the runner's --scale)
+    ops: int = 1200
+    keyspace: int = 64
+    shards: int = 2
+    batch: int = 64
+
+
+#: the tracked entries, in canonical (report) order
+BENCH_SPECS: List[BenchSpec] = [
+    # sim plane: two memory-bound, two compute/store-heavy, two
+    # multithreaded (STAMP + WHISPER) — every figure-suite shape
+    BenchSpec("sim/bzip2", "sim", "bzip2", smoke=True),
+    BenchSpec("sim/mcf", "sim", "mcf"),
+    BenchSpec("sim/xz", "sim", "xz", smoke=True),
+    BenchSpec("sim/namd", "sim", "namd"),
+    BenchSpec("sim/vacation", "sim", "vacation"),
+    BenchSpec("sim/tpcc", "sim", "tpcc"),
+    # store plane: the YCSB mixes the server chapter reports
+    BenchSpec("store/ycsb-a", "store", "ycsb-a", smoke=True),
+    BenchSpec("store/ycsb-b", "store", "ycsb-b"),
+    BenchSpec("store/ycsb-c", "store", "ycsb-c"),
+    BenchSpec("store/crud", "store", "crud", smoke=True),
+]
+
+_BY_NAME: Dict[str, BenchSpec] = {s.name: s for s in BENCH_SPECS}
+
+
+def select_specs(
+    names: List[str] = None, smoke: bool = False
+) -> List[BenchSpec]:
+    """The entries one run covers: an explicit subset, the smoke subset,
+    or everything."""
+    if names:
+        unknown = [n for n in names if n not in _BY_NAME]
+        if unknown:
+            raise KeyError(
+                "unknown bench entries: %s (available: %s)"
+                % (", ".join(unknown), ", ".join(_BY_NAME))
+            )
+        return [_BY_NAME[n] for n in names]
+    if smoke:
+        return [s for s in BENCH_SPECS if s.smoke]
+    return list(BENCH_SPECS)

@@ -74,29 +74,22 @@ class CompareReport:
         )
 
 
-def _timing_rows(
-    compiled, backends: Sequence[PersistBackend], config: SystemConfig
-) -> Dict[str, CompareRow]:
-    from ..core.lightwsp import trace_of
+def _timing_row(
+    events, baseline: float, backend: PersistBackend, config: SystemConfig
+) -> CompareRow:
     from ..sim.engine import simulate
-    from .backends import MEMORY_MODE
 
-    events = trace_of(compiled)
-    baseline = simulate(events, config, MEMORY_MODE).cycles
-    rows: Dict[str, CompareRow] = {}
-    for backend in backends:
-        res = simulate(events, config, backend.policy)
-        ns = config.cycles_to_ns(res.cycles)
-        rows[backend.name] = CompareRow(
-            backend=backend.name,
-            cycles=res.cycles,
-            slowdown=(res.cycles / baseline) if baseline else 0.0,
-            throughput_minst_s=(res.instructions / ns * 1e3) if ns else 0.0,
-            persist_entries=res.persist_entries,
-            persist_bytes=res.persist_entries * 8 * backend.policy.entry_factor,
-            efficiency=res.persistence_efficiency,
-        )
-    return rows
+    res = simulate(events, config, backend.policy)
+    ns = config.cycles_to_ns(res.cycles)
+    return CompareRow(
+        backend=backend.name,
+        cycles=res.cycles,
+        slowdown=(res.cycles / baseline) if baseline else 0.0,
+        throughput_minst_s=(res.instructions / ns * 1e3) if ns else 0.0,
+        persist_entries=res.persist_entries,
+        persist_bytes=res.persist_entries * 8 * backend.policy.entry_factor,
+        efficiency=res.persistence_efficiency,
+    )
 
 
 def _crash_point(compiled, config: SystemConfig) -> int:
@@ -166,10 +159,22 @@ def compare_backends(
     backends: Optional[Sequence] = None,
     config: SystemConfig = DEFAULT_CONFIG,
     smoke: bool = False,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
 ) -> CompareReport:
-    """Run the cross-backend comparison; see the module docstring."""
+    """Run the cross-backend comparison; see the module docstring.
+
+    Backends are independent once the compiled program, the shared
+    dynamic trace, the memory-mode baseline, and the crash point are
+    fixed (all computed once, up front), so ``jobs > 1`` runs one
+    backend per worker; rows come back in backend order and are
+    identical to the serial run."""
     from ..compiler.pipeline import compile_program
+    from ..core.lightwsp import trace_of
+    from ..parallel import fan_out
+    from ..sim.engine import simulate
     from ..workloads import BENCHMARKS
+    from .backends import MEMORY_MODE
 
     if smoke:
         scale = min(scale, SMOKE_SCALE)
@@ -183,16 +188,24 @@ def compare_backends(
             "compare needs a single-threaded benchmark (got %r)" % benchmark
         )
     compiled = compile_program(bench.build(scale=scale), config.compiler)
-
-    rows = _timing_rows(compiled, chosen, config)
+    events = trace_of(compiled)
+    baseline = simulate(events, config, MEMORY_MODE).cycles
     crash_step = _crash_point(compiled, config)
-    for backend in chosen:
-        _probe_recovery(compiled, backend, crash_step, config, rows[backend.name])
+
+    def backend_row(backend: PersistBackend) -> CompareRow:
+        row = _timing_row(events, baseline, backend, config)
+        _probe_recovery(compiled, backend, crash_step, config, row)
+        return row
+
+    rows = fan_out(
+        backend_row, chosen, jobs=jobs, timeout=worker_timeout,
+        label="compare",
+    )
     return CompareReport(
         benchmark=benchmark,
         scale=scale,
         crash_step=crash_step,
-        rows=[rows[b.name] for b in chosen],
+        rows=rows,
     )
 
 

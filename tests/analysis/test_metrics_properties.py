@@ -1,0 +1,126 @@
+"""Property and edge-case tests for the latency aggregation helpers the
+bench harness gates on (`percentile`, `latency_summary`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import latency_summary, percentile
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12,
+    allow_nan=False, allow_infinity=False,
+)
+samples = st.lists(finite, min_size=1, max_size=200)
+
+
+class TestPercentileEdges:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], p) == 7.5
+
+    def test_all_ties_collapse(self):
+        assert percentile([3.0] * 17, 99.0) == 3.0
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], 101.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], -0.5)
+
+    def test_nan_p_raises(self):
+        with pytest.raises(ValueError, match="got NaN"):
+            percentile([1.0, 2.0], float("nan"))
+
+    def test_nan_sample_raises(self):
+        with pytest.raises(ValueError, match="must not contain NaN"):
+            percentile([1.0, float("nan"), 3.0], 50.0)
+
+
+class TestPercentilePins:
+    """Pin the linear-interpolation convention so a refactor can't
+    silently shift every gated tail-latency number."""
+
+    def test_p99_of_1_to_100(self):
+        # rank = 0.99 * 99 = 98.01 -> 99*(1-0.01) + 100*0.01
+        assert percentile(list(range(1, 101)), 99.0) == \
+            pytest.approx(99.01)
+
+    def test_p75_interpolates(self):
+        # rank = 0.75 * 3 = 2.25 -> 30*(0.75) + 40*(0.25)
+        assert percentile([10.0, 20.0, 30.0, 40.0], 75.0) == \
+            pytest.approx(32.5)
+
+    def test_p50_of_even_count_is_midpoint(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == \
+            pytest.approx(2.5)
+
+    def test_endpoints_are_min_and_max(self):
+        vals = [9.0, 1.0, 5.0]
+        assert percentile(vals, 0.0) == 1.0
+        assert percentile(vals, 100.0) == 9.0
+
+
+class TestPercentileProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(samples, st.floats(min_value=0.0, max_value=100.0))
+    def test_bounded_by_min_and_max(self, vals, p):
+        got = percentile(vals, p)
+        assert min(vals) <= got <= max(vals)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples)
+    def test_monotone_in_p(self, vals):
+        # monotone up to interpolation round-off (one ulp-ish slack)
+        cuts = [percentile(vals, p) for p in (0.0, 25.0, 50.0, 75.0, 99.0, 100.0)]
+        tol = 1e-9 * max(1.0, max(abs(v) for v in vals))
+        for lo, hi in zip(cuts, cuts[1:]):
+            assert lo <= hi + tol
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples, st.floats(min_value=0.0, max_value=100.0))
+    def test_order_independent(self, vals, p):
+        assert percentile(list(reversed(vals)), p) == percentile(vals, p)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples, finite, st.floats(min_value=0.0, max_value=100.0))
+    def test_shift_equivariant(self, vals, shift, p):
+        shifted = percentile([v + shift for v in vals], p)
+        assert shifted == pytest.approx(percentile(vals, p) + shift,
+                                        rel=1e-9, abs=1e-6)
+
+
+class TestLatencySummary:
+    def test_empty_is_all_zeros(self):
+        summary = latency_summary([])
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample(self):
+        summary = latency_summary([42.0])
+        assert summary["count"] == 1.0
+        assert summary["mean"] == summary["max"] == 42.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 42.0
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ValueError, match="must not contain NaN"):
+            latency_summary([1.0, float("nan")])
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples)
+    def test_summary_is_internally_consistent(self, vals):
+        summary = latency_summary(vals)
+        assert summary["count"] == len(vals)
+        assert summary["max"] == max(vals)
+        # quantile chain is monotone up to interpolation round-off
+        tol = 1e-9 * max(1.0, max(abs(v) for v in vals))
+        assert summary["p50"] <= summary["p95"] + tol
+        assert summary["p95"] <= summary["p99"] + tol
+        assert summary["p99"] <= summary["max"] + tol
+        assert min(vals) - tol <= summary["mean"] <= max(vals) + tol

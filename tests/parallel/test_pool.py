@@ -1,0 +1,137 @@
+"""Unit tests for the fan-out pool itself: sharding, ordered merge,
+exception passthrough, retry-on-death, timeout diagnostics, and the
+serial fallback."""
+
+import time
+
+import pytest
+
+from repro.parallel import (
+    WorkerError,
+    WorkerTimeout,
+    current_attempt,
+    fan_out,
+    last_stats,
+    run_shards,
+    shard_units,
+)
+
+
+def square(x):
+    return x * x
+
+
+def unit_and_attempt(x):
+    return (x, current_attempt())
+
+
+class TestSharding:
+    def test_round_robin_partition(self):
+        assert shard_units(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        shards = shard_units(23, 5)
+        flat = sorted(i for s in shards for i in s)
+        assert flat == list(range(23))
+
+    def test_more_jobs_than_units_drops_empty_shards(self):
+        assert shard_units(2, 8) == [[0], [1]]
+
+    def test_empty(self):
+        assert shard_units(0, 4) == []
+
+    def test_jobs_one_is_a_single_shard(self):
+        assert shard_units(5, 1) == [[0, 1, 2, 3, 4]]
+
+
+class TestFanOut:
+    def test_results_in_input_order(self):
+        units = list(range(37))
+        assert fan_out(square, units, jobs=4) == [x * x for x in units]
+        assert last_stats().mode == "fork"
+
+    def test_serial_when_jobs_is_one(self):
+        assert fan_out(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert last_stats().mode == "serial"
+
+    def test_empty_units(self):
+        assert fan_out(square, [], jobs=4) == []
+
+    def test_worker_exception_reraises_original_type(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("bad unit %d" % x)
+            return x
+
+        with pytest.raises(ValueError, match="bad unit 3"):
+            fan_out(boom, list(range(6)), jobs=2)
+
+    def test_forced_serial_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE_SERIAL", "1")
+        assert fan_out(square, list(range(5)), jobs=4) == \
+            [x * x for x in range(5)]
+        assert last_stats().mode == "serial"
+
+    def test_closures_capture_parent_state(self):
+        table = {i: i + 100 for i in range(10)}
+        out = fan_out(lambda x: table[x], list(range(10)), jobs=3)
+        assert out == [x + 100 for x in range(10)]
+
+
+class TestRunShards:
+    def test_one_result_per_shard_in_shard_order(self):
+        shards = [[1, 2], [3], [4, 5, 6]]
+        out = run_shards(sum, shards, jobs=3)
+        assert out == [3, 3, 15]
+
+    def test_serial_path_identical(self):
+        shards = [[1, 2], [3], [4, 5, 6]]
+        assert run_shards(sum, shards, jobs=1) == \
+            run_shards(sum, shards, jobs=3)
+
+
+class TestWorkerDeath:
+    def test_killed_shard_is_retried_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_KILL", "1:0")
+        out = fan_out(unit_and_attempt, list(range(6)), jobs=2)
+        # shard 1 owns units 1, 3, 5; its retry runs at attempt 1
+        assert out == [(0, 0), (1, 1), (2, 0), (3, 1), (4, 0), (5, 1)]
+        assert last_stats().retries == 1
+        assert last_stats().worker_deaths == 1
+
+    def test_retried_results_match_serial(self, monkeypatch):
+        serial = fan_out(square, list(range(8)), jobs=1)
+        monkeypatch.setenv("REPRO_PARALLEL_KILL", "0:0,2:0")
+        assert fan_out(square, list(range(8)), jobs=3) == serial
+        assert last_stats().retries == 2
+
+    def test_double_death_raises_worker_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_KILL", "1:0,1:1")
+        with pytest.raises(WorkerError, match="died twice"):
+            fan_out(square, list(range(6)), jobs=2)
+
+
+class TestTimeout:
+    def test_hung_worker_raises_diagnostic_not_hang(self):
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout, match="exceeded its 1.0s"):
+            fan_out(
+                lambda x: time.sleep(120), [1, 2], jobs=2, timeout=1.0,
+                label="hung-test",
+            )
+        # the whole call must come back promptly, not after 120s
+        assert time.monotonic() - start < 30
+
+    def test_timeout_message_names_the_label_and_shard(self):
+        with pytest.raises(WorkerTimeout, match="hung-test shard"):
+            fan_out(
+                lambda x: time.sleep(120), [1], jobs=2, timeout=0.5,
+                label="hung-test",
+            )
+
+    def test_no_orphan_processes_after_timeout(self):
+        import multiprocessing
+
+        with pytest.raises(WorkerTimeout):
+            fan_out(lambda x: time.sleep(120), [1, 2], jobs=2, timeout=0.5)
+        assert multiprocessing.active_children() == []

@@ -1,0 +1,43 @@
+"""Worker-fault robustness at the campaign level: a worker killed
+mid-shard is retried once and the final trace is still byte-identical
+to the serial run; a hung shard surfaces a diagnostic, not a hang."""
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.parallel import WorkerTimeout, last_stats
+
+BENCH = ["bzip2", "xz"]
+
+
+def _campaign_bytes(path, jobs, **kw):
+    run_campaign(
+        seed=0, benchmarks=BENCH, trace_path=str(path), jobs=jobs,
+        validate_defenses=False, **kw
+    )
+    with open(str(path), "rb") as fh:
+        return fh.read()
+
+
+class TestCampaignWorkerDeath:
+    def test_killed_worker_retried_and_trace_identical(
+        self, tmp_path, monkeypatch
+    ):
+        serial = _campaign_bytes(tmp_path / "serial.jsonl", jobs=1)
+        # kill shard 1 (owning benchmark xz) on its first attempt
+        monkeypatch.setenv("REPRO_PARALLEL_KILL", "1:0")
+        survived = _campaign_bytes(tmp_path / "killed.jsonl", jobs=2)
+        assert survived == serial
+        assert last_stats().retries == 1
+        assert last_stats().worker_deaths == 1
+
+
+class TestCampaignTimeout:
+    def test_timeout_is_a_diagnostic_not_a_hang(self, tmp_path):
+        with pytest.raises(WorkerTimeout, match="campaign shard"):
+            run_campaign(
+                seed=0, benchmarks=BENCH,
+                trace_path=str(tmp_path / "t.jsonl"),
+                jobs=2, worker_timeout=0.001,
+                validate_defenses=False,
+            )
