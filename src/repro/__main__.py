@@ -14,6 +14,8 @@ Commands:
                    optionally diff it against a ``--baseline`` artifact
                    (nonzero exit on >10% regression)
 * ``crash-sweep``— exhaustively crash-test one benchmark
+* ``cluster``    — the resilient sharded store cluster (``serve`` one
+                   chaos session, ``bench`` --jobs parity + wall time)
 
 Every expensive command takes ``--jobs N`` to fan its independent work
 units out over worker processes (results are bit-identical to serial;
@@ -417,6 +419,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return 0
 
     if args.faults_command == "replay":
+        from .trace import read_trace
+
+        records = read_trace(args.trace)
+        if any(
+            r.get("type") == "cluster_campaign_start" for r in records
+        ):
+            from .cluster import replay_cluster_trace
+
+            mismatches = replay_cluster_trace(records, progress=print)
+            print("replayed cluster trace: %d mismatch(es)"
+                  % len(mismatches))
+            for mm in mismatches[:10]:
+                print("  MISMATCH %s" % mm)
+            return 1 if mismatches else 0
         try:
             report = replay_trace(args.trace, progress=print,
                                   jobs=args.jobs)
@@ -432,6 +448,43 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return 1 if report["mismatches"] else 0
 
     # campaign
+    if args.workload == "cluster":
+        from .cluster import run_cluster_campaign
+
+        trace_path = args.trace or (
+            "cluster-chaos-seed%d.jsonl" % args.seed
+        )
+        backends = (
+            (args.backend,) if args.backend
+            else ("lightwsp-lrpo", "cwsp-eager")
+        )
+        try:
+            report = run_cluster_campaign(
+                backends=backends,
+                seeds=tuple(range(args.seed, args.seed + 3)),
+                jobs=args.jobs,
+                trace_path=trace_path,
+                progress=print,
+            )
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
+        print()
+        acked = sum(
+            s.responses.get("ok", 0) for s in report.scenarios
+        )
+        print("cluster campaign: %d scenarios, %d acked ops, "
+              "%d violation scenario(s)"
+              % (len(report.scenarios), acked, len(report.failures)))
+        for s in report.failures[:5]:
+            print("  FAIL %s seed=%d: %s"
+                  % (s.backend, s.seed, s.violations[:3]))
+            if s.shrunk is not None:
+                print("    minimal schedule (%d events): %s"
+                      % (len(s.shrunk), [f.to_json() for f in s.shrunk]))
+        print("trace: %s" % trace_path)
+        print("PASS" if report.ok else "FAIL")
+        return 0 if report.ok else 1
     benchmarks = args.benchmarks or None
     if args.workload == "store" and benchmarks is None:
         benchmarks = list(STORE_CAMPAIGN_BENCHMARKS)
@@ -481,6 +534,96 @@ def cmd_faults(args: argparse.Namespace) -> int:
     print("trace: %s" % trace_path)
     print("PASS" if result.ok else "FAIL")
     return 0 if result.ok else 1
+
+
+def cmd_cluster(args) -> int:
+    from .cluster import ClusterSession, generate_cluster_chaos
+    from .trace import JsonlTrace, NullTrace
+
+    if args.cluster_command == "bench":
+        # determinism/parity bench: same seeded chaos session at each
+        # --jobs level must produce the same digest; report wall time
+        import time
+
+        chaos = generate_cluster_chaos(
+            args.seed, args.shards, horizon=args.horizon,
+            kills=args.kills, transport=args.transport,
+            partitions=args.partitions, msg_faults=args.msg_faults,
+        )
+        digests = {}
+        for jobs in args.jobs_levels:
+            session = ClusterSession.build(
+                n_shards=args.shards, keyspace=args.keyspace,
+                ops=args.ops, seed=args.seed, backend=args.backend,
+                mix=args.mix, chaos=chaos, jobs=jobs,
+            )
+            t0 = time.monotonic()
+            session.run()
+            wall = time.monotonic() - t0
+            digests[jobs] = session.digest()
+            print("jobs=%d: %6.2fs  digest=%s  epochs=%d  violations=%d"
+                  % (jobs, wall, digests[jobs], session.epoch,
+                     len(session.violations)))
+        if len(set(digests.values())) == 1:
+            print("PARITY OK: digest identical at every --jobs level")
+            return 0
+        print("PARITY BROKEN: digests differ across --jobs levels")
+        return 1
+
+    # serve: one chaos session, optionally traced
+    if args.smoke:
+        args.shards = min(args.shards, 2)
+        args.ops = min(args.ops, 20)
+        args.kills = min(args.kills, 1)
+
+    chaos = generate_cluster_chaos(
+        args.seed, args.shards, horizon=args.horizon,
+        kills=args.kills, transport=args.transport,
+        partitions=args.partitions, msg_faults=args.msg_faults,
+    ) if not args.no_chaos else []
+    trace = JsonlTrace(args.trace) if args.trace else NullTrace()
+    try:
+        session = ClusterSession.build(
+            n_shards=args.shards, keyspace=args.keyspace, ops=args.ops,
+            seed=args.seed, backend=args.backend, mix=args.mix,
+            txn_every=args.txn_every, chaos=chaos, jobs=args.jobs,
+            trace=trace,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc))
+        return 2
+    session.run()
+    trace.close()
+
+    by_status: dict = {}
+    for r in session.responses.values():
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    print("cluster: %d shards (backend: %s), %d ops, %d epochs"
+          % (session.n_shards, session.backend.name,
+             len(session.responses), session.epoch))
+    print("responses: %s" % " ".join(
+        "%s=%d" % (s, by_status[s]) for s in sorted(by_status)))
+    interesting = (
+        "kills", "retries", "replays_rejected", "acks_dropped",
+        "acks_delayed", "reqs_dropped", "partition_drops",
+    )
+    print("chaos:     %s" % " ".join(
+        "%s=%d" % (c, session.counters[c]) for c in interesting
+        if session.counters.get(c)))
+    for state in session.shards:
+        print("  shard %d: served=%d epochs=%d crashes=%d image=%s"
+              % (state.shard, state.served, state.epochs,
+                 state.crashes, state.image_digest()))
+    if args.trace:
+        print("trace: %s" % args.trace)
+    if session.violations:
+        print("oracle violations: %d" % len(session.violations))
+        for v in session.violations[:10]:
+            print("  VIOLATION %s" % v)
+        print("FAIL")
+        return 1
+    print("oracle: zero acked-write loss, no half-commits  PASS")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -668,9 +811,10 @@ def main(argv=None) -> int:
     p_camp.add_argument("--scale", type=float, default=0.01)
     p_camp.add_argument("--benchmarks", nargs="*", default=None)
     p_camp.add_argument(
-        "--workload", default="suite", choices=("suite", "store"),
-        help="benchmark set: the CPU suite subset or the KV-store "
-             "request-serving programs",
+        "--workload", default="suite", choices=("suite", "store", "cluster"),
+        help="benchmark set: the CPU suite subset, the KV-store "
+             "request-serving programs, or the sharded cluster chaos "
+             "campaign (kills + partitions + message faults)",
     )
     p_camp.add_argument(
         "--trace", default=None,
@@ -706,6 +850,65 @@ def main(argv=None) -> int:
     )
     fsub.add_parser("list", help="fault classes, nested points, modes")
 
+    p_cluster = sub.add_parser(
+        "cluster", help="the resilient sharded store cluster"
+    )
+    csub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_common(p):
+        p.add_argument("--shards", type=int, default=3)
+        p.add_argument("--keyspace", type=int, default=16)
+        p.add_argument("--ops", type=int, default=36)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--backend", default=None,
+            help="persist backend per shard (must be crash-consistent; "
+                 "see `list`)",
+        )
+        p.add_argument("--mix", default="crud",
+                       choices=("crud", "ycsb-a", "ycsb-b", "ycsb-c",
+                                "ycsb-e"))
+        p.add_argument(
+            "--kills", type=int, default=2,
+            help="shard power-cuts in the generated chaos schedule",
+        )
+        p.add_argument("--transport", type=int, default=5,
+                       help="message-layer faults (drop/dup/delay)")
+        p.add_argument("--partitions", type=int, default=1)
+        p.add_argument("--msg-faults", type=int, default=2,
+                       help="machine-level message-path faults")
+        p.add_argument("--horizon", type=int, default=24,
+                       help="last epoch chaos may land on")
+
+    p_cserve = csub.add_parser(
+        "serve",
+        help="run one chaos session: routed ops, kills, recovery, "
+             "typed degradation, oracle check",
+    )
+    _cluster_common(p_cserve)
+    p_cserve.add_argument("--txn-every", type=int, default=6,
+                          help="every Nth mixed-phase PUT becomes a "
+                               "cross-shard transaction")
+    p_cserve.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (shard epochs fan out; "
+                               "results are bit-identical to --jobs 1)")
+    p_cserve.add_argument("--trace", default=None,
+                          help="JSONL session trace path")
+    p_cserve.add_argument("--no-chaos", action="store_true",
+                          help="fault-free run (sanity baseline)")
+    p_cserve.add_argument("--smoke", action="store_true",
+                          help="small fixed shape for CI smoke tests")
+
+    p_cbench = csub.add_parser(
+        "bench",
+        help="--jobs parity check + wall time for one chaos session",
+    )
+    _cluster_common(p_cbench)
+    p_cbench.add_argument(
+        "--jobs-levels", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to compare (digest must be identical)",
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "info": cmd_info,
@@ -719,6 +922,7 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "crash-sweep": cmd_crash_sweep,
         "faults": cmd_faults,
+        "cluster": cmd_cluster,
     }[args.command]
     return handler(args)
 

@@ -75,7 +75,10 @@ def percentile(values: Sequence[float], p: float) -> float:
     lo = int(rank)
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # round-off in the weighted sum can escape the bracketing order
+    # statistics by an ulp; a quantile must never exceed the max sample
+    return min(max(value, ordered[lo]), ordered[hi])
 
 
 def latency_summary(

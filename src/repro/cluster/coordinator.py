@@ -1,0 +1,789 @@
+"""The cluster coordinator: routing, retries, supervision, and 2PC.
+
+A :class:`ClusterSession` drives N store shards — each a full LightWSP
+machine with its own pluggable persist backend, executed as real worker
+processes through :mod:`repro.parallel` — in lock-step *epochs*:
+
+1. **supervise** — tick the shard state machine; shards whose darkness
+   expired rejoin (their recovery completed the interrupted batch; the
+   acks it produced in the dark are delivered now).
+2. **admit** — pending logical ops acquire their per-key locks (a
+   transaction locks all its keys; FIFO per key) and get a deadline.
+3. **dispatch** — every due sub-operation is routed over the hash ring
+   and batched per shard with a fencing sequence number
+   (``first_id = served``); batches execute via :func:`fan_out`, one
+   forked worker per busy shard.  The cluster chaos layer perturbs the
+   exchange: kills crash the machine mid-epoch, requests and acks drop,
+   delay, or duplicate, partitions silence a shard coordinator-side.
+4. **ack** — surviving acknowledgements complete sub-ops (idempotency
+   tokens make duplicates no-ops), drive the 2PC decision log, and
+   complete flights.
+5. **expire** — ops past their deadline complete with a typed error:
+   ``unavailable`` when the blamed shard is not serving (and immediately
+   when the supervisor has declared it dead — graceful degradation:
+   the dead range fails fast while every other range keeps serving),
+   ``deadline_exceeded`` when the shard is up but the retries lost the
+   race.  Writes whose application is unknown are marked indeterminate.
+
+Cross-shard multi-key writes are epoch-ordered two-phase commits over
+*shadow keys*: prepare PUTs the value under ``key + keyspace`` on the
+owner shard, the coordinator logs the commit/abort decision, and the
+commit phase PUTs the real key and DELETEs the shadow (abort just
+DELETEs the shadow).  Post-decision sub-ops retry forever — a decision,
+once logged, always drains.  No client ever reads a shadow key (scans
+are clamped to the real keyspace), so a half-prepared transaction is
+invisible by construction and a *visible* shadow key at quiesce is a
+cluster-oracle violation.
+
+Everything is deterministic in ``(workload seed, chaos schedule,
+policy)``: executor calls are pure functions fanned out per epoch and
+merged in shard order, and the JSONL trace is emitted only from the
+merged timeline — so the same seed produces a byte-identical trace at
+any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.pipeline import compile_program
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..faults.model import FaultEvent
+from ..parallel import fan_out
+from ..runtime.backend import get_backend, require_recovering
+from ..store.layout import OP_DELETE, OP_GET, OP_PUT, OP_SCAN
+from ..store.oracle import StoreModel
+from ..store.programs import Request, build_store_program
+from ..trace import NullTrace
+from .chaos import ClusterFault
+from .protocol import (
+    ABORTED,
+    DEADLINE_EXCEEDED,
+    OK,
+    UNAVAILABLE,
+    ClusterResponse,
+    RetryPolicy,
+)
+from .ring import HashRing
+from .shard import ShardState, execute_shard_epoch
+from .supervisor import Supervisor
+from .workload import LogicalOp, generate_cluster_ops
+
+__all__ = ["ClusterSession", "mix_int"]
+
+
+def mix_int(*parts) -> int:
+    """Seeded, PYTHONHASHSEED-independent integer stream."""
+    text = ":".join(str(p) for p in parts)
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:8], "big"
+    )
+
+
+@dataclass
+class _SubOp:
+    """One routed store request belonging to a logical op."""
+
+    token: int
+    index: int                  # position within the flight's phase
+    shard: int
+    request: Request
+    post_decision: bool = False  # 2PC commit/abort: retry forever
+    acked: bool = False
+    attempts: int = 0
+    next_due: int = 0
+    value: Optional[int] = None
+
+
+@dataclass
+class _Flight:
+    """A logical op in flight: its sub-ops, phase, and deadline."""
+
+    op: LogicalOp
+    admitted: int
+    deadline: int
+    phase: str                  # "single" | "prepare" | "commit" | "abort"
+    subops: List[_SubOp] = field(default_factory=list)
+    decision: str = ""          # txn only: "" | "commit" | "abort"
+    decision_epoch: int = -1
+    response: Optional[ClusterResponse] = None
+
+    @property
+    def settled(self) -> bool:
+        """Response issued and every sub-op drained (locks releasable)."""
+        return self.response is not None and all(
+            s.acked for s in self.subops
+        )
+
+    def total_attempts(self) -> int:
+        return sum(s.attempts for s in self.subops)
+
+
+class ClusterSession:
+    """One run of the resilient sharded store cluster."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        keyspace: int,
+        ops: Sequence[LogicalOp],
+        seed: int = 0,
+        backend: str = None,
+        policy: Optional[RetryPolicy] = None,
+        chaos: Sequence[ClusterFault] = (),
+        value_words: int = 2,
+        batch: int = 8,
+        vnodes: int = 16,
+        jobs: int = 1,
+        max_epochs: int = 400,
+        config: SystemConfig = DEFAULT_CONFIG,
+        trace=None,
+        verify: Optional[bool] = None,
+    ) -> None:
+        from ..store.layout import StoreLayout
+
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.keyspace = keyspace
+        self.seed = seed
+        self.backend = require_recovering(
+            get_backend(backend), "the cluster's crash-recovery supervisor"
+        )
+        self.policy = policy or RetryPolicy(seed=seed)
+        self.config = config
+        self.jobs = jobs
+        self.max_epochs = max_epochs
+        self.trace = trace if trace is not None else NullTrace()
+        # shadow keys live at key + keyspace, so the layout is sized for
+        # both halves; scans are clamped to the real half by the workload
+        sizing = StoreLayout.sized(
+            2 * keyspace, value_words=value_words, max_batch=batch
+        )
+        prog, self.layout = build_store_program(sizing, epoch_base=0)
+        self.compiled = compile_program(prog, config.compiler, verify=verify)
+        self.ring = HashRing(n_shards, vnodes)
+        self.shards = [
+            ShardState(shard=i, model=StoreModel(self.layout))
+            for i in range(n_shards)
+        ]
+        self.supervisor = Supervisor(n_shards, self.policy.shard_deadline)
+        self.pending: List[LogicalOp] = list(ops)
+        self.ops_by_token: Dict[int, LogicalOp] = {
+            op.token: op for op in self.pending
+        }
+        self.inflight: Dict[int, _Flight] = {}
+        self.locks: Dict[int, int] = {}          # key -> token
+        self.responses: Dict[int, ClusterResponse] = {}
+        self.violations: List[str] = []
+        #: ground truth: every request actually applied, in application
+        #: order per shard: (shard, global_id, token, request)
+        self.applied_log: List[Tuple[int, int, int, Request]] = []
+        self.decision_log: List[Tuple[int, int, str]] = []
+        self.epoch = 0
+        self.admit_cap = max(2, 2 * n_shards)
+        # chaos, indexed for O(1) lookup per (epoch, shard)
+        self._kills: Dict[Tuple[int, int], ClusterFault] = {}
+        self._transport: Dict[Tuple[int, int], List[ClusterFault]] = {}
+        self._partitions: List[ClusterFault] = []
+        self._msg: Dict[Tuple[int, int], List[ClusterFault]] = {}
+        for fault in chaos:
+            key = (fault.epoch, fault.shard)
+            if fault.kind == "kill":
+                self._kills[key] = fault
+            elif fault.kind == "partition":
+                self._partitions.append(fault)
+            elif fault.kind == "msg":
+                self._msg.setdefault(key, []).append(fault)
+            else:
+                self._transport.setdefault(key, []).append(fault)
+        self.chaos = list(chaos)
+        #: acks awaiting delivery: (deliver_epoch, shard, [(global_id, value)])
+        self._held: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+        #: global_id -> sub-op, for ack routing (ids are never reused)
+        self._dispatched: Dict[Tuple[int, int], _SubOp] = {}
+        self.counters: Dict[str, int] = {
+            "dispatches": 0, "retries": 0, "replays_rejected": 0,
+            "acks_dropped": 0, "acks_delayed": 0, "acks_duplicated": 0,
+            "reqs_dropped": 0, "partition_drops": 0, "kills": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_shards: int = 3,
+        keyspace: int = 16,
+        ops: int = 32,
+        seed: int = 0,
+        backend: str = None,
+        mix: str = "crud",
+        dist: str = "zipfian",
+        txn_every: int = 6,
+        chaos: Sequence[ClusterFault] = (),
+        **kwargs,
+    ) -> "ClusterSession":
+        """Session over a generated workload (the common entry point)."""
+        logical = generate_cluster_ops(
+            mix, ops, keyspace, seed=seed, dist=dist, txn_every=txn_every
+        )
+        return cls(
+            n_shards, keyspace, logical, seed=seed, backend=backend,
+            chaos=chaos, **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def owner(self, key: int) -> int:
+        """Owning shard; a shadow key lives with its real key."""
+        real = key - self.keyspace if key > self.keyspace else key
+        return self.ring.shard_for(real)
+
+    def _lock_keys(self, op: LogicalOp) -> Tuple[int, ...]:
+        if op.kind == "scan":
+            return ()
+        return op.keys
+
+    def _scan_targets(self, op: LogicalOp) -> List[int]:
+        start, count = op.keys[0], op.args[0]
+        return sorted({
+            self.owner(k) for k in range(start, start + count)
+        })
+
+    # ------------------------------------------------------------------
+    # the epoch loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self.trace.emit(
+            "cluster_start",
+            n_shards=self.n_shards, keyspace=self.keyspace,
+            backend=self.backend.name, seed=self.seed,
+            ring=self.ring.digest(), vnodes=self.ring.vnodes,
+            ops=len(self.pending),
+            policy={
+                "ack_timeout": self.policy.ack_timeout,
+                "backoff_base": self.policy.backoff_base,
+                "backoff_cap": self.policy.backoff_cap,
+                "max_attempts": self.policy.max_attempts,
+                "deadline": self.policy.deadline,
+                "shard_deadline": self.policy.shard_deadline,
+            },
+            chaos=[f.to_json() for f in self.chaos],
+            sharding="epoch executors are pure per-shard functions merged "
+                     "in shard order; --jobs never changes this trace",
+        )
+        while self.pending or self.inflight:
+            if self.epoch >= self.max_epochs:
+                self.violations.append(
+                    "cluster did not quiesce within %d epochs "
+                    "(%d pending, %d in flight)"
+                    % (self.max_epochs, len(self.pending), len(self.inflight))
+                )
+                break
+            self.step_epoch()
+        self.finalize()
+
+    def step_epoch(self) -> None:
+        e = self.epoch
+        rejoined = self.supervisor.tick(e)
+        self._deliver_held(e)
+        self._admit(e)
+        completions = self._dispatch(e)
+        completions.extend(self._expire(e))
+        self._settle_flights()
+        transitions = self.supervisor.drain_transitions()
+        if completions or transitions or rejoined:
+            self.trace.emit(
+                "cluster_epoch",
+                epoch=e,
+                rejoined=rejoined,
+                transitions=[
+                    {"epoch": te, "shard": ts, "status": st}
+                    for te, ts, st in transitions
+                ],
+                completions=[
+                    self.responses[t].to_json() for t in completions
+                ],
+            )
+        self.epoch = e + 1
+
+    # ------------------------------------------------------------------
+    def _admit(self, e: int) -> None:
+        admitted = 0
+        blocked: Set[int] = set()
+        remaining: List[LogicalOp] = []
+        for op in self.pending:
+            keys = self._lock_keys(op)
+            contended = any(k in self.locks or k in blocked for k in keys)
+            if contended or admitted >= self.admit_cap:
+                blocked.update(keys)
+                remaining.append(op)
+                continue
+            for k in keys:
+                self.locks[k] = op.token
+            self.inflight[op.token] = self._launch(op, e)
+            admitted += 1
+        self.pending = remaining
+
+    def _launch(self, op: LogicalOp, e: int) -> _Flight:
+        flight = _Flight(
+            op=op, admitted=e, deadline=e + self.policy.deadline,
+            phase="prepare" if op.kind == "txn" else "single",
+        )
+        if op.kind == "txn":
+            # phase 1: PUT each value under its shadow key on the owner
+            for i, (k, seed_val) in enumerate(zip(op.keys, op.args)):
+                shadow = k + self.keyspace
+                flight.subops.append(_SubOp(
+                    token=op.token, index=i, shard=self.owner(k),
+                    request=(OP_PUT, shadow, seed_val), next_due=e,
+                ))
+        elif op.kind == "scan":
+            start, count = op.keys[0], op.args[0]
+            for i, shard in enumerate(self._scan_targets(op)):
+                flight.subops.append(_SubOp(
+                    token=op.token, index=i, shard=shard,
+                    request=(OP_SCAN, start, count), next_due=e,
+                ))
+        else:
+            key = op.keys[0]
+            opcode = {"put": OP_PUT, "get": OP_GET, "delete": OP_DELETE}[
+                op.kind
+            ]
+            arg = op.args[0] if op.kind == "put" else 0
+            flight.subops.append(_SubOp(
+                token=op.token, index=0, shard=self.owner(key),
+                request=(opcode, key, arg), next_due=e,
+            ))
+        return flight
+
+    # ------------------------------------------------------------------
+    def _partitioned(self, shard: int, e: int) -> bool:
+        return any(
+            p.shard == shard and p.epoch <= e < p.until
+            for p in self._partitions
+        )
+
+    def _dispatch(self, e: int) -> List[int]:
+        # gather due sub-ops per serving shard, in token order
+        per_shard: Dict[int, List[_SubOp]] = {}
+        for token in sorted(self.inflight):
+            flight = self.inflight[token]
+            for sub in flight.subops:
+                if sub.acked or sub.next_due > e:
+                    continue
+                health = self.supervisor[sub.shard]
+                if not health.serving:
+                    continue  # wait for rejoin (or the deadline)
+                if not sub.post_decision and \
+                        sub.attempts >= self.policy.max_attempts:
+                    continue  # out of attempts; the deadline decides
+                per_shard.setdefault(sub.shard, []).append(sub)
+        exec_units = []
+        for shard_id in sorted(per_shard):
+            subs = per_shard[shard_id][: self.layout.max_batch]
+            for sub in subs:
+                attempt = sub.attempts
+                sub.attempts += 1
+                if attempt:
+                    self.counters["retries"] += 1
+                sub.next_due = self.policy.retry_at(sub.token, attempt, e)
+            self.counters["dispatches"] += len(subs)
+            if self._partitioned(shard_id, e):
+                self.counters["partition_drops"] += len(subs)
+                self.supervisor.observe_silence(shard_id, e)
+                continue
+            faults = self._transport.get((e, shard_id), [])
+            if any(f.kind == "drop_req" for f in faults):
+                self.counters["reqs_dropped"] += len(subs)
+                self.supervisor.observe_silence(shard_id, e)
+                continue
+            state = self.shards[shard_id]
+            first_id = state.served
+            for i, sub in enumerate(subs):
+                self._dispatched[(shard_id, first_id + i)] = sub
+            kill = self._kills.get((e, shard_id))
+            crash_step = None
+            crash_event = None
+            if kill is not None:
+                crash_step = 1 + mix_int(
+                    self.seed, "kill", e, shard_id
+                ) % (60 * len(subs))
+                crash_event = FaultEvent(kind="cut", step=crash_step)
+                self.counters["kills"] += 1
+            msg_events = [
+                FaultEvent(
+                    kind="msg", step=1, op=f.op, mc=f.mc, delay=f.delay
+                )
+                for f in self._msg.get((e, shard_id), [])
+            ]
+            exec_units.append({
+                "shard": shard_id,
+                "subs": subs,
+                "first_id": first_id,
+                "requests": [s.request for s in subs],
+                "crash_step": crash_step,
+                "crash_event": crash_event,
+                "msg": msg_events,
+                "kill": kill,
+                "faults": faults,
+            })
+
+        # the actual shard work: pure executors over worker processes
+        layout, compiled, config = self.layout, self.compiled, self.config
+        backend_name = self.backend.name
+        shard_states = self.shards
+
+        def unit_worker(unit):
+            state = shard_states[unit["shard"]]
+            return execute_shard_epoch(
+                unit["shard"], compiled, layout,
+                state.image, state.served, unit["requests"],
+                unit["first_id"], state.model, backend_name,
+                config=config, crash_step=unit["crash_step"],
+                crash_event=unit["crash_event"], msg_faults=unit["msg"],
+            )
+        results = fan_out(
+            unit_worker, exec_units, jobs=self.jobs, label="cluster-epoch"
+        )
+
+        completions: List[int] = []
+        for unit, result in zip(exec_units, results):
+            completions.extend(self._merge(e, unit, result))
+
+        # a power cut strikes whether or not a batch was in flight: a
+        # kill on an idle (or partitioned/dropped) exchange still takes
+        # the shard dark — there is just no interrupted batch to resume
+        executed = {u["shard"] for u in exec_units}
+        for (fe, fs), kill in sorted(self._kills.items()):
+            if fe != e or fs in executed or not self.supervisor[fs].serving:
+                continue
+            self.counters["kills"] += 1
+            self.supervisor.observe_crash(fs, e, kill.down_for)
+            self.shards[fs].crashes += 1
+            self.trace.emit(
+                "shard_kill", epoch=e, shard=fs, step=0,
+                down_for=kill.down_for, acked_before_cut=0,
+                completed_in_dark=0,
+            )
+        return completions
+
+    # ------------------------------------------------------------------
+    def _merge(self, e: int, unit: Dict, result) -> List[int]:
+        shard_id = unit["shard"]
+        state = self.shards[shard_id]
+        subs: List[_SubOp] = unit["subs"]
+        first_id: int = unit["first_id"]
+        requests: List[Request] = unit["requests"]
+        self.violations.extend(result.violations)
+        if result.outcome == "replay_rejected":
+            # a live dispatch must always be at the shard's fence; the
+            # dup_req chaos path exercises the fence via _replay_probe
+            state.replays_rejected += 1
+            self.counters["replays_rejected"] += 1
+            self.violations.append(
+                "shard %d epoch %d: live dispatch at id %d was fenced "
+                "(coordinator sequencing bug)" % (shard_id, e, first_id)
+            )
+            return []
+
+        # advance the ground truth: the batch is applied in full (a cut
+        # resumes and completes on recovery — whole-system persistence)
+        want = state.model.apply_all(requests)
+        if result.results != want:
+            self.violations.append(
+                "shard %d epoch %d: durable results %r diverge from "
+                "model %r" % (shard_id, e, result.results, want)
+            )
+        state.image = result.image
+        state.served += len(requests)
+        state.epochs += 1
+        state.steps += result.steps
+        for k, v in result.fault_counters.items():
+            state.fault_counters[k] = state.fault_counters.get(k, 0) + v
+        for i, sub in enumerate(subs):
+            self.applied_log.append(
+                (shard_id, first_id + i, sub.token, requests[i])
+            )
+
+        acks = [
+            (first_id + p, result.results[p]) for p in result.acked_local
+        ]
+        late = [
+            (first_id + p, result.results[p]) for p in result.late_local
+        ]
+        if result.outcome == "crashed":
+            state.crashes += 1
+            kill: ClusterFault = unit["kill"]
+            self.supervisor.observe_crash(shard_id, e, kill.down_for)
+            if late:
+                # completed in the dark; delivered at the rejoin
+                self._held.append((e + kill.down_for, shard_id, late))
+            self.trace.emit(
+                "shard_kill", epoch=e, shard=shard_id,
+                step=result.crash_step, down_for=kill.down_for,
+                acked_before_cut=len(acks), completed_in_dark=len(late),
+            )
+
+        # transport faults on the ack path
+        dup = False
+        for fault in unit["faults"]:
+            if fault.kind == "drop_ack":
+                self.counters["acks_dropped"] += len(acks)
+                acks = []
+            elif fault.kind == "delay_ack":
+                self.counters["acks_delayed"] += len(acks)
+                self._held.append((e + max(1, fault.delay), shard_id, acks))
+                acks = []
+            elif fault.kind == "dup_ack":
+                dup = True
+        if not acks and result.outcome == "ok":
+            self.supervisor.observe_silence(shard_id, e)
+        completions: List[int] = []
+        for rounds in range(2 if dup else 1):
+            if rounds:
+                self.counters["acks_duplicated"] += len(acks)
+            for global_id, value in acks:
+                completions.extend(
+                    self._deliver_ack(shard_id, global_id, value, e)
+                )
+        for fault in unit["faults"]:
+            if fault.kind == "dup_req":
+                self._replay_probe(shard_id, requests, first_id, e)
+        return completions
+
+    def _replay_probe(
+        self, shard_id: int, requests: List[Request], first_id: int, e: int
+    ) -> None:
+        """A duplicated batch delivery: the shard's sequence fence must
+        reject it (its ``served`` has moved past ``first_id``)."""
+        state = self.shards[shard_id]
+        probe = execute_shard_epoch(
+            shard_id, self.compiled, self.layout,
+            state.image, state.served, requests, first_id, state.model,
+            self.backend.name, config=self.config,
+        )
+        if probe.outcome != "replay_rejected":
+            self.violations.append(
+                "shard %d epoch %d: duplicated batch at id %d was "
+                "re-applied instead of fenced" % (shard_id, e, first_id)
+            )
+            return
+        state.replays_rejected += 1
+        self.counters["replays_rejected"] += 1
+        self.trace.emit(
+            "replay_rejected", epoch=e, shard=shard_id, first_id=first_id
+        )
+
+    # ------------------------------------------------------------------
+    def _deliver_held(self, e: int) -> None:
+        due = [h for h in self._held if h[0] <= e]
+        if not due:
+            return
+        self._held = [h for h in self._held if h[0] > e]
+        completions: List[int] = []
+        for _, shard_id, acks in sorted(due, key=lambda h: (h[0], h[1])):
+            for global_id, value in acks:
+                completions.extend(
+                    self._deliver_ack(shard_id, global_id, value, e)
+                )
+        for token in completions:
+            self.trace.emit(
+                "late_completion", epoch=e,
+                response=self.responses[token].to_json(),
+            )
+
+    def _deliver_ack(
+        self, shard_id: int, global_id: int, value: int, e: int
+    ) -> List[int]:
+        self.supervisor.observe_ack(shard_id, e)
+        sub = self._dispatched.get((shard_id, global_id))
+        if sub is None or sub.acked:
+            return []  # duplicate or superseded: the token absorbs it
+        sub.acked = True
+        sub.value = value
+        flight = self.inflight.get(sub.token)
+        if flight is None or flight.response is not None:
+            return []
+        return self._advance_flight(flight, e)
+
+    # ------------------------------------------------------------------
+    # flight state machine
+    # ------------------------------------------------------------------
+    def _advance_flight(self, flight: _Flight, e: int) -> List[int]:
+        if not all(s.acked for s in flight.subops):
+            return []
+        op = flight.op
+        if flight.phase == "single":
+            if op.kind == "scan":
+                value = sum(s.value or 0 for s in flight.subops)
+            else:
+                value = flight.subops[0].value
+            return self._respond(flight, OK, e, value=value)
+        if flight.phase == "prepare":
+            self._decide(flight, "commit", e)
+            return []
+        if flight.phase == "commit":
+            return self._respond(flight, OK, e)
+        return self._respond(flight, ABORTED, e)
+
+    def _decide(self, flight: _Flight, decision: str, e: int) -> None:
+        """Log a 2PC decision and launch its post-decision phase; the
+        phase's sub-ops retry forever — the decision always drains."""
+        op = flight.op
+        flight.decision = decision
+        flight.decision_epoch = e
+        flight.phase = decision
+        self.decision_log.append((e, op.token, decision))
+        self.trace.emit(
+            "txn_decision", epoch=e, token=op.token, decision=decision,
+            keys=list(op.keys),
+        )
+        subops: List[_SubOp] = []
+        for i, (k, seed_val) in enumerate(zip(op.keys, op.args)):
+            shadow = k + self.keyspace
+            shard = self.owner(k)
+            if decision == "commit":
+                subops.append(_SubOp(
+                    token=op.token, index=2 * i, shard=shard,
+                    request=(OP_PUT, k, seed_val),
+                    post_decision=True, next_due=e + 1,
+                ))
+                subops.append(_SubOp(
+                    token=op.token, index=2 * i + 1, shard=shard,
+                    request=(OP_DELETE, shadow, 0),
+                    post_decision=True, next_due=e + 1,
+                ))
+            else:
+                subops.append(_SubOp(
+                    token=op.token, index=i, shard=shard,
+                    request=(OP_DELETE, shadow, 0),
+                    post_decision=True, next_due=e + 1,
+                ))
+        flight.subops = subops
+
+    def _respond(
+        self,
+        flight: _Flight,
+        status: str,
+        e: int,
+        value: Optional[int] = None,
+        shard: int = -1,
+        indeterminate: bool = False,
+    ) -> List[int]:
+        token = flight.op.token
+        flight.response = ClusterResponse(
+            token=token, status=status, value=value, shard=shard,
+            attempts=flight.total_attempts(), epoch=e,
+            indeterminate=indeterminate,
+        )
+        self.responses[token] = flight.response
+        return [token]
+
+    def _settle_flights(self) -> List[int]:
+        """Release locks and retire flights whose response is out and
+        whose sub-ops have drained."""
+        done = [t for t, f in self.inflight.items() if f.settled]
+        for token in sorted(done):
+            flight = self.inflight.pop(token)
+            for k in self._lock_keys(flight.op):
+                if self.locks.get(k) == token:
+                    del self.locks[k]
+        return []
+
+    # ------------------------------------------------------------------
+    def _expire(self, e: int) -> List[int]:
+        """Deadlines and fail-fast degradation."""
+        completions: List[int] = []
+        for token in sorted(self.inflight):
+            flight = self.inflight[token]
+            if flight.response is not None:
+                continue
+            op = flight.op
+            # fail fast: a declared-dead shard degrades its whole key
+            # range immediately — no point burning the client's deadline
+            dead = [
+                s.shard for s in flight.subops
+                if not s.acked and self.supervisor[s.shard].declared_dead
+            ]
+            if dead and flight.phase == "prepare":
+                self._decide(flight, "abort", e)
+                continue
+            if dead and flight.phase == "single":
+                indeterminate = op.is_write and any(
+                    s.attempts and not s.acked for s in flight.subops
+                )
+                # cancel undone work so nothing lands after the verdict
+                flight.subops = [s for s in flight.subops if s.acked]
+                completions.extend(self._respond(
+                    flight, UNAVAILABLE, e, shard=dead[0],
+                    indeterminate=indeterminate,
+                ))
+                continue
+            if e < flight.deadline or flight.phase in ("commit", "abort"):
+                continue  # post-decision phases always drain
+            if flight.phase == "prepare":
+                self._decide(flight, "abort", e)
+                continue
+            blamed = next(
+                (s for s in flight.subops if not s.acked), flight.subops[0]
+            )
+            status = (
+                DEADLINE_EXCEEDED
+                if self.supervisor[blamed.shard].serving
+                else UNAVAILABLE
+            )
+            indeterminate = op.is_write and any(
+                s.attempts and not s.acked for s in flight.subops
+            )
+            flight.subops = [s for s in flight.subops if s.acked]
+            completions.extend(self._respond(
+                flight, status, e, shard=blamed.shard,
+                indeterminate=indeterminate,
+            ))
+        return completions
+
+    # ------------------------------------------------------------------
+    # the end of the run
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for state in self.shards:
+            h.update(
+                ("%d:%s:%d;" % (state.shard, state.image_digest(),
+                                state.served)).encode()
+            )
+        for token in sorted(self.responses):
+            r = self.responses[token]
+            h.update(
+                ("%d=%s:%s:%d;" % (token, r.status, r.value,
+                                   r.epoch)).encode()
+            )
+        return h.hexdigest()[:16]
+
+    def finalize(self) -> None:
+        from .oracle import check_cluster
+
+        self.violations.extend(check_cluster(self))
+        self.trace.emit(
+            "cluster_end",
+            epochs=self.epoch,
+            responses={
+                str(t): self.responses[t].to_json()
+                for t in sorted(self.responses)
+            },
+            violations=self.violations,
+            counters=self.counters,
+            shards=[
+                {
+                    "shard": s.shard, "served": s.served,
+                    "epochs": s.epochs, "crashes": s.crashes,
+                    "image": s.image_digest(),
+                }
+                for s in self.shards
+            ],
+            digest=self.digest(),
+        )

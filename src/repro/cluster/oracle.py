@@ -1,0 +1,171 @@
+"""The cluster-level oracle: zero acked-write loss and 2PC atomicity.
+
+Checked at quiesce, against two independent sources of truth:
+
+* the **applied log** — every store request a shard actually executed,
+  in application order, recorded as batches merged (the ground truth a
+  real cluster does not have; the simulation does, which is the point);
+* the **client's view** — the typed responses per idempotency token.
+
+The theorem, cluster edition:
+
+1. **Shard honesty.**  Replaying each shard's applied log through a
+   fresh :class:`~repro.store.StoreModel` reproduces exactly the visible
+   state of its final durable image (no dirty, torn, or lost state at
+   any shard — whatever kills, partitions, and message faults ran).
+2. **Zero acked-write loss.**  Every write the client saw succeed
+   (status ``ok``) was applied; since the final value of every key is by
+   (1) the last *applied* write, an acknowledged write can only be
+   superseded by another applied — i.e. legitimately issued — write,
+   never silently dropped.
+3. **No phantom writes.**  A write that failed *determinately* (the
+   coordinator proved no dispatch could have reached a shard) appears
+   nowhere in the applied log; only ``indeterminate`` failures may have
+   landed.
+4. **Transaction atomicity.**  A committed transaction's every real-key
+   PUT is applied; an aborted transaction touched no real key at all
+   (its prepares live under shadow keys); and no shadow key is visible
+   anywhere at quiesce — so no client-visible half-commit exists after
+   any shard-kill schedule.
+5. **Completion.**  Every admitted token carries exactly one response
+   (idempotent retries never double-complete) and nothing is left in
+   flight.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from ..store.layout import OP_DELETE, OP_PUT
+from ..store.oracle import StoreModel, visible_state
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coordinator import ClusterSession
+
+__all__ = ["check_cluster"]
+
+
+def check_cluster(session: "ClusterSession") -> List[str]:
+    """Run the full cluster oracle; returns violation descriptions
+    (empty = the theorem holds)."""
+    violations: List[str] = []
+    keyspace = session.keyspace
+    layout = session.layout
+
+    # (1) shard honesty: independent replay of the applied log
+    per_shard: Dict[int, List] = {s.shard: [] for s in session.shards}
+    for shard_id, _gid, _token, request in session.applied_log:
+        per_shard[shard_id].append(request)
+    for state in session.shards:
+        replay = StoreModel(layout)
+        replay.apply_all(per_shard[state.shard])
+        visible, problems = visible_state(state.image, layout)
+        violations.extend(
+            "shard %d final: %s" % (state.shard, p) for p in problems
+        )
+        if visible != replay.kv:
+            diffs = sorted(
+                k for k in set(visible) | set(replay.kv)
+                if visible.get(k) != replay.kv.get(k)
+            )
+            violations.append(
+                "shard %d: visible state diverges from its applied log "
+                "at keys %s" % (state.shard, diffs[:6])
+            )
+        # (4, part) no shadow key survives quiesce
+        shadows = sorted(k for k in visible if k > keyspace)
+        if shadows:
+            violations.append(
+                "shard %d: shadow keys %s visible at quiesce "
+                "(2PC half-commit left behind)" % (state.shard, shadows[:6])
+            )
+
+    applied_tokens: Set[int] = {t for _, _, t, _ in session.applied_log}
+
+    # (5) completion: one response per admitted token, nothing in flight
+    if session.inflight:
+        violations.append(
+            "tokens still in flight at quiesce: %s"
+            % sorted(session.inflight)[:6]
+        )
+    admitted = applied_tokens | set(session.responses) | set(
+        session.inflight
+    )
+    unanswered = sorted(admitted - set(session.responses))
+    if unanswered:
+        violations.append(
+            "tokens never completed: %s" % unanswered[:6]
+        )
+
+    flights_by_token = {
+        t: session.responses[t] for t in session.responses
+    }
+
+    # (2) zero acked-write loss + (3) no phantom writes
+    for token, resp in sorted(flights_by_token.items()):
+        if resp.status == "ok":
+            continue
+        # a determinately-failed write must not have landed anywhere
+        if not resp.indeterminate and resp.status in (
+            "unavailable", "deadline_exceeded"
+        ):
+            wrote = [
+                (s, g) for s, g, t, req in session.applied_log
+                if t == token and req[0] in (OP_PUT, OP_DELETE)
+                and req[1] <= keyspace
+            ]
+            if wrote:
+                violations.append(
+                    "token %d failed %s (determinate) but its write was "
+                    "applied at %s" % (token, resp.status, wrote[:3])
+                )
+
+    # (4) transaction atomicity against the decision log
+    decisions = {token: d for _, token, d in session.decision_log}
+    txn_tokens = set(decisions)
+    for token in sorted(txn_tokens):
+        decision = decisions[token]
+        resp = session.responses.get(token)
+        real_puts = [
+            req for _, _, t, req in session.applied_log
+            if t == token and req[0] == OP_PUT and req[1] <= keyspace
+        ]
+        if decision == "commit":
+            if resp is None or resp.status != "ok":
+                violations.append(
+                    "txn %d: committed but client saw %s"
+                    % (token, resp.status if resp else "nothing")
+                )
+            # every participant's real-key PUT drained at least once
+            flight_keys = {req[1] for req in real_puts}
+            want = _txn_keys(session, token)
+            missing = sorted(want - flight_keys)
+            if missing:
+                violations.append(
+                    "txn %d: committed but keys %s never received their "
+                    "PUT (half-commit)" % (token, missing)
+                )
+        else:
+            if real_puts:
+                violations.append(
+                    "txn %d: aborted but applied real-key PUTs %s"
+                    % (token, sorted({r[1] for r in real_puts}))
+                )
+            if resp is not None and resp.status == "ok":
+                violations.append(
+                    "txn %d: aborted but client saw ok" % token
+                )
+    return violations
+
+
+def _txn_keys(session: "ClusterSession", token: int) -> Set[int]:
+    """The transaction's key set — the workload op is the authority."""
+    op = session.ops_by_token.get(token)
+    if op is not None:
+        return set(op.keys)
+    # fall back to the prepare-phase shadow writes
+    return {
+        req[1] - session.keyspace
+        for _, _, t, req in session.applied_log
+        if t == token and req[0] == OP_PUT and req[1] > session.keyspace
+    }

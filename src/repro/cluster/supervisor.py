@@ -1,0 +1,152 @@
+"""The shard supervisor: crash detection, declared death, and rejoin.
+
+A small explicit state machine per shard, ticked once per cluster epoch:
+
+::
+
+            ack received                observe_crash(down_for)
+      UP <---------------- SUSPECT              |
+      | \\                     ^                 v
+      |  \\  dispatch got      |               DOWN ---- down past ----> DEAD
+      |   `- no response -----'                 |     shard_deadline      |
+      |                                         |                         |
+      |            down_for elapsed             v                         |
+      `<------------- RECOVERING <--------------+<------------------------'
+
+* **UP** — serving; batches are dispatched normally.
+* **SUSPECT** — a dispatched batch produced no acknowledgement (dropped
+  acks, a partition): the shard may be fine; dispatch continues, the
+  client layer's retries carry the load.  One ack clears suspicion.
+* **DOWN** — a crash was observed (the dispatch RPC failed mid-epoch).
+  No dispatch; in-flight ops wait for the rejoin or their deadlines.
+* **DEAD** — down longer than ``RetryPolicy.shard_deadline``: the
+  supervisor declares the shard's key range *degraded* and the router
+  fails its requests fast with typed ``Unavailable`` instead of letting
+  every client burn its full deadline.  Other ranges keep serving.
+* **RECOVERING** — power restored this epoch: LightWSP recovery resumes
+  the interrupted batch; the acks it completes in the dark are delivered
+  now.  The shard serves again next epoch.
+
+Every transition is recorded (and emitted into the cluster trace) so a
+chaos run's supervision history replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "UP",
+    "SUSPECT",
+    "DOWN",
+    "DEAD",
+    "RECOVERING",
+    "ShardHealth",
+    "Supervisor",
+]
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+DEAD = "dead"
+RECOVERING = "recovering"
+
+
+@dataclass
+class ShardHealth:
+    """Supervision state of one shard."""
+
+    shard: int
+    status: str = UP
+    since: int = 0              # epoch the current status was entered
+    down_until: int = 0         # epoch power returns (DOWN/DEAD only)
+    crashes: int = 0
+    transitions: List[Tuple[int, str]] = field(default_factory=list)
+
+    def _move(self, epoch: int, status: str) -> None:
+        if status == self.status:
+            return
+        self.status = status
+        self.since = epoch
+        self.transitions.append((epoch, status))
+
+    @property
+    def serving(self) -> bool:
+        return self.status in (UP, SUSPECT)
+
+    @property
+    def declared_dead(self) -> bool:
+        return self.status == DEAD
+
+
+class Supervisor:
+    """Watches every shard; drives DOWN -> DEAD -> RECOVERING -> UP."""
+
+    def __init__(self, n_shards: int, shard_deadline: int) -> None:
+        self.shard_deadline = shard_deadline
+        self.health = [ShardHealth(shard=i) for i in range(n_shards)]
+
+    def __getitem__(self, shard: int) -> ShardHealth:
+        return self.health[shard]
+
+    # ------------------------------------------------------------------
+    # observations (coordinator-side evidence)
+    # ------------------------------------------------------------------
+    def observe_crash(self, shard: int, epoch: int, down_for: int) -> None:
+        """The dispatch to ``shard`` failed mid-epoch: power was cut.
+        The shard stays dark for ``down_for`` epochs."""
+        h = self.health[shard]
+        h.crashes += 1
+        h.down_until = epoch + max(1, down_for)
+        h._move(epoch, DOWN)
+
+    def observe_silence(self, shard: int, epoch: int) -> None:
+        """A dispatched batch produced no acknowledgement (ack loss or a
+        partition) — suspicion, not a verdict."""
+        h = self.health[shard]
+        if h.status == UP:
+            h._move(epoch, SUSPECT)
+
+    def observe_ack(self, shard: int, epoch: int) -> None:
+        """Any acknowledgement from a suspect shard clears suspicion."""
+        h = self.health[shard]
+        if h.status == SUSPECT:
+            h._move(epoch, UP)
+
+    # ------------------------------------------------------------------
+    # the per-epoch tick
+    # ------------------------------------------------------------------
+    def tick(self, epoch: int) -> List[int]:
+        """Advance timers.  Returns the shards that rejoin *this* epoch
+        (entered RECOVERING; their dark-window acks are deliverable now;
+        they serve again from the next epoch)."""
+        rejoined: List[int] = []
+        for h in self.health:
+            if h.status == RECOVERING:
+                h._move(epoch, UP)
+            elif h.status in (DOWN, DEAD):
+                if epoch >= h.down_until:
+                    h._move(epoch, RECOVERING)
+                    rejoined.append(h.shard)
+                elif (
+                    h.status == DOWN
+                    and epoch - h.since >= self.shard_deadline
+                ):
+                    # declared dead: the router degrades this key range
+                    h._move(epoch, DEAD)
+        return rejoined
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, str]:
+        return {h.shard: h.status for h in self.health}
+
+    def drain_transitions(self) -> List[Tuple[int, int, str]]:
+        """All (epoch, shard, status) transitions so far, in epoch order,
+        clearing the per-shard logs (trace emission)."""
+        out: List[Tuple[int, int, str]] = []
+        for h in self.health:
+            out.extend((e, h.shard, s) for e, s in h.transitions)
+            h.transitions.clear()
+        out.sort()
+        return out

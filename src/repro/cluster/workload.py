@@ -1,0 +1,120 @@
+"""Logical client operations for the cluster: the store workload lifted
+one level up, plus cross-shard multi-key transactions.
+
+A :class:`LogicalOp` is what a *client* asks the cluster — keyed by an
+idempotency token, routed by the coordinator, possibly fanned out over
+several shards — as opposed to a shard-level :data:`repro.store.Request`
+which is one already-routed store opcode.  Kinds:
+
+* ``put`` / ``get`` / ``delete`` — single-key, one shard;
+* ``scan`` — a contiguous key range summed across every shard that owns
+  part of it (scatter-gather read; weakly consistent, takes no locks);
+* ``txn`` — an atomic multi-key PUT across 2..3 keys, usually spanning
+  shards, executed by the coordinator as a two-phase commit over shadow
+  keys (see DESIGN.md "Cluster").
+
+Generation reuses the seeded store workload generator so the cluster
+inherits the YCSB mixes and key distributions, then lifts every ``ops``
+request into a logical op and replaces every ``txn_every``-th PUT with a
+multi-put transaction whose keys are drawn fresh (seeded, distinct).
+Same ``(mix, ops, keyspace, seed, dist, txn_every)`` -> same op list,
+independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..store.layout import OP_DELETE, OP_GET, OP_PUT, OP_SCAN
+from ..store.workload import MAX_SEED, generate_workload
+
+__all__ = ["LogicalOp", "OP_KINDS", "generate_cluster_ops"]
+
+OP_KINDS: Tuple[str, ...] = ("put", "get", "delete", "scan", "txn")
+
+_KIND_OF = {OP_PUT: "put", OP_GET: "get", OP_DELETE: "delete", OP_SCAN: "scan"}
+
+#: keys per multi-put transaction (2PC participants)
+TXN_KEYS = (2, 3)
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """One client-level operation, identified by its idempotency token.
+
+    ``keys``/``args`` by kind: ``put`` -> ``(key,)``/``(seed,)``;
+    ``get``/``delete`` -> ``(key,)``/``()``; ``scan`` ->
+    ``(start,)``/``(count,)``; ``txn`` -> ``(k1..kn)``/``(s1..sn)``.
+    """
+
+    token: int
+    kind: str
+    keys: Tuple[int, ...]
+    args: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError("unknown op kind %r" % (self.kind,))
+        if not self.keys:
+            raise ValueError("op needs at least one key")
+        if self.kind in ("put", "txn") and len(self.args) != len(self.keys):
+            raise ValueError("%s needs one seed per key" % self.kind)
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("put", "delete", "txn")
+
+    def to_json(self) -> Dict:
+        return {
+            "token": self.token, "kind": self.kind,
+            "keys": list(self.keys), "args": list(self.args),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "LogicalOp":
+        return cls(
+            token=data["token"], kind=data["kind"],
+            keys=tuple(data["keys"]), args=tuple(data["args"]),
+        )
+
+
+def generate_cluster_ops(
+    mix: str,
+    ops: int,
+    keyspace: int,
+    seed: int = 0,
+    dist: str = "zipfian",
+    txn_every: int = 8,
+) -> List[LogicalOp]:
+    """The cluster workload: the store's load phase + mixed phase lifted
+    to logical ops, with every ``txn_every``-th mixed PUT upgraded to a
+    cross-shard multi-put transaction (``txn_every <= 0`` disables
+    transactions)."""
+    base = generate_workload(mix, ops, keyspace, seed=seed, dist=dist)
+    rng = random.Random(seed * 2654435761 + 97)
+    out: List[LogicalOp] = []
+    puts_seen = 0
+    for op, key, arg in base:
+        token = len(out)
+        kind = _KIND_OF[op]
+        in_mixed_phase = token >= keyspace
+        if kind == "put" and in_mixed_phase:
+            puts_seen += 1
+            if txn_every > 0 and puts_seen % txn_every == 0:
+                n = TXN_KEYS[rng.randrange(len(TXN_KEYS))]
+                keys = rng.sample(range(1, keyspace + 1), n)
+                seeds = tuple(rng.randint(1, MAX_SEED) for _ in keys)
+                out.append(LogicalOp(token, "txn", tuple(keys), seeds))
+                continue
+        if kind == "put":
+            out.append(LogicalOp(token, "put", (key,), (arg,)))
+        elif kind == "scan":
+            # clamp the range inside the real keyspace so a scan can
+            # never observe a transaction's transient shadow keys
+            count = min(arg, keyspace - key + 1)
+            out.append(LogicalOp(token, "scan", (key,), (max(1, count),)))
+        else:
+            out.append(LogicalOp(token, kind, (key,)))
+    return out

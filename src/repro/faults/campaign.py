@@ -503,16 +503,11 @@ def run_campaign(
     ``worker_timeout`` kills any shard that exceeds the budget (seconds)
     and raises a diagnostic instead of hanging."""
     from ..parallel import fan_out
-    from ..runtime.backend import get_backend
+    from ..runtime.backend import get_backend, require_recovering
 
-    backend = get_backend(backend)
-    if not backend.recovers:
-        raise ValueError(
-            "backend %r is not crash-consistent by design; the "
-            "differential campaign oracle would flag every scenario. "
-            "Use `repro compare` to quantify its divergence instead."
-            % backend.name
-        )
+    backend = require_recovering(
+        get_backend(backend), "the differential campaign oracle"
+    )
     fault_classes = tuple(
         fc for fc in FAULT_CLASSES if fc in backend.fault_classes
     )

@@ -26,10 +26,17 @@ compiled programs available without pickling the inputs; results travel
 back through a queue and must be picklable).  A shard whose process
 dies without delivering a result (OOM-kill, SIGKILL, a crashed
 interpreter) is retried once in a fresh process; a shard that exceeds
-``timeout`` seconds is killed and reported as :class:`WorkerTimeout`
-with a diagnostic — never a silent hang.  When ``jobs <= 1``, ``fork``
-is unavailable (or ``REPRO_PARALLEL_FORCE_SERIAL=1``), everything runs
-serially in-process: same worker, same order, same results.
+``timeout`` seconds has its worker **killed first** and is then retried
+once in a fresh process — a second overrun raises
+:class:`WorkerTimeout` with a diagnostic, never a silent hang.  Every
+queued result is tagged with the attempt that produced it, so a
+merely-slow (not dead) first attempt that managed to enqueue its result
+in the instant before the kill can never race the retry: stale-attempt
+results are discarded (counted in ``PoolStats.stale_results``), and the
+shard's result always comes from the attempt the parent believes is
+current.  When ``jobs <= 1``, ``fork`` is unavailable (or
+``REPRO_PARALLEL_FORCE_SERIAL=1``), everything runs serially
+in-process: same worker, same order, same results.
 
 Chaos hook (used by the robustness tests, in the spirit of
 ``repro.faults``): ``REPRO_PARALLEL_KILL="<shard>:<attempt>[,...]"``
@@ -84,8 +91,9 @@ class WorkerError(RuntimeError):
 
 
 class WorkerTimeout(RuntimeError):
-    """A shard exceeded its time budget; the worker was killed and this
-    diagnostic raised instead of hanging the harness."""
+    """A shard exceeded its time budget on both attempts; each overrun
+    worker was killed and this diagnostic raised instead of hanging the
+    harness."""
 
 
 @dataclass
@@ -99,6 +107,8 @@ class PoolStats:
     mode: str = "serial"          # "serial" | "fork"
     retries: int = 0
     worker_deaths: int = 0
+    timeouts: int = 0             # workers killed for exceeding the budget
+    stale_results: int = 0        # results from a superseded attempt
 
 
 #: stats of the most recent pool invocation in this process (test +
@@ -151,13 +161,13 @@ def _shard_main(worker, shard_id: int, shard: Any,
     if (shard_id, attempt) in _chaos_kill_set():
         os.kill(os.getpid(), signal.SIGKILL)
     try:
-        queue.put((shard_id, "ok", worker(shard)))
+        queue.put((shard_id, attempt, "ok", worker(shard)))
     except BaseException as exc:
         try:
             payload = pickle.dumps(exc)
-            queue.put((shard_id, "exc", payload))
+            queue.put((shard_id, attempt, "exc", payload))
         except Exception:
-            queue.put((shard_id, "err", traceback.format_exc()))
+            queue.put((shard_id, attempt, "err", traceback.format_exc()))
 
 
 @dataclass
@@ -269,21 +279,37 @@ def run_shards(
             while pending and len(live) < jobs:
                 spawn(pending.pop(0))
             try:
-                shard_id, status, payload = queue.get(timeout=_POLL_S)
+                shard_id, attempt, status, payload = \
+                    queue.get(timeout=_POLL_S)
             except Empty:  # no result yet — check worker health
                 now = time.monotonic()
                 for shard_id, entry in list(live.items()):
-                    if timeout is not None and now - entry.started > timeout:
-                        entry.process.kill()
-                        reap(shard_id)
-                        raise WorkerTimeout(
-                            "%s shard %d (attempt %d) exceeded its %.1fs "
-                            "budget and was killed; partial results were "
-                            "discarded" % (label, shard_id,
-                                           entry.attempt, timeout)
-                        )
                     if entry.process.is_alive():
+                        if timeout is not None \
+                                and now - entry.started > timeout:
+                            # Kill the stale worker FIRST — the retry
+                            # must never share the machine with its
+                            # predecessor, and any result the
+                            # predecessor slipped into the queue is
+                            # dropped by the attempt tag below.
+                            entry.process.kill()
+                            reap(shard_id)
+                            stats.timeouts += 1
+                            if attempts[shard_id] == 0:
+                                attempts[shard_id] = 1
+                                stats.retries += 1
+                                spawn(shard_id)
+                                continue
+                            raise WorkerTimeout(
+                                "%s shard %d (attempt %d) exceeded its "
+                                "%.1fs budget and was killed; partial "
+                                "results were discarded"
+                                % (label, shard_id, entry.attempt, timeout)
+                            )
                         continue
+                    # a worker that died (rather than overran) is always
+                    # reported as a death, even if it also sat past the
+                    # budget while the parent was looking elsewhere
                     # the process is gone; give an already-queued result
                     # a grace window to drain before declaring a death
                     if entry.dead_since is None:
@@ -303,6 +329,11 @@ def run_shards(
                             "%s shard %d died twice (last exit code %s); "
                             "giving up" % (label, shard_id, exitcode)
                         )
+                continue
+            if attempt != attempts[shard_id]:
+                # a late duplicate from a killed/superseded attempt —
+                # the retry owns this shard now; discard the straggler
+                stats.stale_results += 1
                 continue
             reap(shard_id)
             if status == "ok":

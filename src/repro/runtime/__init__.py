@@ -15,7 +15,13 @@ Consumers resolve backends through :func:`get_backend`; the registry
 lives in :mod:`repro.runtime.backends`.
 """
 
-from .backend import ALIASES, BACKENDS, PersistBackend, get_backend
+from .backend import (
+    ALIASES,
+    BACKENDS,
+    PersistBackend,
+    get_backend,
+    require_recovering,
+)
 from .backends import (
     CAPRI,
     CWSP,
@@ -39,6 +45,7 @@ __all__ = [
     "BACKENDS",
     "PersistBackend",
     "get_backend",
+    "require_recovering",
     "CAPRI",
     "CWSP",
     "LIGHTWSP",

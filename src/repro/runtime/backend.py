@@ -31,7 +31,14 @@ from typing import Dict, Tuple, Type
 from .policy import SchemePolicy
 from .runtime import PersistRuntime
 
-__all__ = ["PersistBackend", "BACKENDS", "ALIASES", "get_backend", "register"]
+__all__ = [
+    "PersistBackend",
+    "BACKENDS",
+    "ALIASES",
+    "get_backend",
+    "register",
+    "require_recovering",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +110,21 @@ def get_backend(spec=None) -> PersistBackend:
         "unknown backend %r (available: %s)"
         % (spec, ", ".join(sorted(BACKENDS)))
     )
+
+
+def require_recovering(backend: PersistBackend, harness: str) -> PersistBackend:
+    """Gate a crash-injecting harness on the backend's capability flag.
+
+    Every harness that power-cuts a machine and then checks an
+    acked-write/differential oracle needs a scheme that actually upholds
+    the crash-consistency theorem; for the others (PSP, memory-mode) the
+    oracle would flag every scenario by design, which is noise, not
+    signal.  Raises ``ValueError`` with a uniform explanation."""
+    if not backend.recovers:
+        raise ValueError(
+            "backend %r is not crash-consistent by design — it loses "
+            "acked writes at a power cut; %s requires a crash-consistent "
+            "backend. Use `repro compare` to quantify its divergence "
+            "instead." % (backend.name, harness)
+        )
+    return backend

@@ -27,9 +27,21 @@ from .layout import (
     StoreLayout,
     checksum,
 )
-from .oracle import StoreModel, check_recovery, visible_state
+from .oracle import (
+    StoreModel,
+    check_recovery,
+    recovery_alignment,
+    visible_state,
+)
 from .programs import Request, build_store_program, request_words
-from .server import ServeReport, ShardReport, StoreServer, run_serve, shard_of
+from .server import (
+    ReplayedEpochError,
+    ServeReport,
+    ShardReport,
+    StoreServer,
+    run_serve,
+    shard_of,
+)
 from .workload import DISTRIBUTIONS, MIXES, generate_workload
 from .bench import STORE_BENCHMARKS, STORE_SUITE
 
@@ -43,10 +55,12 @@ __all__ = [
     "checksum",
     "StoreModel",
     "check_recovery",
+    "recovery_alignment",
     "visible_state",
     "Request",
     "build_store_program",
     "request_words",
+    "ReplayedEpochError",
     "ServeReport",
     "ShardReport",
     "StoreServer",

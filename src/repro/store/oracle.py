@@ -41,7 +41,12 @@ from .layout import (
 )
 from .programs import Request
 
-__all__ = ["StoreModel", "visible_state", "check_recovery"]
+__all__ = [
+    "StoreModel",
+    "visible_state",
+    "check_recovery",
+    "recovery_alignment",
+]
 
 
 class StoreModel:
@@ -202,6 +207,29 @@ def check_recovery(
     the batch, ``requests`` the batch, and ``first_id`` the global id of
     ``requests[0]``.  Returns a list of violation descriptions (empty =
     the theorem holds)."""
+    violations, _, _ = recovery_alignment(
+        image, acked, base_model, requests, first_id
+    )
+    return violations
+
+
+def recovery_alignment(
+    image: Mapping[int, int],
+    acked: Iterable[int],
+    base_model: StoreModel,
+    requests: Sequence[Request],
+    first_id: int,
+) -> Tuple[List[str], int, StoreModel]:
+    """:func:`check_recovery`, plus the *alignment* a recovering node
+    needs to rejoin: how many of the interrupted batch's requests are
+    actually reflected in the durable image (``a`` acked, or ``a + 1``
+    when the next request committed its visibility point but lost its
+    acknowledgement), and the model advanced to exactly that point.
+
+    Returns ``(violations, applied_count, model_after)``.  On a
+    violation the alignment falls back to the acked count — the caller
+    is expected to surface the violations rather than serve from the
+    returned model."""
     layout = base_model.layout
     violations: List[str] = []
 
@@ -223,7 +251,9 @@ def check_recovery(
                 sorted(acked_set - expected)[:6],
             )
         )
-        return violations
+        model_a = base_model.copy()
+        model_a.apply_all(requests[:a])
+        return violations, a, model_a
 
     visible, problems = visible_state(image, layout)
     violations.extend(problems)
@@ -231,7 +261,10 @@ def check_recovery(
     model_a = base_model.copy()
     results = model_a.apply_all(requests[:a])
     state_a = dict(model_a.kv)
+    applied = a
+    model_after = model_a
     state_next: Optional[Dict[int, int]] = None
+    model_next: Optional[StoreModel] = None
     if a < len(requests):
         model_next = model_a.copy()
         model_next.apply(requests[a])
@@ -247,6 +280,11 @@ def check_recovery(
                 _diff_states(state_next or {}, visible) or "-",
             )
         )
+    elif visible != state_a and model_next is not None:
+        # durable-but-unacked: request ``a`` committed its visibility
+        # point before the cut; the node rejoins past it
+        applied = a + 1
+        model_after = model_next
 
     for i in range(a):
         want = results[i]
@@ -256,4 +294,4 @@ def check_recovery(
                 "acked request %d (local %d): durable result %d, model %d"
                 % (first_id + i, i, got, want)
             )
-    return violations
+    return violations, applied, model_after

@@ -43,10 +43,17 @@ from .oracle import StoreModel, check_recovery, visible_state
 from .programs import Request, build_store_program, request_words
 from .workload import generate_workload
 
-__all__ = ["ShardReport", "ServeReport", "StoreServer", "run_serve"]
+__all__ = [
+    "DATA_FLOOR",
+    "ShardReport",
+    "ServeReport",
+    "StoreServer",
+    "run_serve",
+]
 
 #: everything below this word address is the checkpoint array
-_DATA_FLOOR = Program.CHECKPOINT_WORDS_PER_CORE * Program.MAX_CONTEXTS
+DATA_FLOOR = Program.CHECKPOINT_WORDS_PER_CORE * Program.MAX_CONTEXTS
+_DATA_FLOOR = DATA_FLOOR  # historical private name
 
 
 def _mix_int(*parts: int) -> int:
@@ -138,6 +145,12 @@ class ServeReport:
         return h.hexdigest()[:16]
 
 
+class ReplayedEpochError(RuntimeError):
+    """An epoch batch was delivered to a shard that already served those
+    request ids (a duplicated delivery, or a driver replaying history).
+    Re-applying would silently double-execute non-idempotent ops."""
+
+
 class _Shard:
     """One shard's serving state across epochs."""
 
@@ -203,6 +216,23 @@ class StoreServer:
     ) -> None:
         lay = self.layout
         first_id = batch[0][0]
+        if first_id != shard.served:
+            # At-most-once guard: every epoch must start exactly where
+            # the previous one ended.  A message-layer dup (or a buggy
+            # driver) re-delivering an already-served epoch would
+            # silently re-apply non-idempotent ops — the heap cursor,
+            # compaction counters, and tombstones would all diverge from
+            # the model while the visible values looked fine.
+            raise ReplayedEpochError(
+                "shard %d: epoch starting at id %d %s (shard has served "
+                "%d requests); refusing to re-apply"
+                % (
+                    shard.shard, first_id,
+                    "was already applied" if first_id < shard.served
+                    else "skips ahead",
+                    shard.served,
+                )
+            )
         requests = [r for _, r in batch]
         prog, placed = build_store_program(lay, epoch_base=first_id)
         if placed != lay:
@@ -316,11 +346,11 @@ class StoreServer:
         requests per epoch.  With ``crash_epoch`` set, power fails on
         every shard during that epoch, at ``crash_step`` (or a
         per-shard seeded step), optionally with a torn battery write."""
-        if crash_epoch is not None and not self.backend.recovers:
-            raise ValueError(
-                "backend %r loses acked writes at a power cut by design; "
-                "the store's acked-prefix recovery oracle requires a "
-                "crash-consistent backend" % self.backend.name
+        if crash_epoch is not None:
+            from ..runtime.backend import require_recovering
+
+            require_recovering(
+                self.backend, "the store's acked-prefix recovery oracle"
             )
         n_epochs = 0
         for shard in self.shards:

@@ -1,0 +1,70 @@
+"""Client protocol: typed responses and the seeded retry schedule."""
+
+from repro.cluster import (
+    ABORTED,
+    DEADLINE_EXCEEDED,
+    OK,
+    STATUSES,
+    UNAVAILABLE,
+    ClusterResponse,
+    RetryPolicy,
+)
+
+
+class TestClusterResponse:
+    def test_statuses_are_the_typed_vocabulary(self):
+        assert set(STATUSES) == {OK, UNAVAILABLE, DEADLINE_EXCEEDED, ABORTED}
+
+    def test_json_drops_defaults(self):
+        bare = ClusterResponse(token=3, status=OK, attempts=1, epoch=2)
+        assert bare.to_json() == {
+            "token": 3, "status": OK, "attempts": 1, "epoch": 2,
+        }
+
+    def test_json_keeps_failure_evidence(self):
+        resp = ClusterResponse(
+            token=7, status=UNAVAILABLE, shard=1, attempts=4, epoch=9,
+            indeterminate=True,
+        )
+        data = resp.to_json()
+        assert data["shard"] == 1
+        assert data["indeterminate"] is True
+
+
+class TestRetryPolicy:
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(seed=5)
+        for token in range(8):
+            for attempt in range(5):
+                j = policy.jitter(token, attempt)
+                assert j == policy.jitter(token, attempt)
+                assert 0 <= j < min(1 << attempt, policy.backoff_cap) or (
+                    attempt == 0 and j == 0
+                )
+
+    def test_jitter_decorrelates_tokens(self):
+        # no thundering herd: different tokens retry at different offsets
+        policy = RetryPolicy(seed=0)
+        values = {policy.jitter(token, 4) for token in range(32)}
+        assert len(values) > 1
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(seed=1)
+        gaps = [policy.backoff(0, a) for a in range(8)]
+        # base doubles until the cap; jitter only adds
+        assert gaps[0] >= policy.backoff_base
+        assert all(g <= 2 * policy.backoff_cap for g in gaps)
+
+    def test_schedule_is_monotonic_and_deterministic(self):
+        policy = RetryPolicy(seed=3)
+        for token in (0, 5, 11):
+            sched = policy.schedule(token, admitted=2)
+            assert sched == policy.schedule(token, admitted=2)
+            assert len(sched) == policy.max_attempts
+            assert all(b > a for a, b in zip(sched, sched[1:]))
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple(RetryPolicy(seed=s).schedule(9)) for s in range(6)
+        }
+        assert len(schedules) > 1

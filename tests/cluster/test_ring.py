@@ -1,0 +1,62 @@
+"""Consistent-hash placement: determinism, coverage, stability."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+class TestPlacement:
+    def test_ownership_partitions_the_keyspace(self):
+        ring = HashRing(3, vnodes=16)
+        owned = ring.ownership(64)
+        flat = sorted(k for keys in owned.values() for k in keys)
+        assert flat == list(range(1, 65))
+
+    def test_shard_for_agrees_with_ownership(self):
+        ring = HashRing(4, vnodes=16)
+        for shard, keys in ring.ownership(48).items():
+            for key in keys:
+                assert ring.shard_for(key) == shard
+
+    def test_every_shard_owns_something(self):
+        # with enough vnodes no shard's arc collapses to nothing
+        ring = HashRing(3, vnodes=16)
+        owned = ring.ownership(64)
+        assert all(owned[s] for s in range(3))
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1, vnodes=4)
+        assert ring.ownership(10)[0] == list(range(1, 11))
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+class TestDeterminism:
+    def test_placement_is_a_pure_function_of_shape(self):
+        a, b = HashRing(3, vnodes=16), HashRing(3, vnodes=16)
+        assert [a.shard_for(k) for k in range(1, 200)] == \
+               [b.shard_for(k) for k in range(1, 200)]
+        assert a.digest() == b.digest()
+
+    def test_digest_distinguishes_shapes(self):
+        digests = {
+            HashRing(n, vnodes=v).digest()
+            for n, v in ((2, 16), (3, 16), (3, 8), (4, 16))
+        }
+        assert len(digests) == 4
+
+    def test_adding_a_shard_moves_few_keys(self):
+        # the property the ring exists for: growing the cluster by one
+        # shard remaps a minority of keys, not almost all of them
+        before = HashRing(4, vnodes=32)
+        after = HashRing(5, vnodes=32)
+        keys = range(1, 513)
+        moved = sum(
+            1 for k in keys if before.shard_for(k) != after.shard_for(k)
+        )
+        # modulo hashing would move ~4/5 of keys; the ring moves ~1/5
+        assert moved < len(list(keys)) // 2

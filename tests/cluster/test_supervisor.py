@@ -1,0 +1,59 @@
+"""The shard supervisor state machine, transition by transition."""
+
+from repro.cluster import DEAD, DOWN, RECOVERING, SUSPECT, UP, Supervisor
+
+
+def sup(n=2, deadline=4):
+    return Supervisor(n, deadline)
+
+
+class TestObservations:
+    def test_silence_suspects_then_ack_clears(self):
+        s = sup()
+        s.observe_silence(0, 1)
+        assert s[0].status == SUSPECT
+        assert s[0].serving  # suspicion still dispatches
+        s.observe_ack(0, 2)
+        assert s[0].status == UP
+
+    def test_crash_takes_the_shard_down(self):
+        s = sup()
+        s.observe_crash(0, 2, down_for=3)
+        assert s[0].status == DOWN
+        assert not s[0].serving
+        assert s[0].crashes == 1
+        assert s[1].status == UP  # isolation
+
+
+class TestTick:
+    def test_short_outage_recovers_and_rejoins(self):
+        s = sup()
+        s.observe_crash(0, 1, down_for=2)
+        assert s.tick(2) == []          # still dark
+        assert s.tick(3) == [0]         # down_until reached: rejoin
+        assert s[0].status == RECOVERING
+        s.tick(4)
+        assert s[0].status == UP
+
+    def test_long_outage_is_declared_dead(self):
+        s = sup(deadline=4)
+        s.observe_crash(0, 1, down_for=10)
+        for epoch in range(2, 5):
+            s.tick(epoch)
+            assert s[0].status == DOWN, epoch
+        s.tick(5)  # down 4 epochs: the deadline
+        assert s[0].status == DEAD
+        assert s[0].declared_dead
+        # even a dead shard rejoins once power returns
+        assert s.tick(11) == [0]
+        s.tick(12)
+        assert s[0].status == UP
+
+    def test_transitions_drain_in_epoch_order(self):
+        s = sup()
+        s.observe_crash(1, 2, down_for=2)
+        s.observe_silence(0, 3)
+        s.tick(4)
+        out = s.drain_transitions()
+        assert out == [(2, 1, DOWN), (3, 0, SUSPECT), (4, 1, RECOVERING)]
+        assert s.drain_transitions() == []  # cleared

@@ -1,0 +1,72 @@
+"""Logical cluster workload: lifting, transactions, clamping, round-trip."""
+
+import pytest
+
+from repro.cluster import LogicalOp, generate_cluster_ops
+
+
+def gen(**kwargs):
+    defaults = dict(
+        mix="crud", ops=40, keyspace=16, seed=4, txn_every=4,
+    )
+    defaults.update(kwargs)
+    return generate_cluster_ops(**defaults)
+
+
+class TestLogicalOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogicalOp(0, "frobnicate", (1,))
+        with pytest.raises(ValueError):
+            LogicalOp(0, "put", ())
+        with pytest.raises(ValueError):
+            LogicalOp(0, "txn", (1, 2), (7,))  # one seed per key
+
+    def test_is_write(self):
+        assert LogicalOp(0, "put", (1,), (2,)).is_write
+        assert LogicalOp(0, "delete", (1,)).is_write
+        assert LogicalOp(0, "txn", (1, 2), (3, 4)).is_write
+        assert not LogicalOp(0, "get", (1,)).is_write
+        assert not LogicalOp(0, "scan", (1,), (4,)).is_write
+
+    def test_json_round_trip(self):
+        ops = gen()
+        assert [LogicalOp.from_json(o.to_json()) for o in ops] == ops
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert gen() == gen()
+        assert gen(seed=5) != gen()
+
+    def test_tokens_are_dense_and_unique(self):
+        ops = gen()
+        assert [op.token for op in ops] == list(range(len(ops)))
+
+    def test_transactions_appear_with_distinct_keys(self):
+        txns = [op for op in gen(ops=80) if op.kind == "txn"]
+        assert txns, "txn_every=4 over 80 ops must produce transactions"
+        for txn in txns:
+            assert 2 <= len(txn.keys) <= 3
+            assert len(set(txn.keys)) == len(txn.keys)
+            assert len(txn.args) == len(txn.keys)
+
+    def test_txn_every_zero_disables_transactions(self):
+        assert not [
+            op for op in gen(ops=80, txn_every=0) if op.kind == "txn"
+        ]
+
+    def test_scans_are_clamped_to_the_real_keyspace(self):
+        # a scan must never reach past keyspace, where the 2PC shadow
+        # keys live — clients never observe a transaction in flight
+        for seed in range(6):
+            for op in gen(mix="ycsb-e", ops=60, seed=seed):
+                if op.kind == "scan":
+                    start, count = op.keys[0], op.args[0]
+                    assert count >= 1
+                    assert start + count - 1 <= 16
+
+    def test_load_phase_populates_before_mixing(self):
+        ops = gen()
+        # the first keyspace ops are the store's load phase: all puts
+        assert all(op.kind == "put" for op in ops[:16])

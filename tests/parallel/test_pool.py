@@ -135,3 +135,42 @@ class TestTimeout:
         with pytest.raises(WorkerTimeout):
             fan_out(lambda x: time.sleep(120), [1, 2], jobs=2, timeout=0.5)
         assert multiprocessing.active_children() == []
+
+
+def slow_first_attempt(x):
+    # hangs at attempt 0, returns instantly on the retry
+    if current_attempt() == 0:
+        time.sleep(120)
+    return (x, current_attempt())
+
+
+class TestTimeoutRetry:
+    def test_overrun_worker_is_killed_then_retried(self):
+        out = fan_out(slow_first_attempt, [1, 2], jobs=2, timeout=1.0)
+        assert out == [(1, 1), (2, 1)]
+        stats = last_stats()
+        assert stats.timeouts >= 1
+        assert stats.retries >= 1
+
+    def test_second_overrun_raises_not_loops(self):
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout, match="exceeded its"):
+            fan_out(lambda x: time.sleep(120), [1], jobs=2, timeout=0.5)
+        # two attempts, each with a 0.5s budget — still prompt
+        assert time.monotonic() - start < 30
+        assert last_stats().timeouts >= 2
+
+    def test_timeout_retry_killed_by_chaos_is_deterministic_failure(
+        self, monkeypatch
+    ):
+        # attempt 0 times out, the fresh retry is chaos-killed: the pool
+        # must surface a WorkerError, never hang or spin a third attempt
+        monkeypatch.setenv("REPRO_PARALLEL_KILL", "0:1")
+        with pytest.raises(WorkerError, match="died twice"):
+            fan_out(slow_first_attempt, [1], jobs=2, timeout=1.0)
+
+    def test_no_orphans_after_timeout_retry(self):
+        import multiprocessing
+
+        fan_out(slow_first_attempt, [1, 2], jobs=2, timeout=1.0)
+        assert multiprocessing.active_children() == []

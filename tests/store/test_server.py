@@ -87,6 +87,34 @@ class TestCrashRecovery:
         assert all(s.crashes == 1 for s in report.shards)
 
 
+class TestReplayFence:
+    def test_duplicated_epoch_delivery_is_refused(self):
+        from repro.store import ReplayedEpochError, StoreLayout
+        from repro.store.layout import OP_PUT
+
+        layout = StoreLayout.sized(16, value_words=2, max_batch=8)
+        server = StoreServer(1, layout, seed=0)
+        shard = server.shards[0]
+        batch = [(i, (OP_PUT, i + 1, 7)) for i in range(4)]
+        server._run_epoch(shard, batch, None, None)
+        assert shard.served == 4
+        # the message layer re-delivers the very same epoch: the shard's
+        # at-most-once fence must refuse it instead of double-applying
+        with pytest.raises(ReplayedEpochError, match="already applied"):
+            server._run_epoch(shard, batch, None, None)
+        assert shard.served == 4
+
+    def test_skipping_ahead_is_refused(self):
+        from repro.store import ReplayedEpochError, StoreLayout
+        from repro.store.layout import OP_PUT
+
+        layout = StoreLayout.sized(16, value_words=2, max_batch=8)
+        server = StoreServer(1, layout, seed=0)
+        batch = [(8 + i, (OP_PUT, i + 1, 7)) for i in range(2)]
+        with pytest.raises(ReplayedEpochError, match="skips ahead"):
+            server._run_epoch(server.shards[0], batch, None, None)
+
+
 class TestServerInternals:
     def test_submit_assigns_prefix_ids_per_shard(self):
         from repro.store import StoreLayout, generate_workload

@@ -96,6 +96,39 @@ class TestServeCLI:
         assert "store-ycsb-a" in out
 
 
+class TestClusterCLI:
+    def test_cluster_serve_smoke(self, capsys):
+        assert main(["cluster", "serve", "--smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "responses:" in out
+        assert "zero acked-write loss" in out
+
+    def test_cluster_serve_smoke_deterministic(self, capsys):
+        assert main(["cluster", "serve", "--smoke", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["cluster", "serve", "--smoke", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cluster_serve_rejects_lossy_backend(self, capsys):
+        assert main([
+            "cluster", "serve", "--smoke", "--backend", "psp",
+        ]) == 2
+        assert "not crash-consistent" in capsys.readouterr().out
+
+    def test_cluster_campaign_and_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "cluster.jsonl")
+        assert main([
+            "faults", "campaign", "--workload", "cluster",
+            "--backend", "lightwsp-lrpo", "--seed", "1",
+            "--trace", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster campaign" in out
+        assert "PASS" in out
+        assert main(["faults", "replay", trace]) == 0
+        assert "0 mismatch(es)" in capsys.readouterr().out
+
+
 class TestVerifyCLI:
     def test_verify_single_benchmark(self, capsys):
         assert main(["verify", "bzip2"]) == 0
