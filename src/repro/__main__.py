@@ -16,6 +16,13 @@ Commands:
 * ``crash-sweep``— exhaustively crash-test one benchmark
 * ``cluster``    — the resilient sharded store cluster (``serve`` one
                    chaos session, ``bench`` --jobs parity + wall time)
+* ``trace``      — the trace.v1 observability plane: ``timeline`` (the
+                   run's ordered phases + durations), ``tail``
+                   (live-follow a growing trace), ``verdicts``
+                   (re-render campaign verdicts, byte-proved against
+                   the recorded summary), ``validate`` (check traces
+                   against the event catalogue), ``schema`` (print the
+                   published JSON-Schema)
 
 Every expensive command takes ``--jobs N`` to fan its independent work
 units out over worker processes (results are bit-identical to serial;
@@ -299,6 +306,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             scale=args.scale,
             jobs=args.jobs,
+            trace_path=args.trace,
         )
     except KeyError as exc:
         print(exc.args[0])
@@ -371,6 +379,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             progress=print,
             verify=True if args.verify else None,
             backend=args.backend,
+            trace_path=args.trace,
         )
     except VerificationError as exc:
         print("static verification FAILED, refusing to serve:")
@@ -391,6 +400,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               % (s.shard, s.ops, s.epochs, s.commits, s.compactions,
                  s.drops, s.crashes, s.keys_live, s.image_digest))
     print("  digest: %s" % report.digest())
+    if args.trace:
+        print("  trace: %s" % args.trace)
     if report.crash_epoch is not None:
         print("  acked-write oracle: %s"
               % ("PASS" if report.ok else "FAIL"))
@@ -421,13 +432,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.faults_command == "replay":
         from .trace import read_trace
 
-        records = read_trace(args.trace)
+        try:
+            records = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
         if any(
             r.get("type") == "cluster_campaign_start" for r in records
         ):
             from .cluster import replay_cluster_trace
 
-            mismatches = replay_cluster_trace(records, progress=print)
+            try:
+                mismatches = replay_cluster_trace(records, progress=print)
+            except ValueError as exc:
+                print(exc.args[0] if exc.args else str(exc))
+                return 2
             print("replayed cluster trace: %d mismatch(es)"
                   % len(mismatches))
             for mm in mismatches[:10]:
@@ -534,6 +553,73 @@ def cmd_faults(args: argparse.Namespace) -> int:
     print("trace: %s" % trace_path)
     print("PASS" if result.ok else "FAIL")
     return 0 if result.ok else 1
+
+
+def cmd_trace(args) -> int:
+    from .obs import (
+        build_timeline,
+        format_timeline,
+        format_verdicts,
+        render_verdicts,
+        schema_json_text,
+        tail_trace,
+        validate_records,
+    )
+    from .trace import read_trace
+
+    if args.trace_command == "schema":
+        print(schema_json_text(), end="")
+        return 0
+
+    if args.trace_command == "timeline":
+        try:
+            timeline = build_timeline(read_trace(args.trace), args.trace)
+        except (OSError, ValueError) as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
+        print(format_timeline(timeline))
+        return 0
+
+    if args.trace_command == "tail":
+        try:
+            tail = tail_trace(
+                args.trace, out=print, poll=args.poll,
+                idle_timeout=args.idle_timeout,
+                follow=not args.no_follow,
+            )
+        except (OSError, ValueError) as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
+        return 1 if tail.violations else 0
+
+    if args.trace_command == "verdicts":
+        try:
+            report = render_verdicts(args.trace)
+        except (OSError, ValueError) as exc:
+            print(exc.args[0] if exc.args else str(exc))
+            return 2
+        print(format_verdicts(report))
+        return 0 if report.ok else 1
+
+    # validate
+    failures = 0
+    for path in args.traces:
+        try:
+            records = read_trace(path)
+            problems = validate_records(records)
+        except (OSError, ValueError) as exc:
+            records = []
+            problems = [exc.args[0] if exc.args else str(exc)]
+        if problems:
+            failures += 1
+            print("%s: INVALID" % path)
+            for problem in problems[:20]:
+                print("  " + problem)
+        else:
+            print("%s: ok (%d record(s))" % (path, len(records)))
+    print("validated %d trace(s): %d invalid"
+          % (len(args.traces), failures))
+    return 1 if failures else 0
 
 
 def cmd_cluster(args) -> int:
@@ -693,6 +779,11 @@ def main(argv=None) -> int:
         help="persist backend the shards run on (crash epochs require "
              "a crash-consistent backend; see `list`)",
     )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the run as a trace.v1 JSONL artifact "
+             "(`repro trace timeline/tail` can render it)",
+    )
 
     p_compile = sub.add_parser("compile", help="compile a .lir file")
     p_compile.add_argument("file")
@@ -777,6 +868,10 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--threshold", type=float, default=0.10,
         help="regression threshold as a fraction (default 0.10)",
+    )
+    p_bench.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also record the run as a trace.v1 JSONL artifact",
     )
 
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")
@@ -909,6 +1004,53 @@ def main(argv=None) -> int:
         help="worker counts to compare (digest must be identical)",
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="the trace.v1 observability plane: render, follow, "
+             "validate JSONL run traces",
+    )
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tl = tsub.add_parser(
+        "timeline",
+        help="reconstruct the run's ordered phases and durations "
+             "(deterministic units: steps/epochs/sim-ns) from a trace",
+    )
+    p_tl.add_argument("trace")
+    p_tail = tsub.add_parser(
+        "tail",
+        help="live-follow a growing trace: throughput, p50/p95/p99, "
+             "WPQ occupancy, crash/recovery events as they land",
+    )
+    p_tail.add_argument("trace")
+    p_tail.add_argument(
+        "--poll", type=float, default=0.2,
+        help="seconds between polls while waiting for growth",
+    )
+    p_tail.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="stop after this many seconds without growth "
+             "(default: wait until the terminal record)",
+    )
+    p_tail.add_argument(
+        "--no-follow", action="store_true",
+        help="render what is on disk now and stop (no waiting)",
+    )
+    p_verd = tsub.add_parser(
+        "verdicts",
+        help="re-render campaign verdicts and summary stats from the "
+             "trace alone, byte-compared against the recorded summary",
+    )
+    p_verd.add_argument("trace")
+    p_val = tsub.add_parser(
+        "validate",
+        help="check traces against the trace.v1 event catalogue "
+             "(nonzero exit on any violation)",
+    )
+    p_val.add_argument("traces", nargs="+")
+    tsub.add_parser(
+        "schema", help="print the published trace.v1 JSON-Schema"
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "info": cmd_info,
@@ -923,6 +1065,7 @@ def main(argv=None) -> int:
         "crash-sweep": cmd_crash_sweep,
         "faults": cmd_faults,
         "cluster": cmd_cluster,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args)
 

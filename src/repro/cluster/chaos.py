@@ -357,8 +357,10 @@ def replay_cluster_trace(records: List[Dict], progress=None) -> List[str]:
     its outcome (digest + violations) reproduces exactly.  Returns the
     mismatches (empty = faithful replay)."""
     from .coordinator import ClusterSession
+    from ..obs.schema import ensure_supported_version
 
     say = progress or (lambda msg: None)
+    ensure_supported_version(records, "cluster trace")
     start = next(
         (r for r in records if r.get("type") == "cluster_campaign_start"),
         None,

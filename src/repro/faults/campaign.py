@@ -731,8 +731,11 @@ def replay_trace(
     with an explanation (see :func:`_check_trace_sharding`)."""
     from ..parallel import fan_out
 
+    from ..obs.schema import ensure_supported_version
+
     say = progress or (lambda msg: None)
     records = read_trace(path)
+    ensure_supported_version(records, path)
     starts = [r for r in records if r.get("type") == "campaign_start"]
     if not starts:
         raise ValueError("not a campaign trace: %s" % path)

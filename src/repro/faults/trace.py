@@ -1,6 +1,11 @@
-"""Compatibility shim: the append-only JSONL trace artifacts moved to
-:mod:`repro.trace` so runtime-layer events have a single schema.  Import
-from there (``FaultTrace`` is an alias of :class:`repro.trace.JsonlTrace`)."""
+"""Deprecated compatibility shim — import from :mod:`repro.trace`.
+
+The append-only JSONL trace artifacts moved to :mod:`repro.trace` so
+runtime-layer events have a single schema (``FaultTrace`` is an alias
+of :class:`repro.trace.JsonlTrace`).  This module is a pure re-export
+(every name here *is* the :mod:`repro.trace` object, pinned by test)
+kept only for existing imports; new code should import from
+:mod:`repro.trace`."""
 
 from __future__ import annotations
 

@@ -1,0 +1,62 @@
+"""``repro.obs`` — the trace observability plane.
+
+The system's JSONL run artifacts (fault campaigns, store serving,
+cluster sessions and chaos campaigns, bench runs) follow one normative,
+versioned event contract: **trace.v1**.  This package owns that
+contract and the tools that consume it:
+
+* :mod:`repro.obs.schema` — the event catalogue, record validation,
+  the consumer-side version gate, and the published JSON-Schema.
+* :mod:`repro.obs.timeline` — ``repro trace timeline``: reconstruct a
+  run's ordered phases and durations from its trace.
+* :mod:`repro.obs.tailer` — ``repro trace tail``: live-follow a growing
+  trace (throughput, p50/p95/p99, WPQ occupancy, crash/recovery).
+* :mod:`repro.obs.verdicts` — ``repro trace verdicts``: re-render
+  campaign verdicts from the trace alone, byte-proved against the
+  recorded summary.
+"""
+
+from .schema import (
+    EVENT_SCHEMAS,
+    SUPPORTED_MAJORS,
+    TERMINAL_TYPES,
+    SchemaVersionError,
+    ensure_supported_version,
+    parse_version,
+    schema_json,
+    schema_json_text,
+    validate_record,
+    validate_records,
+)
+from .tailer import TraceTail, follow_trace, tail_trace
+from .timeline import Timeline, TimelinePhase, build_timeline, format_timeline
+from .verdicts import (
+    VerdictsReport,
+    derive_summary,
+    format_verdicts,
+    render_verdicts,
+)
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "SUPPORTED_MAJORS",
+    "TERMINAL_TYPES",
+    "SchemaVersionError",
+    "ensure_supported_version",
+    "parse_version",
+    "schema_json",
+    "schema_json_text",
+    "validate_record",
+    "validate_records",
+    "Timeline",
+    "TimelinePhase",
+    "build_timeline",
+    "format_timeline",
+    "TraceTail",
+    "follow_trace",
+    "tail_trace",
+    "VerdictsReport",
+    "derive_summary",
+    "format_verdicts",
+    "render_verdicts",
+]

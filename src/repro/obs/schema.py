@@ -1,0 +1,370 @@
+"""The normative ``trace.v1`` event contract.
+
+Every JSONL run artifact the system emits — fault-campaign scenarios,
+store-server epochs, cluster sessions and chaos campaigns, bench
+results — is a stream of records drawn from the **event catalogue**
+below.  This module is the single source of truth for that contract:
+
+* :data:`EVENT_SCHEMAS` enumerates every event type and its fields
+  (name, JSON type, required/optional).  Producers may not emit outside
+  it (strict mode enforces this; the whole test suite runs strict).
+* :func:`validate_record` / :func:`validate_records` check records
+  against the catalogue and report precise problems.
+* :func:`schema_json` renders the catalogue as a standard JSON-Schema
+  (draft-07) document — the *published* form of the contract, committed
+  at ``docs/trace.v1.schema.json`` and pinned by a test so the two can
+  never drift.
+* :func:`ensure_supported_version` is the consumer-side gate: replay
+  and rendering tools accept any ``1.x`` trace plus legacy unversioned
+  traces, and refuse an unknown major version with an explanation
+  instead of misinterpreting it.
+
+Versioning rules (the producer/consumer contract, also written up in
+DESIGN.md "Trace protocol"):
+
+* Every record carries ``schema_version`` (``"<major>.<minor>"``),
+  stamped by :class:`repro.trace.JsonlTrace` — each line is
+  self-describing, so a consumer can start mid-stream (``repro trace
+  tail``) without scanning back for a header.
+* **Minor** bumps add optional fields or new event types; consumers of
+  the same major must tolerate both.
+* **Major** bumps change the meaning or shape of existing fields;
+  consumers MUST refuse majors they do not know.
+* Traces that predate the stamp (legacy) are accepted and interpreted
+  as the oldest 1.x contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..trace import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "SUPPORTED_MAJORS",
+    "EVENT_SCHEMAS",
+    "TERMINAL_TYPES",
+    "SchemaVersionError",
+    "parse_version",
+    "record_version",
+    "validate_record",
+    "validate_records",
+    "ensure_supported_version",
+    "schema_json",
+]
+
+#: trace majors this build can interpret
+SUPPORTED_MAJORS: Tuple[int, ...] = (1,)
+
+#: record types that end their stream (a tailer may stop at one)
+TERMINAL_TYPES = frozenset({
+    "campaign_end",
+    "cluster_campaign_end",
+    "cluster_end",
+    "serve_end",
+    "bench_end",
+})
+
+# ----------------------------------------------------------------------
+# the event catalogue
+# ----------------------------------------------------------------------
+# Field specs are "<jsontype>" strings, "|"-separated for unions, with a
+# leading "?" marking the field optional.  JSON types: int, num (int or
+# float), str, bool, list, dict, null.
+
+EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
+    # ---- faults campaign (repro.faults.campaign) ---------------------
+    "campaign_start": {
+        "seed": "int", "scale": "num", "benchmarks": "list",
+        "fault_classes": "list", "tiny_wpq_entries": "int",
+        "version": "int", "backend": "?str", "sharding": "?dict",
+    },
+    "scenario_end": {
+        "benchmark": "str", "fault_class": "str", "config": "str",
+        "mode": "str", "schedule": "list", "image_hash": "str",
+        "steps": "int", "crashes": "int", "skipped_events": "int",
+        "counters": "dict", "violation": "dict|null",
+    },
+    "defense_mode": {
+        "mode": "str", "caught": "bool", "benchmark": "str|null",
+        "candidates_tried": "int", "config": "?str", "minimal": "?list",
+        "original_events": "?int", "minimal_events": "?int",
+        "shrink_evals": "?int", "violation": "?dict|null",
+    },
+    "campaign_end": {
+        "scenarios": "int", "violations": "int",
+        "defenses_caught": "int", "defenses_total": "int",
+    },
+    # ---- machine-level fault events (repro.faults.machine) -----------
+    "mc_down": {"mc": "int", "step": "int"},
+    "msg_drop": {"mc": "int", "region": "int", "step": "int"},
+    "msg_delay": {"mc": "int", "region": "int", "step": "int",
+                  "by": "int"},
+    "msg_dup": {"mc": "int", "region": "int", "step": "int"},
+    "straggler_flush": {"mc": "int", "region": "int"},
+    "power_cut": {"step": "int", "budget_entries": "int|null",
+                  "torn": "list", "nested": "str"},
+    "nested_cut": {"step": "int"},
+    "drain_exhausted": {"word": "int"},
+    "torn_write": {"word": "int", "repaired": "bool"},
+    # ---- cluster session (repro.cluster.coordinator) -----------------
+    "cluster_start": {
+        "n_shards": "int", "keyspace": "int", "backend": "str",
+        "seed": "int", "ring": "str", "vnodes": "int", "ops": "int",
+        "policy": "dict", "chaos": "list", "sharding": "str",
+    },
+    "cluster_epoch": {
+        "epoch": "int", "rejoined": "list", "transitions": "list",
+        "completions": "list",
+    },
+    "shard_kill": {
+        "epoch": "int", "shard": "int", "step": "int", "down_for": "int",
+        "acked_before_cut": "int", "completed_in_dark": "int",
+    },
+    "replay_rejected": {"epoch": "int", "shard": "int",
+                        "first_id": "int"},
+    "late_completion": {"epoch": "int", "response": "dict"},
+    "txn_decision": {"epoch": "int", "token": "int", "decision": "str",
+                     "keys": "list"},
+    "cluster_end": {
+        "epochs": "int", "responses": "dict", "violations": "list",
+        "counters": "dict", "shards": "list", "digest": "str",
+    },
+    # ---- cluster chaos campaign (repro.cluster.chaos) ----------------
+    "cluster_campaign_start": {
+        "backends": "list", "seeds": "list", "n_shards": "int",
+        "keyspace": "int", "ops": "int", "mix": "str", "kills": "int",
+        "transport": "int", "partitions": "int", "msg_faults": "int",
+        "horizon": "int", "sharding": "?str",
+    },
+    "cluster_scenario": {
+        "backend": "str", "seed": "int", "chaos": "list",
+        "violations": "list", "digest": "str", "epochs": "int",
+        "responses": "dict", "unavailable_shards": "list",
+        "shrunk": "?list", "shrink_evals": "?int",
+    },
+    "cluster_campaign_end": {"scenarios": "int", "failures": "int"},
+    # ---- store server (repro.store.server) ---------------------------
+    "serve_start": {
+        "workload": "str", "dist": "str", "seed": "int", "ops": "int",
+        "shards": "int", "keyspace": "int", "batch": "int",
+        "backend": "str", "crash_epoch": "int|null",
+    },
+    "server_epoch": {
+        "epoch": "int", "shard": "int", "ops": "int", "acked": "int",
+        "steps": "int", "sim_ns": "num", "p50": "num", "p95": "num",
+        "p99": "num", "wpq_occupancy": "int", "commits": "int",
+        "crashed": "bool",
+    },
+    "server_crash": {
+        "epoch": "int", "shard": "int", "step": "int", "acked": "int",
+        "requests": "int", "oracle_ok": "bool",
+    },
+    "serve_end": {
+        "ops": "int", "sim_ns": "num", "throughput_mops": "num",
+        "violations": "int", "digest": "str",
+    },
+    # ---- perf bench (repro.perf.runner) ------------------------------
+    "bench_start": {
+        "seed": "int", "scale": "num", "smoke": "bool", "jobs": "int",
+        "entries": "list",
+    },
+    "bench_entry": {
+        "name": "str", "kind": "str", "metrics": "dict", "wall_s": "num",
+    },
+    "bench_end": {"entries": "int", "wall_s_total": "num"},
+}
+
+_TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "num": lambda v: (isinstance(v, (int, float))
+                      and not isinstance(v, bool)),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "list": lambda v: isinstance(v, list),
+    "dict": lambda v: isinstance(v, dict),
+    "null": lambda v: v is None,
+}
+
+_JSON_TYPE = {
+    "int": "integer", "num": "number", "str": "string",
+    "bool": "boolean", "list": "array", "dict": "object", "null": "null",
+}
+
+
+class SchemaVersionError(ValueError):
+    """A trace declares a ``schema_version`` this build cannot
+    interpret (unknown major, or an unparseable version string)."""
+
+
+def parse_version(version: str) -> Tuple[int, int]:
+    """``"1.0"`` -> ``(1, 0)``.  Raises :class:`SchemaVersionError` on
+    anything that is not ``<major>.<minor>`` with integer parts."""
+    parts = str(version).split(".")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise SchemaVersionError(
+            "unparseable trace schema_version %r (expected "
+            "'<major>.<minor>', e.g. %r)" % (version, TRACE_SCHEMA_VERSION)
+        ) from None
+
+
+def record_version(record: Dict) -> Optional[str]:
+    """The record's declared schema version, or None for legacy."""
+    value = record.get("schema_version")
+    return None if value is None else str(value)
+
+
+def _check_field(value, spec: str) -> bool:
+    return any(_TYPE_CHECKS[alt](value) for alt in spec.split("|"))
+
+
+def validate_record(record: object) -> List[str]:
+    """Validate one parsed JSONL record against the ``trace.v1``
+    catalogue.  Returns a list of problems (empty = valid).  Unknown
+    event types and unknown fields are problems: the catalogue is
+    updated in lock-step with producers, so anything outside it is a
+    contract violation, not an extension."""
+    if not isinstance(record, dict):
+        return ["record is %s, not an object" % type(record).__name__]
+    rectype = record.get("type")
+    if not isinstance(rectype, str):
+        return ["record has no string 'type' field"]
+    spec = EVENT_SCHEMAS.get(rectype)
+    if spec is None:
+        return ["unknown event type %r (catalogue: %s)"
+                % (rectype, ", ".join(sorted(EVENT_SCHEMAS)))]
+    problems = []
+    version = record.get("schema_version")
+    if version is not None:
+        try:
+            parse_version(version)
+        except SchemaVersionError as exc:
+            problems.append(str(exc))
+    for name, fieldspec in spec.items():
+        required = not fieldspec.startswith("?")
+        types = fieldspec.lstrip("?")
+        if name not in record:
+            if required:
+                problems.append(
+                    "%s: missing required field %r" % (rectype, name)
+                )
+            continue
+        if not _check_field(record[name], types):
+            problems.append(
+                "%s.%s: expected %s, got %r"
+                % (rectype, name, types, type(record[name]).__name__)
+            )
+    known = set(spec) | {"type", "schema_version"}
+    for name in sorted(set(record) - known):
+        problems.append(
+            "%s: field %r is not in the trace.v1 catalogue" % (rectype, name)
+        )
+    return problems
+
+
+def validate_records(
+    records: Iterable[Dict], max_problems: int = 50
+) -> List[str]:
+    """Validate a whole trace; problems are prefixed with the 1-based
+    record index."""
+    out: List[str] = []
+    for i, record in enumerate(records, 1):
+        for problem in validate_record(record):
+            out.append("record %d: %s" % (i, problem))
+            if len(out) >= max_problems:
+                out.append("... (further problems suppressed)")
+                return out
+    return out
+
+
+def ensure_supported_version(
+    records: Iterable[Dict], path: str = "trace"
+) -> None:
+    """Consumer-side version gate: refuse any record whose declared
+    major is outside :data:`SUPPORTED_MAJORS`, with an explanation.
+    Legacy records with no ``schema_version`` pass (they predate the
+    stamp and use the oldest 1.x shapes)."""
+    seen = set()
+    for record in records:
+        version = record_version(record) if isinstance(record, dict) \
+            else None
+        if version is None or version in seen:
+            continue
+        seen.add(version)
+        major, _ = parse_version(version)
+        if major not in SUPPORTED_MAJORS:
+            raise SchemaVersionError(
+                "%s was recorded under trace schema version %s, but this "
+                "build only understands major version(s) %s (current: "
+                "%s).  A different major changes the meaning of recorded "
+                "fields, so replaying or rendering it here could "
+                "silently misinterpret the run — use a build that "
+                "matches the trace, or regenerate the trace with this "
+                "one." % (
+                    path, version,
+                    ", ".join(str(m) for m in SUPPORTED_MAJORS),
+                    TRACE_SCHEMA_VERSION,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# the published JSON-Schema document
+# ----------------------------------------------------------------------
+
+def _field_schema(spec: str) -> Dict:
+    types = [_JSON_TYPE[alt] for alt in spec.lstrip("?").split("|")]
+    return {"type": types[0] if len(types) == 1 else types}
+
+
+def schema_json() -> Dict:
+    """The catalogue rendered as a draft-07 JSON-Schema document — the
+    published form of the contract (committed at
+    ``docs/trace.v1.schema.json``)."""
+    variants = []
+    for rectype in sorted(EVENT_SCHEMAS):
+        spec = EVENT_SCHEMAS[rectype]
+        properties: Dict[str, Dict] = {
+            "type": {"const": rectype},
+            "schema_version": {
+                "type": "string", "pattern": r"^[0-9]+\.[0-9]+$",
+            },
+        }
+        required = ["type"]
+        for name in sorted(spec):
+            properties[name] = _field_schema(spec[name])
+            if not spec[name].startswith("?"):
+                required.append(name)
+        variants.append({
+            "title": rectype,
+            "type": "object",
+            "properties": properties,
+            "required": required,
+            "additionalProperties": False,
+        })
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "$id": "repro.trace.v1",
+        "title": "repro JSONL trace event (schema trace.v%s)"
+                 % TRACE_SCHEMA_VERSION.split(".")[0],
+        "description":
+            "One JSON object per line of an append-only repro run "
+            "artifact.  Records without schema_version are legacy and "
+            "interpreted as the oldest 1.x contract.  See DESIGN.md "
+            "'Trace protocol' for the semantic (producer/consumer) "
+            "contract this structural schema cannot express.",
+        "version": TRACE_SCHEMA_VERSION,
+        "oneOf": variants,
+    }
+
+
+def schema_json_text() -> str:
+    """Canonical serialization of :func:`schema_json` (what the
+    committed ``docs/trace.v1.schema.json`` must contain, byte for
+    byte)."""
+    return json.dumps(schema_json(), indent=2, sort_keys=True) + "\n"

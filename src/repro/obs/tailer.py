@@ -1,0 +1,306 @@
+"""``repro trace tail`` — live-follow a growing JSONL trace.
+
+The follower reads whatever a concurrent writer has appended, parses
+only *complete* lines (a partial final line is held until the writer
+finishes it — the on-disk signature of an in-flight record), and yields
+records as they land.  It stops at a terminal record
+(:data:`repro.obs.schema.TERMINAL_TYPES`) or after ``idle_timeout``
+seconds without growth.
+
+:class:`TraceTail` turns the stream into a live view: rolling
+throughput, latency percentiles (p50/p95/p99), WPQ occupancy, and
+crash/recovery events, rendered one line per interesting record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .schema import TERMINAL_TYPES, ensure_supported_version
+
+__all__ = ["follow_trace", "TraceTail", "tail_trace"]
+
+
+def follow_trace(
+    path: str,
+    poll: float = 0.2,
+    idle_timeout: Optional[float] = None,
+    follow: bool = True,
+    stop_at_terminal: bool = True,
+    _sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[Dict]:
+    """Yield records from ``path`` as they are appended.
+
+    ``follow=False`` reads to the current end of file and returns.
+    With ``follow=True`` the generator keeps polling every ``poll``
+    seconds; it ends when a terminal record arrives (unless
+    ``stop_at_terminal=False``) or the file has not grown for
+    ``idle_timeout`` seconds (None = wait forever).  A half-written
+    final line is never parsed — it is buffered until the writer
+    completes it, so a crashed writer can hang the follower only until
+    the idle timeout, never corrupt its output."""
+    buffer = ""
+    versions_checked = set()
+    last_growth = time.monotonic()
+    with open(path) as fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                last_growth = time.monotonic()
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    if not line.strip():
+                        continue
+                    record = json.loads(line)
+                    version = record.get("schema_version")
+                    if version is not None and \
+                            version not in versions_checked:
+                        versions_checked.add(version)
+                        ensure_supported_version([record], path)
+                    yield record
+                    if stop_at_terminal and \
+                            record.get("type") in TERMINAL_TYPES:
+                        return
+            else:
+                if not follow:
+                    return
+                if idle_timeout is not None and \
+                        time.monotonic() - last_growth > idle_timeout:
+                    return
+                _sleep(poll)
+
+
+@dataclass
+class TraceTail:
+    """Rolling view over a followed trace."""
+
+    records: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+    # store serving
+    ops: int = 0
+    acked: int = 0
+    epoch_ns: Dict[int, float] = field(default_factory=dict)
+    last_p50: float = 0.0
+    last_p95: float = 0.0
+    last_p99: float = 0.0
+    max_wpq_occupancy: int = 0
+    # campaigns
+    scenarios: int = 0
+    violations: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    epochs: int = 0
+    finished: bool = False
+
+    @property
+    def sim_ns(self) -> float:
+        # an epoch's simulated wall is its slowest shard; the run's is
+        # the sum over epochs (shards within an epoch run concurrently)
+        return sum(self.epoch_ns.values())
+
+    @property
+    def throughput_mops(self) -> float:
+        total = self.sim_ns
+        return self.ops / total * 1e3 if total > 0 else 0.0
+
+    def feed(self, record: Dict) -> Optional[str]:
+        """Absorb one record; return a rendered line when the record is
+        worth showing live (None for bookkeeping records)."""
+        self.records += 1
+        rectype = record.get("type", "?")
+        self.by_type[rectype] = self.by_type.get(rectype, 0) + 1
+        handler = getattr(self, "_on_%s" % rectype, None)
+        if rectype in TERMINAL_TYPES:
+            self.finished = True
+        if handler is None:
+            return None
+        return handler(record)
+
+    # ---- store serving ----------------------------------------------
+    def _on_serve_start(self, r: Dict) -> str:
+        return ("serving %s/%s seed=%s over %s shard(s) on %s"
+                % (r.get("workload"), r.get("dist"), r.get("seed"),
+                   r.get("shards"), r.get("backend")))
+
+    def _on_server_epoch(self, r: Dict) -> str:
+        self.ops += r.get("ops", 0)
+        self.acked += r.get("acked", 0)
+        e = r.get("epoch", 0)
+        self.epoch_ns[e] = max(self.epoch_ns.get(e, 0.0),
+                               r.get("sim_ns", 0.0))
+        self.last_p50 = r.get("p50", 0.0)
+        self.last_p95 = r.get("p95", 0.0)
+        self.last_p99 = r.get("p99", 0.0)
+        self.max_wpq_occupancy = max(
+            self.max_wpq_occupancy, r.get("wpq_occupancy", 0)
+        )
+        self.epochs = max(self.epochs, r.get("epoch", 0) + 1)
+        return (
+            "epoch %2d shard %d: %3d ops (%3d acked)  "
+            "p50=%-6.0f p95=%-6.0f p99=%-6.0f ns  wpq<=%-2d  "
+            "%.2f Mops/s cum%s"
+            % (r.get("epoch", 0), r.get("shard", 0), r.get("ops", 0),
+               r.get("acked", 0), self.last_p50, self.last_p95,
+               self.last_p99, r.get("wpq_occupancy", 0),
+               self.throughput_mops,
+               "  [CRASHED+RECOVERED]" if r.get("crashed") else "")
+        )
+
+    def _on_server_crash(self, r: Dict) -> str:
+        self.crashes += 1
+        self.recoveries += 1
+        return (
+            "CRASH epoch %d shard %d at step %d: %d/%d acked before "
+            "the cut, oracle %s"
+            % (r.get("epoch", 0), r.get("shard", 0), r.get("step", 0),
+               r.get("acked", 0), r.get("requests", 0),
+               "ok" if r.get("oracle_ok") else "VIOLATION")
+        )
+
+    def _on_serve_end(self, r: Dict) -> str:
+        return (
+            "serve finished: %d ops, %.2f Mops/s, %d violation(s), "
+            "digest %s"
+            % (r.get("ops", 0), r.get("throughput_mops", 0.0),
+               r.get("violations", 0), r.get("digest", ""))
+        )
+
+    # ---- faults campaign --------------------------------------------
+    def _on_campaign_start(self, r: Dict) -> str:
+        return ("campaign seed=%s over %d benchmark(s), backend %s"
+                % (r.get("seed"), len(r.get("benchmarks", [])),
+                   r.get("backend", "lightwsp-lrpo")))
+
+    def _on_scenario_end(self, r: Dict) -> str:
+        self.scenarios += 1
+        self.crashes += r.get("crashes", 0)
+        self.recoveries += r.get("crashes", 0)
+        bad = r.get("violation") is not None
+        if bad:
+            self.violations += 1
+        return (
+            "scenario %-10s %-12s %-8s %s"
+            % (r.get("benchmark"), r.get("fault_class"),
+               r.get("config", ""),
+               "VIOLATION" if bad else "ok")
+        )
+
+    def _on_defense_mode(self, r: Dict) -> str:
+        return ("defense %-24s %s"
+                % (r.get("mode"),
+                   "caught" if r.get("caught") else "NOT CAUGHT"))
+
+    def _on_campaign_end(self, r: Dict) -> str:
+        return (
+            "campaign finished: %d scenarios, %d violation(s), "
+            "defenses %d/%d"
+            % (r.get("scenarios", 0), r.get("violations", 0),
+               r.get("defenses_caught", 0), r.get("defenses_total", 0))
+        )
+
+    # ---- cluster ----------------------------------------------------
+    def _on_cluster_start(self, r: Dict) -> str:
+        return ("cluster session: %s shards on %s, %s ops, %d chaos "
+                "event(s)"
+                % (r.get("n_shards"), r.get("backend"), r.get("ops"),
+                   len(r.get("chaos", []))))
+
+    def _on_cluster_epoch(self, r: Dict) -> Optional[str]:
+        self.epochs = max(self.epochs, r.get("epoch", 0) + 1)
+        done = len(r.get("completions", []))
+        self.ops += done
+        rejoined = r.get("rejoined", [])
+        self.recoveries += len(rejoined)
+        if not done and not rejoined and not r.get("transitions"):
+            return None
+        bits = ["epoch %2d:" % r.get("epoch", 0)]
+        if done:
+            bits.append("%d completion(s)" % done)
+        for t in r.get("transitions", []):
+            bits.append("shard %s -> %s" % (t.get("shard"),
+                                            t.get("status")))
+        if rejoined:
+            bits.append("rejoined %s" % rejoined)
+        return "  ".join(bits)
+
+    def _on_shard_kill(self, r: Dict) -> str:
+        self.crashes += 1
+        return (
+            "KILL epoch %d shard %d at step %d (dark for %d), "
+            "%d acked before cut"
+            % (r.get("epoch", 0), r.get("shard", 0), r.get("step", 0),
+               r.get("down_for", 0), r.get("acked_before_cut", 0))
+        )
+
+    def _on_cluster_end(self, r: Dict) -> str:
+        return (
+            "cluster finished: %d epochs, %d violation(s), digest %s"
+            % (r.get("epochs", 0), len(r.get("violations", [])),
+               r.get("digest", ""))
+        )
+
+    def _on_cluster_scenario(self, r: Dict) -> str:
+        self.scenarios += 1
+        if r.get("violations"):
+            self.violations += 1
+        return (
+            "scenario %-14s seed=%-3s %s (%s epochs)"
+            % (r.get("backend"), r.get("seed"),
+               "VIOLATION" if r.get("violations") else "ok",
+               r.get("epochs"))
+        )
+
+    def _on_cluster_campaign_end(self, r: Dict) -> str:
+        return ("cluster campaign finished: %d scenario(s), %d failure(s)"
+                % (r.get("scenarios", 0), r.get("failures", 0)))
+
+    # ---- bench ------------------------------------------------------
+    def _on_bench_entry(self, r: Dict) -> str:
+        return "bench %-16s done in %.2fs" % (r.get("name"),
+                                              r.get("wall_s", 0.0))
+
+    def _on_bench_end(self, r: Dict) -> str:
+        return ("bench finished: %d entr(ies), %.1fs wall"
+                % (r.get("entries", 0), r.get("wall_s_total", 0.0)))
+
+    def summary(self) -> str:
+        bits = ["tailed %d record(s)" % self.records]
+        if self.ops:
+            bits.append("%d ops" % self.ops)
+        if self.sim_ns > 0:
+            bits.append("%.2f Mops/s" % self.throughput_mops)
+        if self.scenarios:
+            bits.append("%d scenario(s)" % self.scenarios)
+        if self.epochs:
+            bits.append("%d epoch(s)" % self.epochs)
+        bits.append("%d crash(es), %d recover(ies)"
+                    % (self.crashes, self.recoveries))
+        if self.violations:
+            bits.append("%d VIOLATION(S)" % self.violations)
+        if not self.finished:
+            bits.append("writer still running (no terminal record)")
+        return ", ".join(bits)
+
+
+def tail_trace(
+    path: str,
+    out: Callable[[str], None] = print,
+    poll: float = 0.2,
+    idle_timeout: Optional[float] = None,
+    follow: bool = True,
+) -> TraceTail:
+    """Follow ``path`` and render it live through ``out``.  Returns the
+    final aggregate view."""
+    tail = TraceTail()
+    for record in follow_trace(
+        path, poll=poll, idle_timeout=idle_timeout, follow=follow
+    ):
+        line = tail.feed(record)
+        if line is not None:
+            out(line)
+    out(tail.summary())
+    return tail

@@ -1,0 +1,309 @@
+"""``repro trace timeline`` — reconstruct a run's ordered event
+timeline, with per-phase durations, from the stored trace alone.
+
+Traces carry no wall-clock timestamps (they must be byte-identical
+across runs and ``--jobs`` levels), so durations are reported in the
+run's own deterministic units: simulated machine *steps* for campaign
+scenarios, *epochs* for cluster sessions, simulated *nanoseconds* for
+store serving, and recorded wall seconds for bench entries (the one
+place wall time is a recorded, informational metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .schema import ensure_supported_version
+
+__all__ = ["TimelinePhase", "Timeline", "build_timeline", "format_timeline"]
+
+
+@dataclass
+class TimelinePhase:
+    """One contiguous phase of the reconstructed run."""
+
+    title: str
+    events: int = 0
+    duration: float = 0.0
+    unit: str = ""                 # "steps" | "epochs" | "ns" | "s" | ""
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Timeline:
+    """The reconstructed run."""
+
+    kind: str                      # what produced the trace
+    records: int
+    schema_versions: List[str]     # distinct declared versions ([] = legacy)
+    phases: List[TimelinePhase] = field(default_factory=list)
+    crashes: int = 0
+    recoveries: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+def _versions(records: Sequence[Dict]) -> List[str]:
+    seen: List[str] = []
+    for r in records:
+        v = r.get("schema_version")
+        if v is not None and v not in seen:
+            seen.append(str(v))
+    return seen
+
+
+def _campaign_timeline(records: Sequence[Dict], tl: Timeline) -> None:
+    start = records[0]
+    tl.notes.append(
+        "seed=%s scale=%s backend=%s benchmarks=%d"
+        % (start.get("seed"), start.get("scale"),
+           start.get("backend", "lightwsp-lrpo"),
+           len(start.get("benchmarks", [])))
+    )
+    order: List[str] = []
+    per_bench: Dict[str, TimelinePhase] = {}
+    defense = TimelinePhase(title="defense-off validation")
+    for r in records:
+        if r.get("type") == "scenario_end":
+            name = r.get("benchmark", "?")
+            if name not in per_bench:
+                order.append(name)
+                per_bench[name] = TimelinePhase(
+                    title="scenarios: %s" % name, unit="steps"
+                )
+            phase = per_bench[name]
+            phase.events += 1
+            phase.duration += r.get("steps", 0)
+            tl.crashes += r.get("crashes", 0)
+            if r.get("violation") is not None:
+                phase.notes.append(
+                    "VIOLATION %s/%s" % (name, r.get("fault_class"))
+                )
+        elif r.get("type") == "defense_mode":
+            defense.events += 1
+            tag = "caught" if r.get("caught") else "NOT CAUGHT"
+            defense.notes.append("%s: %s" % (r.get("mode"), tag))
+    tl.phases.extend(per_bench[name] for name in order)
+    if defense.events:
+        tl.phases.append(defense)
+    end = records[-1]
+    if end.get("type") == "campaign_end":
+        tl.notes.append(
+            "recorded end: %d scenarios, %d violations, defenses %d/%d"
+            % (end.get("scenarios", 0), end.get("violations", 0),
+               end.get("defenses_caught", 0), end.get("defenses_total", 0))
+        )
+    else:
+        tl.notes.append("trace has no campaign_end (interrupted run?)")
+    # every crash the campaign injects is followed by recovery unless the
+    # cut landed after program completion; the trace records only fired
+    # crashes, so they all recovered
+    tl.recoveries = tl.crashes
+
+
+def _cluster_campaign_timeline(
+    records: Sequence[Dict], tl: Timeline
+) -> None:
+    start = records[0]
+    tl.notes.append(
+        "backends=%s seeds=%s shards=%s ops=%s"
+        % (",".join(start.get("backends", [])),
+           ",".join(str(s) for s in start.get("seeds", [])),
+           start.get("n_shards"), start.get("ops"))
+    )
+    for r in records:
+        if r.get("type") != "cluster_scenario":
+            continue
+        phase = TimelinePhase(
+            title="scenario: %s seed=%s" % (r.get("backend"),
+                                            r.get("seed")),
+            events=1, duration=r.get("epochs", 0), unit="epochs",
+        )
+        kills = sum(1 for f in r.get("chaos", [])
+                    if f.get("kind") == "kill")
+        tl.crashes += kills
+        tl.recoveries += kills
+        if kills:
+            phase.notes.append("%d kill(s) injected" % kills)
+        if r.get("violations"):
+            phase.notes.append("VIOLATIONS: %s" % r["violations"][:2])
+        if r.get("shrunk") is not None:
+            phase.notes.append(
+                "shrunk to %d event(s)" % len(r["shrunk"])
+            )
+        tl.phases.append(phase)
+
+
+def _cluster_session_timeline(
+    records: Sequence[Dict], tl: Timeline
+) -> None:
+    start = records[0]
+    tl.notes.append(
+        "shards=%s backend=%s ops=%s chaos=%d"
+        % (start.get("n_shards"), start.get("backend"),
+           start.get("ops"), len(start.get("chaos", [])))
+    )
+    epochs = TimelinePhase(title="epoch loop", unit="epochs")
+    txns = TimelinePhase(title="cross-shard transactions")
+    for r in records:
+        rectype = r.get("type")
+        if rectype == "cluster_epoch":
+            epochs.events += 1
+            epochs.duration = max(epochs.duration, r.get("epoch", 0) + 1)
+            for t in r.get("transitions", []):
+                if t.get("status") in ("RECOVERING", "UP"):
+                    tl.recoveries += 1
+        elif rectype == "shard_kill":
+            tl.crashes += 1
+            epochs.notes.append(
+                "epoch %d: shard %d killed for %d epoch(s)"
+                % (r.get("epoch", -1), r.get("shard", -1),
+                   r.get("down_for", 0))
+            )
+        elif rectype == "replay_rejected":
+            epochs.notes.append(
+                "epoch %d: shard %d rejected replayed batch"
+                % (r.get("epoch", -1), r.get("shard", -1))
+            )
+        elif rectype == "txn_decision":
+            txns.events += 1
+    end = records[-1]
+    if end.get("type") == "cluster_end":
+        epochs.duration = end.get("epochs", epochs.duration)
+        tl.notes.append(
+            "recorded end: %d epochs, %d violation(s), digest %s"
+            % (end.get("epochs", 0), len(end.get("violations", [])),
+               end.get("digest", ""))
+        )
+    tl.phases.append(epochs)
+    if txns.events:
+        tl.phases.append(txns)
+
+
+def _serve_timeline(records: Sequence[Dict], tl: Timeline) -> None:
+    start = records[0]
+    tl.notes.append(
+        "workload=%s/%s seed=%s shards=%s backend=%s"
+        % (start.get("workload"), start.get("dist"), start.get("seed"),
+           start.get("shards"), start.get("backend"))
+    )
+    per_epoch: Dict[int, TimelinePhase] = {}
+    for r in records:
+        rectype = r.get("type")
+        if rectype == "server_epoch":
+            e = r.get("epoch", 0)
+            if e not in per_epoch:
+                per_epoch[e] = TimelinePhase(
+                    title="epoch %d" % e, unit="ns"
+                )
+            phase = per_epoch[e]
+            phase.events += 1
+            # the epoch's wall on the simulated clock is its slowest shard
+            phase.duration = max(phase.duration, r.get("sim_ns", 0.0))
+            if r.get("crashed"):
+                phase.notes.append(
+                    "shard %d crashed and recovered" % r.get("shard", -1)
+                )
+        elif rectype == "server_crash":
+            tl.crashes += 1
+            tl.recoveries += 1
+    tl.phases.extend(per_epoch[e] for e in sorted(per_epoch))
+    end = records[-1]
+    if end.get("type") == "serve_end":
+        tl.notes.append(
+            "recorded end: %d ops, %.2f Mops/s, %d violation(s), "
+            "digest %s"
+            % (end.get("ops", 0), end.get("throughput_mops", 0.0),
+               end.get("violations", 0), end.get("digest", ""))
+        )
+
+
+def _bench_timeline(records: Sequence[Dict], tl: Timeline) -> None:
+    start = records[0]
+    tl.notes.append(
+        "seed=%s scale=%s jobs=%s%s"
+        % (start.get("seed"), start.get("scale"), start.get("jobs"),
+           " [smoke]" if start.get("smoke") else "")
+    )
+    for r in records:
+        if r.get("type") != "bench_entry":
+            continue
+        tl.phases.append(TimelinePhase(
+            title="entry: %s (%s)" % (r.get("name"), r.get("kind")),
+            events=1, duration=r.get("wall_s", 0.0), unit="s",
+        ))
+    end = records[-1]
+    if end.get("type") == "bench_end":
+        tl.notes.append(
+            "recorded end: %d entries, %.1fs wall total"
+            % (end.get("entries", 0), end.get("wall_s_total", 0.0))
+        )
+
+
+_BUILDERS = {
+    "campaign_start": ("faults campaign", _campaign_timeline),
+    "cluster_campaign_start": ("cluster chaos campaign",
+                               _cluster_campaign_timeline),
+    "cluster_start": ("cluster session", _cluster_session_timeline),
+    "serve_start": ("store serving run", _serve_timeline),
+    "bench_start": ("bench run", _bench_timeline),
+}
+
+
+def build_timeline(
+    records: Sequence[Dict], path: str = "trace"
+) -> Timeline:
+    """Reconstruct the run a trace records.  Refuses unknown schema
+    majors (:func:`repro.obs.schema.ensure_supported_version`)."""
+    if not records:
+        raise ValueError("%s: empty trace" % path)
+    ensure_supported_version(records, path)
+    first = records[0].get("type")
+    if first not in _BUILDERS:
+        raise ValueError(
+            "%s: cannot reconstruct a timeline from a trace starting "
+            "with %r (known starts: %s)"
+            % (path, first, ", ".join(sorted(_BUILDERS)))
+        )
+    kind, builder = _BUILDERS[first]
+    tl = Timeline(
+        kind=kind, records=len(records),
+        schema_versions=_versions(records),
+    )
+    builder(records, tl)
+    return tl
+
+
+def _fmt_duration(phase: TimelinePhase) -> str:
+    if not phase.unit:
+        return "-"
+    if phase.unit == "ns":
+        return "%.0f ns" % phase.duration
+    if phase.unit == "s":
+        return "%.2f s" % phase.duration
+    return "%d %s" % (phase.duration, phase.unit)
+
+
+def format_timeline(tl: Timeline, limit_notes: int = 4) -> str:
+    versions = ",".join(tl.schema_versions) or "legacy (unversioned)"
+    lines = [
+        "trace: %s — %d records, schema %s" % (tl.kind, tl.records,
+                                               versions),
+    ]
+    for note in tl.notes:
+        lines.append("  %s" % note)
+    lines.append("  crashes=%d recoveries=%d" % (tl.crashes,
+                                                 tl.recoveries))
+    lines.append("")
+    lines.append("  %-34s %7s  %s" % ("phase", "events", "duration"))
+    for phase in tl.phases:
+        lines.append(
+            "  %-34s %7d  %s"
+            % (phase.title[:34], phase.events, _fmt_duration(phase))
+        )
+        for note in phase.notes[:limit_notes]:
+            lines.append("      %s" % note)
+        if len(phase.notes) > limit_notes:
+            lines.append("      ... %d more"
+                         % (len(phase.notes) - limit_notes))
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""``repro trace verdicts`` — re-render a campaign's verdicts from its
+trace alone and prove them against the recorded summary.
+
+The trace is the normative artifact: every per-scenario verdict
+(violation or clean), every defense-validation outcome, and the final
+summary record are all on disk.  This module re-derives the summary
+*from the per-scenario records only* — no simulation is re-run — and
+byte-compares its canonical serialization against the raw recorded
+line.  A mismatch means the trace was tampered with or the producer's
+bookkeeping disagreed with what it emitted; either way the artifact
+cannot be trusted and the report says so.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..trace import read_trace
+from .schema import ensure_supported_version
+
+__all__ = ["VerdictsReport", "derive_summary", "render_verdicts",
+           "format_verdicts"]
+
+
+@dataclass
+class VerdictsReport:
+    """The re-rendered verdicts plus the parity proof."""
+
+    kind: str                       # "faults campaign" | "cluster chaos campaign"
+    path: str
+    lines: List[str] = field(default_factory=list)  # rendered verdicts
+    stats: List[str] = field(default_factory=list)  # rendered summary stats
+    derived: Optional[Dict] = None   # summary re-derived from scenarios
+    recorded: Optional[Dict] = None  # summary record found in the trace
+    recorded_raw: Optional[str] = None  # its raw on-disk line
+    byte_match: Optional[bool] = None   # None = trace has no summary record
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and self.byte_match is not False
+
+
+def _canonical(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def derive_summary(records: Sequence[Dict]) -> Optional[Dict]:
+    """Re-derive the trace's terminal summary record from its
+    per-scenario records alone.  Returns None for trace kinds that have
+    no campaign summary."""
+    first = records[0].get("type")
+    if first == "campaign_start":
+        scenarios = [r for r in records if r.get("type") == "scenario_end"]
+        defenses = [r for r in records if r.get("type") == "defense_mode"]
+        return {
+            "type": "campaign_end",
+            "scenarios": len(scenarios),
+            "violations": sum(
+                1 for r in scenarios if r.get("violation") is not None
+            ),
+            "defenses_caught": sum(
+                1 for r in defenses if r.get("caught")
+            ),
+            "defenses_total": len(defenses),
+        }
+    if first == "cluster_campaign_start":
+        scenarios = [
+            r for r in records if r.get("type") == "cluster_scenario"
+        ]
+        return {
+            "type": "cluster_campaign_end",
+            "scenarios": len(scenarios),
+            "failures": sum(1 for r in scenarios if r.get("violations")),
+        }
+    return None
+
+
+def _campaign_verdicts(records: Sequence[Dict], report: VerdictsReport):
+    per_bench: Dict[str, List[int]] = {}
+    per_class: Dict[str, List[int]] = {}
+    for r in records:
+        if r.get("type") == "scenario_end":
+            bad = r.get("violation") is not None
+            verdict = "ok"
+            if bad:
+                verdict = "VIOLATION: %s" % r["violation"].get(
+                    "kind", "?"
+                )
+            report.lines.append(
+                "%-10s %-14s %-8s crashes=%-2d %s"
+                % (r.get("benchmark"), r.get("fault_class"),
+                   r.get("config"), r.get("crashes", 0), verdict)
+            )
+            for key, table in ((r.get("benchmark"), per_bench),
+                               (r.get("fault_class"), per_class)):
+                cell = table.setdefault(str(key), [0, 0])
+                cell[0] += 1
+                cell[1] += int(bad)
+        elif r.get("type") == "defense_mode":
+            tag = "NOT CAUGHT"
+            if r.get("caught"):
+                tag = ("caught (%d-event reproducer on %s, "
+                       "%d candidates)"
+                       % (r.get("minimal_events", 0), r.get("benchmark"),
+                          r.get("candidates_tried", 0)))
+            report.lines.append(
+                "defense %-24s %s" % (r.get("mode"), tag)
+            )
+    for title, table in (("per benchmark", per_bench),
+                         ("per fault class", per_class)):
+        report.stats.append(title + ":")
+        for key in sorted(table):
+            ran, bad = table[key]
+            report.stats.append(
+                "  %-14s %3d scenario(s), %d violation(s)"
+                % (key, ran, bad)
+            )
+
+
+def _cluster_verdicts(records: Sequence[Dict], report: VerdictsReport):
+    per_backend: Dict[str, List[int]] = {}
+    for r in records:
+        if r.get("type") != "cluster_scenario":
+            continue
+        bad = bool(r.get("violations"))
+        verdict = "ok"
+        if bad:
+            verdict = "VIOLATION: %s" % "; ".join(
+                str(v) for v in r["violations"][:2]
+            )
+        report.lines.append(
+            "%-14s seed=%-3s epochs=%-3s digest=%s %s"
+            % (r.get("backend"), r.get("seed"), r.get("epochs"),
+               r.get("digest"), verdict)
+        )
+        cell = per_backend.setdefault(str(r.get("backend")), [0, 0])
+        cell[0] += 1
+        cell[1] += int(bad)
+    report.stats.append("per backend:")
+    for key in sorted(per_backend):
+        ran, bad = per_backend[key]
+        report.stats.append(
+            "  %-14s %3d scenario(s), %d failure(s)" % (key, ran, bad)
+        )
+
+
+_KINDS = {
+    "campaign_start": ("faults campaign", _campaign_verdicts,
+                       "campaign_end"),
+    "cluster_campaign_start": ("cluster chaos campaign",
+                               _cluster_verdicts,
+                               "cluster_campaign_end"),
+}
+
+
+def render_verdicts(path: str) -> VerdictsReport:
+    """Re-render verdicts and summary stats for the campaign trace at
+    ``path`` and byte-compare the derived summary against the recorded
+    one.  Refuses unknown schema majors."""
+    records = read_trace(path)
+    if not records:
+        raise ValueError("%s: empty trace" % path)
+    ensure_supported_version(records, path)
+    first = records[0].get("type")
+    if first not in _KINDS:
+        raise ValueError(
+            "%s: verdicts need a campaign trace (starting with %s), "
+            "got a trace starting with %r"
+            % (path, " or ".join(sorted(_KINDS)), first)
+        )
+    kind, renderer, end_type = _KINDS[first]
+    report = VerdictsReport(kind=kind, path=path)
+    renderer(records, report)
+
+    report.derived = derive_summary(records)
+    with open(path) as fh:
+        raw_lines = [ln for ln in fh.read().split("\n") if ln.strip()]
+    recorded_at = next(
+        (i for i, r in enumerate(records) if r.get("type") == end_type),
+        None,
+    )
+    if recorded_at is None:
+        report.problems.append(
+            "trace has no %s record (interrupted run?) — derived "
+            "verdict stands alone, nothing recorded to compare against"
+            % end_type
+        )
+        return report
+    report.recorded = records[recorded_at]
+    report.recorded_raw = raw_lines[recorded_at]
+
+    # the recorded summary is compared byte-for-byte: the derived
+    # record, carrying the envelope (schema_version) the producer
+    # stamped, re-serialized canonically, must equal the raw line
+    derived = dict(report.derived)
+    if "schema_version" in report.recorded:
+        derived["schema_version"] = report.recorded["schema_version"]
+    report.byte_match = _canonical(derived) == report.recorded_raw
+    if not report.byte_match:
+        report.problems.append(
+            "recorded %s does not byte-match the summary derived from "
+            "the per-scenario records:\n  recorded: %s\n  derived:  %s"
+            % (end_type, report.recorded_raw, _canonical(derived))
+        )
+    return report
+
+
+def format_verdicts(report: VerdictsReport) -> str:
+    out = ["verdicts: %s — %s" % (report.kind, report.path), ""]
+    out.extend("  %s" % line for line in report.lines)
+    out.append("")
+    out.extend("  %s" % line for line in report.stats)
+    out.append("")
+    if report.byte_match:
+        out.append(
+            "  recorded summary byte-matches the verdict derived from "
+            "%d rendered record(s): %s"
+            % (len(report.lines), report.recorded_raw)
+        )
+    for problem in report.problems:
+        out.append("  PROBLEM: %s" % problem)
+    return "\n".join(out)

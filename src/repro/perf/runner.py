@@ -139,13 +139,20 @@ def run_bench(
     jobs: int = 1,
     worker_timeout: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace_path: Optional[str] = None,
 ) -> BenchReport:
     """Run the curated benchmark entries and return the report.
 
     ``smoke`` shrinks every entry to CI size (and restricts the default
     entry list to the smoke subset); ``entries`` names an explicit
-    subset instead.  ``jobs`` fans entries out one per worker."""
+    subset instead.  ``jobs`` fans entries out one per worker.
+    ``trace_path`` additionally records the run as a trace.v1 JSONL
+    artifact (bench_start, one bench_entry per entry, bench_end) —
+    note the wall_s fields there are informational, so a bench trace
+    is *not* byte-reproducible across runs, unlike every other trace
+    the system writes."""
     from ..parallel import fan_out
+    from ..trace import JsonlTrace, NullTrace
 
     say = progress or (lambda msg: None)
     specs = select_specs(entries, smoke=smoke)
@@ -162,6 +169,11 @@ def run_bench(
             wall_s=round(time.perf_counter() - t0, 4),
         )
 
+    trace = JsonlTrace(trace_path) if trace_path else NullTrace()
+    trace.emit(
+        "bench_start", seed=seed, scale=sim_scale, smoke=smoke,
+        jobs=max(1, jobs), entries=[spec.name for spec in specs],
+    )
     t0 = time.perf_counter()
     measured = fan_out(
         measure, specs, jobs=jobs, timeout=worker_timeout, label="bench"
@@ -173,6 +185,15 @@ def run_bench(
     )
     for entry in report.entries:
         say("%-16s %s" % (entry.name, _one_line(entry)))
+        trace.emit(
+            "bench_entry", name=entry.name, kind=entry.kind,
+            metrics=dict(entry.metrics), wall_s=entry.wall_s,
+        )
+    trace.emit(
+        "bench_end", entries=len(report.entries),
+        wall_s_total=report.wall_s_total,
+    )
+    trace.close()
     return report
 
 

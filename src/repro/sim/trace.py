@@ -1,6 +1,10 @@
-"""Compatibility shim: the dynamic-instruction trace schema moved to
-:mod:`repro.trace` so the runtime layer, the timing simulator, and the
-fault subsystem share one event definition.  Import from there."""
+"""Deprecated compatibility shim — import from :mod:`repro.trace`.
+
+The dynamic-instruction trace schema moved to :mod:`repro.trace` so the
+runtime layer, the timing simulator, and the fault subsystem share one
+event definition.  This module is a pure re-export (every name here
+*is* the :mod:`repro.trace` object, pinned by test) kept only for
+existing imports; new code should import from :mod:`repro.trace`."""
 
 from __future__ import annotations
 

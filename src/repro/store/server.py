@@ -42,6 +42,7 @@ from .layout import KNUTH, META_COMPACTIONS, META_DROPS, StoreLayout
 from .oracle import StoreModel, check_recovery, visible_state
 from .programs import Request, build_store_program, request_words
 from .workload import generate_workload
+from ..trace import JsonlTrace, NullTrace
 
 __all__ = [
     "DATA_FLOOR",
@@ -176,6 +177,7 @@ class StoreServer:
         progress: Optional[Callable[[str], None]] = None,
         verify: Optional[bool] = None,
         backend=None,
+        trace=None,
     ) -> None:
         from ..runtime.backend import get_backend
 
@@ -189,6 +191,7 @@ class StoreServer:
         # places the same sizing in the same order, so the bases agree
         self.layout = layout.place(Program("layout-probe"))
         self.progress = progress or (lambda msg: None)
+        self.trace = trace if trace is not None else NullTrace()
         self.shards = [_Shard(i, self.layout) for i in range(n_shards)]
         self.violations: List[str] = []
         self.sim_ns = 0.0
@@ -213,6 +216,7 @@ class StoreServer:
         batch: List[Tuple[int, Request]],
         crash_step: Optional[int],
         crash_event: Optional[FaultEvent],
+        epoch: int = 0,
     ) -> None:
         lay = self.layout
         first_id = batch[0][0]
@@ -276,6 +280,11 @@ class StoreServer:
                         "oracle VIOLATION" if found else "oracle ok",
                     )
                 )
+                self.trace.emit(
+                    "server_crash", epoch=epoch, shard=shard.shard,
+                    step=steps_before, acked=len(acked),
+                    requests=len(requests), oracle_ok=not found,
+                )
                 shard.report.recovered_ops += len(requests) - len(acked)
         machine.run()
         machine.finish_messages()
@@ -297,9 +306,8 @@ class StoreServer:
             if payload in seen or region not in commit_at:
                 continue
             seen[payload] = self._steps_to_ns(commit_at[region])
-        shard.report.latencies_ns.extend(
-            ns for _, ns in sorted(seen.items())
-        )
+        epoch_lat = [ns for _, ns in sorted(seen.items())]
+        shard.report.latencies_ns.extend(epoch_lat)
         shard.report.acked += len(seen)
 
         # advance the reference model and the durable image
@@ -317,6 +325,16 @@ class StoreServer:
         shard.report.boundaries += machine.stats.boundaries
         shard.report.max_wpq_occupancy = max(
             shard.report.max_wpq_occupancy, machine.stats.max_wpq_occupancy
+        )
+        summary = latency_summary(epoch_lat)
+        self.trace.emit(
+            "server_epoch", epoch=epoch, shard=shard.shard,
+            ops=len(requests), acked=len(seen),
+            steps=machine.stats.steps,
+            sim_ns=self._steps_to_ns(machine.stats.steps),
+            p50=summary["p50"], p95=summary["p95"], p99=summary["p99"],
+            wpq_occupancy=machine.stats.max_wpq_occupancy,
+            commits=machine.stats.commits, crashed=crashed,
         )
         if crashed:
             # the epoch's tail re-executed; its final image must agree
@@ -378,7 +396,7 @@ class StoreServer:
                         torn_index=0 if crash_torn else -1,
                     )
                 before = shard.report.steps
-                self._run_epoch(shard, chunk, step, event)
+                self._run_epoch(shard, chunk, step, event, epoch=epoch)
                 epoch_steps = max(
                     epoch_steps, shard.report.steps - before
                 )
@@ -425,20 +443,30 @@ def run_serve(
     progress: Optional[Callable[[str], None]] = None,
     verify: Optional[bool] = None,
     backend=None,
+    trace_path: Optional[str] = None,
 ) -> ServeReport:
     """Generate, shard, and serve a workload; see :class:`ServeReport`.
 
     ``verify=True`` statically verifies every epoch's compiled program
-    (see :mod:`repro.verify`) before serving from it."""
+    (see :mod:`repro.verify`) before serving from it.  ``trace_path``
+    records the run as a trace.v1 JSONL artifact (serve_start,
+    per-shard server_epoch/server_crash, serve_end) that ``repro trace
+    timeline``/``tail`` can render."""
     requests = generate_workload(
         workload, ops, keyspace, seed=seed, dist=dist
     )
     layout = StoreLayout.sized(
         keyspace, value_words=value_words, max_batch=batch
     )
+    trace = JsonlTrace(trace_path) if trace_path else NullTrace()
     server = StoreServer(
         shards, layout, config=config, seed=seed, progress=progress,
-        verify=verify, backend=backend,
+        verify=verify, backend=backend, trace=trace,
+    )
+    trace.emit(
+        "serve_start", workload=workload, dist=dist, seed=seed, ops=ops,
+        shards=shards, keyspace=keyspace, batch=batch,
+        backend=server.backend.name, crash_epoch=crash_epoch,
     )
     server.submit(requests)
     server.serve(
@@ -449,7 +477,7 @@ def run_serve(
         crash_step=crash_step,
     )
     reports = server.finalize()
-    return ServeReport(
+    report = ServeReport(
         workload=workload,
         dist=dist,
         seed=seed,
@@ -460,3 +488,10 @@ def run_serve(
         violations=server.violations,
         crash_epoch=crash_epoch,
     )
+    trace.emit(
+        "serve_end", ops=report.total_ops, sim_ns=report.sim_ns,
+        throughput_mops=report.throughput_mops,
+        violations=len(report.violations), digest=report.digest(),
+    )
+    trace.close()
+    return report

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -37,13 +39,25 @@ __all__ = [
     "TraceEvent",
     "TraceStats",
     "count_events",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_SCHEMA_MAJOR",
     "JsonlTrace",
     "FaultTrace",
     "NullTrace",
+    "TraceSchemaError",
+    "TraceParseError",
+    "TruncatedTraceError",
+    "TruncatedTraceWarning",
+    "set_default_strict",
     "image_hash",
     "read_trace",
     "iter_scenarios",
 ]
+
+#: the trace.v1 contract version stamped into every JSONL record (see
+#: :mod:`repro.obs.schema` for the event catalogue and version rules)
+TRACE_SCHEMA_VERSION = "1.0"
+TRACE_SCHEMA_MAJOR = 1
 
 
 # ----------------------------------------------------------------------
@@ -155,17 +169,89 @@ def image_hash(image: Dict[int, int]) -> str:
     return digest.hexdigest()[:16]
 
 
-class JsonlTrace:
-    """Append-only JSONL writer.  One instance per recorded run."""
+class TraceSchemaError(ValueError):
+    """A strict-mode :class:`JsonlTrace` was asked to emit a record that
+    violates the trace.v1 event catalogue (:mod:`repro.obs.schema`)."""
 
-    def __init__(self, path: str) -> None:
+
+class TraceParseError(ValueError):
+    """A JSONL trace line failed to parse."""
+
+    def __init__(self, path: str, line_no: int, message: str) -> None:
+        super().__init__(
+            "%s line %d: %s" % (path, line_no, message)
+        )
+        self.path = path
+        self.line_no = line_no
+
+
+class TruncatedTraceError(TraceParseError):
+    """The *final* line of a JSONL trace is incomplete — the signature
+    of a writer that crashed (or is still running) mid-record.  Pass
+    ``lenient=True`` to :func:`read_trace` to drop the partial line
+    with a warning instead."""
+
+
+class TruncatedTraceWarning(UserWarning):
+    """Lenient-mode notice that a truncated final line was dropped."""
+
+
+#: process-wide default for JsonlTrace strict validation; None defers
+#: to the REPRO_TRACE_STRICT environment variable (off when unset)
+_DEFAULT_STRICT: Optional[bool] = None
+
+
+def set_default_strict(value: Optional[bool]) -> Optional[bool]:
+    """Set the process-wide strict default for every
+    :class:`JsonlTrace` constructed without an explicit ``strict=``.
+    The test suite turns this on in ``tests/conftest.py`` so every
+    emitted record doubles as a schema regression test.  Returns the
+    previous value; ``None`` restores the environment-variable
+    default."""
+    global _DEFAULT_STRICT
+    previous = _DEFAULT_STRICT
+    _DEFAULT_STRICT = value
+    return previous
+
+
+def _strict_default() -> bool:
+    if _DEFAULT_STRICT is not None:
+        return _DEFAULT_STRICT
+    return os.environ.get("REPRO_TRACE_STRICT", "") not in ("", "0")
+
+
+class JsonlTrace:
+    """Append-only JSONL writer.  One instance per recorded run.
+
+    Every record is stamped with ``schema_version`` (trace.v1) so each
+    line is self-describing.  With ``strict`` (explicit, or on by
+    default via :func:`set_default_strict` / ``REPRO_TRACE_STRICT``),
+    every emit is validated against the event catalogue and a
+    violating record raises :class:`TraceSchemaError` instead of
+    poisoning the artifact."""
+
+    def __init__(self, path: str, strict: Optional[bool] = None) -> None:
         self.path = path
         self._fh = open(path, "a")
         self.lines_written = 0
+        self.strict = _strict_default() if strict is None else strict
 
     def emit(self, rectype: str, **fields) -> None:
         record = {"type": rectype}
         record.update(fields)
+        record.setdefault("schema_version", TRACE_SCHEMA_VERSION)
+        if self.strict:
+            from .obs.schema import validate_record
+
+            problems = validate_record(record)
+            if problems:
+                raise TraceSchemaError(
+                    "refusing to emit a record that violates trace.v%d "
+                    "(%s): %s" % (
+                        TRACE_SCHEMA_MAJOR, self.path,
+                        "; ".join(problems),
+                    )
+                )
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
         self.lines_written += 1
@@ -197,9 +283,47 @@ class NullTrace:
         pass
 
 
-def read_trace(path: str) -> List[Dict]:
+def read_trace(path: str, lenient: bool = False) -> List[Dict]:
+    """Parse a JSONL trace into records.
+
+    A trace written by a crashed (or still-running) producer commonly
+    ends in a half-written line: that raises a typed
+    :class:`TruncatedTraceError` naming the file and line — or, with
+    ``lenient=True``, drops the partial line with a
+    :class:`TruncatedTraceWarning` and returns everything before it
+    (every complete record of an append-only trace is still valid).  A
+    malformed line *before* the end is not a crash signature but
+    corruption, and always raises :class:`TraceParseError`."""
     with open(path) as fh:
-        return [json.loads(line) for line in fh if line.strip()]
+        lines = fh.read().split("\n")
+    records: List[Dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            final = all(not rest.strip() for rest in lines[i + 1:])
+            if not final:
+                raise TraceParseError(
+                    path, i + 1,
+                    "malformed JSONL record (%s); the trace is corrupt "
+                    "beyond a truncated tail" % exc,
+                ) from None
+            if lenient:
+                warnings.warn(
+                    "%s line %d: dropping truncated final record "
+                    "(crashed writer?)" % (path, i + 1),
+                    TruncatedTraceWarning,
+                    stacklevel=2,
+                )
+                break
+            raise TruncatedTraceError(
+                path, i + 1,
+                "truncated final record (crashed or still-running "
+                "writer?); pass lenient=True to drop it",
+            ) from None
+    return records
 
 
 def iter_scenarios(records: List[Dict]) -> Iterator[Dict]:

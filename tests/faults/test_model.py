@@ -121,6 +121,21 @@ class TestOracle:
         assert data["sample"] == [[1, 2, 3]]
 
 
+def _campaign_start(seed=0):
+    """A minimal catalogue-conformant campaign_start payload."""
+    return dict(seed=seed, scale=0.01, benchmarks=["bzip2"],
+                fault_classes=["clean_cut"], tiny_wpq_entries=4,
+                version=1)
+
+
+def _scenario_end(benchmark="bzip2"):
+    """A minimal catalogue-conformant scenario_end payload."""
+    return dict(benchmark=benchmark, fault_class="clean_cut",
+                config="default", mode="all_on", schedule=[],
+                image_hash="0" * 16, steps=1, crashes=0,
+                skipped_events=0, counters={}, violation=None)
+
+
 class TestTrace:
     def test_image_hash_is_order_independent(self):
         assert image_hash({1: 2, 3: 4}) == image_hash({3: 4, 1: 2})
@@ -130,11 +145,14 @@ class TestTrace:
         assert image_hash({1: 2}) != image_hash({2: 2})
 
     def test_jsonl_roundtrip(self, tmp_path):
+        # the suite runs strict, so these emissions double as a check
+        # that hand-built catalogue-conformant records pass validation
         path = str(tmp_path / "trace.jsonl")
         with FaultTrace(path) as trace:
-            trace.emit("campaign_start", seed=0)
-            trace.emit("scenario_end", benchmark="bzip2", schedule=[])
-            trace.emit("campaign_end", scenarios=1)
+            trace.emit("campaign_start", **_campaign_start(seed=0))
+            trace.emit("scenario_end", **_scenario_end(benchmark="bzip2"))
+            trace.emit("campaign_end", scenarios=1, violations=0,
+                       defenses_caught=0, defenses_total=0)
         records = read_trace(path)
         assert [r["type"] for r in records] == [
             "campaign_start", "scenario_end", "campaign_end",
@@ -144,7 +162,7 @@ class TestTrace:
     def test_trace_is_append_only(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
         with FaultTrace(path) as trace:
-            trace.emit("campaign_start", seed=0)
+            trace.emit("campaign_start", **_campaign_start(seed=0))
         with FaultTrace(path) as trace:
-            trace.emit("campaign_start", seed=1)
+            trace.emit("campaign_start", **_campaign_start(seed=1))
         assert [r["seed"] for r in read_trace(path)] == [0, 1]

@@ -1,0 +1,1 @@
+"""Tests for the trace.v1 observability plane (repro.obs)."""

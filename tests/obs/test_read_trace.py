@@ -1,0 +1,88 @@
+"""Tests for the hardened JSONL reader: truncated-tail detection,
+lenient mode, and mid-file corruption."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TraceParseError,
+    TruncatedTraceError,
+    TruncatedTraceWarning,
+    read_trace,
+)
+
+
+def _write(path, *lines):
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))
+
+
+COMPLETE = json.dumps({"type": "campaign_end", "scenarios": 1})
+
+
+class TestTruncatedTail:
+    def test_truncated_final_line_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, COMPLETE, '{"type": "scenario_end", "ben')
+        with pytest.raises(TruncatedTraceError) as err:
+            read_trace(path)
+        assert err.value.path == path
+        assert err.value.line_no == 2
+        assert "truncated" in str(err.value)
+        # the typed error is still a ValueError for broad handlers
+        assert isinstance(err.value, ValueError)
+
+    def test_truncation_with_trailing_blank_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, COMPLETE, '{"half', "", "  ")
+        with pytest.raises(TruncatedTraceError):
+            read_trace(path)
+
+    def test_lenient_drops_tail_with_warning(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, COMPLETE, COMPLETE, '{"half')
+        with pytest.warns(TruncatedTraceWarning, match="line 3"):
+            records = read_trace(path, lenient=True)
+        assert len(records) == 2
+        assert all(r["type"] == "campaign_end" for r in records)
+
+    def test_lenient_on_clean_trace_warns_nothing(self, tmp_path):
+        import warnings
+
+        path = str(tmp_path / "t.jsonl")
+        _write(path, COMPLETE, "")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_trace(path, lenient=True)) == 1
+
+
+class TestMidFileCorruption:
+    def test_corrupt_middle_line_raises_even_lenient(self, tmp_path):
+        # a malformed line with complete records after it is not a
+        # crashed-writer signature — it is corruption, never droppable
+        path = str(tmp_path / "t.jsonl")
+        _write(path, COMPLETE, "{broken}", COMPLETE)
+        with pytest.raises(TraceParseError, match="line 2"):
+            read_trace(path)
+        with pytest.raises(TraceParseError, match="corrupt"):
+            read_trace(path, lenient=True)
+
+    def test_mid_file_error_is_not_truncation(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, "{broken}", COMPLETE)
+        with pytest.raises(TraceParseError) as err:
+            read_trace(path)
+        assert not isinstance(err.value, TruncatedTraceError)
+
+
+class TestCleanTraces:
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, "", COMPLETE, "", COMPLETE, "")
+        assert len(read_trace(path)) == 2
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write(path, "")
+        assert read_trace(path) == []

@@ -1,0 +1,45 @@
+"""The committed seed traces are normative artifacts: stamped with the
+trace.v1 version, and their recorded outcomes must reproduce bit for
+bit when replayed by this build."""
+
+import os
+
+from repro.cluster import replay_cluster_trace
+from repro.faults import replay_trace
+from repro.trace import TRACE_SCHEMA_VERSION, read_trace
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
+CLUSTER = os.path.join(DATA, "cluster-chaos-seed0.jsonl")
+
+
+class TestSeedTraces:
+    def test_campaign_seed_trace_replays_bit_for_bit(self):
+        report = replay_trace(CAMPAIGN, jobs=2)
+        assert report["mismatches"] == []
+        records = read_trace(CAMPAIGN)
+        scenarios = [r for r in records if r["type"] == "scenario_end"]
+        assert report["checked"] == len(scenarios)
+
+    def test_cluster_seed_trace_replays_bit_for_bit(self):
+        records = read_trace(CLUSTER)
+        assert replay_cluster_trace(records) == []
+
+    def test_seed_traces_are_fully_stamped(self):
+        for path in (CAMPAIGN, CLUSTER):
+            records = read_trace(path)
+            assert records
+            assert all(
+                r["schema_version"] == TRACE_SCHEMA_VERSION
+                for r in records
+            ), "%s has unstamped records" % path
+
+    def test_campaign_seed_trace_shape(self):
+        records = read_trace(CAMPAIGN)
+        assert records[0]["type"] == "campaign_start"
+        assert records[0]["seed"] == 0
+        assert records[-1]["type"] == "campaign_end"
+        assert records[-1]["violations"] == 0
+        # all six defense-off modes were validated and caught
+        assert records[-1]["defenses_caught"] == \
+            records[-1]["defenses_total"] > 0

@@ -1,0 +1,47 @@
+"""The historical trace modules are pure re-export shims: every public
+name must be *the same object* as in :mod:`repro.trace`, so code
+importing from either path sees one identical surface."""
+
+import repro.faults.trace as faults_shim
+import repro.sim.trace as sim_shim
+import repro.trace as canonical
+
+
+class TestShimsAreImportIdentical:
+    def test_sim_shim_surface(self):
+        assert sim_shim.__all__ == ["EK", "TraceEvent", "TraceStats",
+                                    "count_events"]
+        for name in sim_shim.__all__:
+            assert getattr(sim_shim, name) is getattr(canonical, name), (
+                "repro.sim.trace.%s is not the repro.trace object" % name
+            )
+
+    def test_faults_shim_surface(self):
+        assert faults_shim.__all__ == [
+            "FaultTrace", "JsonlTrace", "NullTrace", "image_hash",
+            "iter_scenarios", "read_trace",
+        ]
+        for name in faults_shim.__all__:
+            assert getattr(faults_shim, name) is getattr(
+                canonical, name
+            ), (
+                "repro.faults.trace.%s is not the repro.trace object"
+                % name
+            )
+
+    def test_shims_define_nothing_of_their_own(self):
+        # a shim that grows its own definitions stops being a shim
+        for shim in (sim_shim, faults_shim):
+            own = [
+                name for name, value in vars(shim).items()
+                if not name.startswith("_")
+                and name not in ("annotations",)
+                and getattr(canonical, name, None) is not value
+            ]
+            assert own == [], "%s defines %s" % (shim.__name__, own)
+
+    def test_shims_are_marked_deprecated(self):
+        assert "Deprecated" in sim_shim.__doc__
+        assert "Deprecated" in faults_shim.__doc__
+        assert "repro.trace" in sim_shim.__doc__
+        assert "repro.trace" in faults_shim.__doc__

@@ -1,0 +1,141 @@
+"""Tests for ``repro trace tail`` — following a growing trace,
+partial-line buffering, terminal-record stop, and idle timeout."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs import SchemaVersionError, TraceTail, follow_trace, tail_trace
+from repro.trace import read_trace
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
+
+
+def _serve_records(tmp_path):
+    from repro.store import run_serve
+
+    path = str(tmp_path / "serve.jsonl")
+    run_serve(workload="ycsb-a", ops=200, shards=2, keyspace=32,
+              crash_epoch=1, trace_path=path)
+    return path, read_trace(path)
+
+
+class TestFollow:
+    def test_no_follow_reads_everything(self):
+        records = list(follow_trace(CAMPAIGN, follow=False))
+        assert records == read_trace(CAMPAIGN)
+
+    def test_stops_at_terminal_record(self, tmp_path):
+        # records after the terminal one are not consumed
+        path = str(tmp_path / "t.jsonl")
+        end = json.dumps({"type": "campaign_end", "scenarios": 0,
+                          "violations": 0, "defenses_caught": 0,
+                          "defenses_total": 0})
+        with open(path, "w") as fh:
+            fh.write(end + "\n" + end + "\n")
+        assert len(list(follow_trace(path, follow=False))) == 1
+        assert len(list(
+            follow_trace(path, follow=False, stop_at_terminal=False)
+        )) == 2
+
+    def test_live_follow_growing_file(self, tmp_path):
+        # a writer thread appends the committed campaign trace in
+        # deliberately misaligned chunks; the follower must deliver
+        # every record intact and stop at campaign_end
+        path = str(tmp_path / "grow.jsonl")
+        with open(CAMPAIGN) as fh:
+            text = fh.read()
+        open(path, "w").close()
+
+        def writer():
+            with open(path, "a") as fh:
+                for i in range(0, len(text), 1777):  # splits mid-line
+                    fh.write(text[i:i + 1777])
+                    fh.flush()
+                    time.sleep(0.002)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            records = list(follow_trace(path, poll=0.005,
+                                        idle_timeout=10.0))
+        finally:
+            thread.join()
+        assert records == read_trace(CAMPAIGN)
+        assert records[-1]["type"] == "campaign_end"
+
+    def test_partial_final_line_is_held_not_parsed(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        full = json.dumps({"type": "nested_cut", "step": 3,
+                           "schema_version": "1.0"})
+        with open(path, "w") as fh:
+            fh.write(full + "\n" + full[:7])
+        # the half record is invisible, not a parse error
+        assert len(list(follow_trace(path, follow=False))) == 1
+
+    def test_idle_timeout_ends_follow(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "nested_cut", "step": 1}) + "\n")
+        t0 = time.monotonic()
+        records = list(follow_trace(path, poll=0.01, idle_timeout=0.05))
+        assert len(records) == 1
+        assert time.monotonic() - t0 < 5.0
+
+    def test_unknown_major_refused_mid_stream(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "nested_cut", "step": 1,
+                                 "schema_version": "4.0"}) + "\n")
+        with pytest.raises(SchemaVersionError, match="4.0"):
+            list(follow_trace(path, follow=False))
+
+
+class TestTraceTail:
+    def test_serve_aggregation(self, tmp_path):
+        path, records = _serve_records(tmp_path)
+        tail = TraceTail()
+        lines = [tail.feed(r) for r in records]
+        end = records[-1]
+        assert tail.finished
+        assert tail.ops == end["ops"]
+        # the tail reconstructs the run's simulated wall exactly: an
+        # epoch's wall is its slowest shard, summed over epochs
+        assert tail.sim_ns == pytest.approx(end["sim_ns"])
+        assert tail.throughput_mops == pytest.approx(
+            end["throughput_mops"]
+        )
+        assert tail.crashes == sum(
+            1 for r in records if r["type"] == "server_crash"
+        )
+        assert tail.max_wpq_occupancy == max(
+            r["wpq_occupancy"] for r in records
+            if r["type"] == "server_epoch"
+        )
+        text = "\n".join(ln for ln in lines if ln)
+        assert "CRASH" in text
+        assert "p95=" in text
+        assert "wpq<=" in text
+
+    def test_campaign_aggregation(self):
+        records = read_trace(CAMPAIGN)
+        tail = TraceTail()
+        for r in records:
+            tail.feed(r)
+        end = next(r for r in records if r["type"] == "campaign_end")
+        assert tail.scenarios == end["scenarios"]
+        assert tail.violations == end["violations"]
+        assert tail.finished
+        assert "scenario(s)" in tail.summary()
+
+    def test_tail_trace_renders(self, tmp_path, capsys):
+        path, records = _serve_records(tmp_path)
+        tail = tail_trace(path, follow=False)
+        out = capsys.readouterr().out
+        assert "serve finished" in out
+        assert "tailed %d record(s)" % len(records) in out
+        assert tail.records == len(records)

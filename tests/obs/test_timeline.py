@@ -1,0 +1,127 @@
+"""Tests for ``repro trace timeline`` — run reconstruction from trace
+alone, including the store-server and bench producers it renders."""
+
+import os
+
+import pytest
+
+from repro.obs import SchemaVersionError, build_timeline, format_timeline
+from repro.obs.schema import validate_records
+from repro.trace import read_trace
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
+CLUSTER = os.path.join(DATA, "cluster-chaos-seed0.jsonl")
+
+
+class TestCampaignTimeline:
+    def test_committed_campaign_trace(self):
+        records = read_trace(CAMPAIGN)
+        tl = build_timeline(records, CAMPAIGN)
+        assert tl.kind == "faults campaign"
+        assert tl.records == len(records)
+        assert tl.schema_versions == ["1.0"]
+        # one phase per benchmark plus the defense-off phase
+        start = records[0]
+        bench_phases = [p for p in tl.phases
+                        if p.title.startswith("scenarios:")]
+        assert len(bench_phases) == len(start["benchmarks"])
+        assert all(p.unit == "steps" and p.duration > 0
+                   for p in bench_phases)
+        assert any(p.title == "defense-off validation" for p in tl.phases)
+        # each injected crash recovered (the campaign's invariant)
+        assert tl.crashes > 0
+        assert tl.recoveries == tl.crashes
+        assert any("recorded end" in n for n in tl.notes)
+
+    def test_format_renders(self):
+        tl = build_timeline(read_trace(CAMPAIGN), CAMPAIGN)
+        text = format_timeline(tl)
+        assert "faults campaign" in text
+        assert "schema 1.0" in text
+        assert "scenarios: bzip2" in text
+
+    def test_cluster_campaign_trace(self):
+        tl = build_timeline(read_trace(CLUSTER), CLUSTER)
+        assert tl.kind == "cluster chaos campaign"
+        assert all(p.unit == "epochs" for p in tl.phases)
+        assert len(tl.phases) == 6  # 2 backends x 3 seeds
+
+
+class TestRefusals:
+    def test_unknown_major_refused(self):
+        records = read_trace(CAMPAIGN)
+        for r in records:
+            r["schema_version"] = "9.0"
+        with pytest.raises(SchemaVersionError, match="9.0"):
+            build_timeline(records, CAMPAIGN)
+
+    def test_unknown_start_type(self):
+        with pytest.raises(ValueError, match="cannot reconstruct"):
+            build_timeline([{"type": "scenario_end"}], "x.jsonl")
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError, match="empty"):
+            build_timeline([], "x.jsonl")
+
+
+class TestServeProducer:
+    def test_serve_trace_validates_and_renders(self, tmp_path):
+        from repro.store import run_serve
+
+        path = str(tmp_path / "serve.jsonl")
+        report = run_serve(
+            workload="ycsb-a", ops=200, shards=2, keyspace=32,
+            crash_epoch=1, trace_path=path,
+        )
+        records = read_trace(path)
+        assert validate_records(records) == []
+        assert records[0]["type"] == "serve_start"
+        assert records[-1]["type"] == "serve_end"
+        # the terminal record agrees with the returned report
+        end = records[-1]
+        assert end["digest"] == report.digest()
+        assert end["ops"] == report.total_ops
+        assert end["violations"] == len(report.violations)
+        crashes = [r for r in records if r["type"] == "server_crash"]
+        assert crashes, "crash epoch produced no server_crash records"
+        assert all(c["oracle_ok"] for c in crashes)
+        epochs = [r for r in records if r["type"] == "server_epoch"]
+        assert sum(e["ops"] for e in epochs) == report.total_ops
+        assert sum(e["acked"] for e in epochs) == \
+            sum(s.acked for s in report.shards)
+
+        tl = build_timeline(records, path)
+        assert tl.kind == "store serving run"
+        assert tl.crashes == len(crashes)
+        assert all(p.unit == "ns" for p in tl.phases)
+
+    def test_serve_trace_is_deterministic(self, tmp_path):
+        from repro.store import run_serve
+
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        for path in (a, b):
+            run_serve(workload="ycsb-c", ops=120, shards=2, keyspace=32,
+                      trace_path=path)
+        assert open(a).read() == open(b).read()
+
+
+class TestBenchProducer:
+    def test_bench_trace_validates_and_renders(self, tmp_path):
+        from repro.perf import run_bench
+
+        path = str(tmp_path / "bench.jsonl")
+        report = run_bench(entries=["sim/bzip2"], smoke=True,
+                           trace_path=path)
+        records = read_trace(path)
+        assert validate_records(records) == []
+        assert [r["type"] for r in records] == [
+            "bench_start", "bench_entry", "bench_end",
+        ]
+        assert records[1]["name"] == "sim/bzip2"
+        assert records[1]["metrics"] == report.entries[0].metrics
+        assert records[2]["entries"] == 1
+
+        tl = build_timeline(records, path)
+        assert tl.kind == "bench run"
+        assert [p.unit for p in tl.phases] == ["s"]

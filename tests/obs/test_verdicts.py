@@ -1,0 +1,146 @@
+"""Tests for ``repro trace verdicts`` — re-rendered verdicts must
+byte-match the recorded summary, and tampering must be detected."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import format_verdicts, render_verdicts
+from repro.trace import read_trace
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
+CLUSTER = os.path.join(DATA, "cluster-chaos-seed0.jsonl")
+
+
+def _copy_without_line(src, dst, drop_type=None, mutate=None):
+    with open(src) as fh:
+        lines = [ln for ln in fh.read().split("\n") if ln.strip()]
+    out = []
+    for line in lines:
+        record = json.loads(line)
+        if drop_type and record.get("type") == drop_type:
+            continue
+        if mutate:
+            record = mutate(record)
+        out.append(json.dumps(record, sort_keys=True))
+    with open(dst, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+
+
+class TestByteParity:
+    def test_committed_campaign_byte_matches(self):
+        report = render_verdicts(CAMPAIGN)
+        assert report.kind == "faults campaign"
+        assert report.byte_match is True
+        assert report.ok
+        assert report.problems == []
+        # every scenario and defense mode was re-rendered
+        records = read_trace(CAMPAIGN)
+        rendered_types = {"scenario_end", "defense_mode"}
+        assert len(report.lines) == sum(
+            1 for r in records if r["type"] in rendered_types
+        )
+
+    def test_committed_cluster_byte_matches(self):
+        report = render_verdicts(CLUSTER)
+        assert report.kind == "cluster chaos campaign"
+        assert report.byte_match is True
+        assert report.ok
+
+    def test_format_states_the_proof(self):
+        text = format_verdicts(render_verdicts(CAMPAIGN))
+        assert "byte-matches" in text
+        assert "per benchmark:" in text
+        assert "per fault class:" in text
+        assert "PROBLEM" not in text
+
+
+class TestTamperDetection:
+    def test_dropped_scenario_breaks_parity(self, tmp_path):
+        # remove one scenario record: the derived count no longer
+        # matches the recorded summary
+        path = str(tmp_path / "tampered.jsonl")
+        with open(CAMPAIGN) as fh:
+            lines = [ln for ln in fh.read().split("\n") if ln.strip()]
+        kept = []
+        removed = False
+        for line in lines:
+            if not removed and '"type": "scenario_end"' in line:
+                removed = True
+                continue
+            kept.append(line)
+        with open(path, "w") as fh:
+            fh.write("\n".join(kept) + "\n")
+
+        report = render_verdicts(path)
+        assert report.byte_match is False
+        assert not report.ok
+        assert any("does not byte-match" in p for p in report.problems)
+        assert "PROBLEM" in format_verdicts(report)
+
+    def test_doctored_summary_breaks_parity(self, tmp_path):
+        # flip the recorded violation count without touching scenarios
+        path = str(tmp_path / "doctored.jsonl")
+
+        def doctor(record):
+            if record.get("type") == "campaign_end":
+                record = dict(record)
+                record["violations"] = record["violations"] + 3
+            return record
+
+        _copy_without_line(CAMPAIGN, path, mutate=doctor)
+        report = render_verdicts(path)
+        assert report.byte_match is False
+
+    def test_non_canonical_serialization_breaks_parity(self, tmp_path):
+        # same JSON value, different bytes (key order): the artifact
+        # was rewritten by something other than the producer
+        path = str(tmp_path / "reordered.jsonl")
+        with open(CAMPAIGN) as fh:
+            lines = [ln for ln in fh.read().split("\n") if ln.strip()]
+        end = json.loads(lines[-1])
+        assert end["type"] == "campaign_end"
+        reordered = json.dumps(end, sort_keys=False)
+        if reordered == lines[-1]:  # dict order happened to match
+            end2 = dict(reversed(list(end.items())))
+            reordered = json.dumps(end2, sort_keys=False)
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines[:-1] + [reordered]) + "\n")
+        report = render_verdicts(path)
+        assert report.byte_match is False
+
+
+class TestEdgeCases:
+    def test_interrupted_trace_has_no_proof(self, tmp_path):
+        path = str(tmp_path / "interrupted.jsonl")
+        _copy_without_line(CAMPAIGN, path, drop_type="campaign_end")
+        report = render_verdicts(path)
+        assert report.byte_match is None
+        assert not report.ok
+        assert any("interrupted" in p for p in report.problems)
+        assert report.lines  # verdicts still rendered
+
+    def test_wrong_trace_kind_rejected(self, tmp_path):
+        from repro.store import run_serve
+
+        path = str(tmp_path / "serve.jsonl")
+        run_serve(workload="ycsb-c", ops=60, shards=1, keyspace=16,
+                  trace_path=path)
+        with pytest.raises(ValueError, match="campaign trace"):
+            render_verdicts(path)
+
+    def test_unknown_major_refused(self, tmp_path):
+        from repro.obs import SchemaVersionError
+
+        path = str(tmp_path / "future.jsonl")
+
+        def future(record):
+            record = dict(record)
+            record["schema_version"] = "3.1"
+            return record
+
+        _copy_without_line(CAMPAIGN, path, mutate=future)
+        with pytest.raises(SchemaVersionError, match="3.1"):
+            render_verdicts(path)
