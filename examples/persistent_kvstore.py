@@ -19,7 +19,7 @@ the LightWSP compiler, then:
    answers (no partial inserts, no torn updates).
 """
 
-from repro.compiler import FunctionBuilder, Program, compile_program, run_single
+from repro.compiler import FunctionBuilder, Program, compile_program
 from repro.config import CompilerConfig
 from repro.core import PersistentMachine, reference_pm, run_with_crashes
 

@@ -204,14 +204,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from .config import CompilerConfig
     from .store.bench import STORE_BENCHMARKS
     from .verify import self_validate, verify_compiled
+    from .verify.mutate import validate_placement
 
     if args.self_test:
         outcomes = self_validate()
+        placement = validate_placement()
         ok = True
         for rule, outcome in sorted(outcomes.items()):
             status = "caught" if outcome.ok else "MISSED"
             print("%s %-44s %s" % (rule, outcome.description, status))
             print("    seeded: %s" % outcome.seeded_at)
+            if not outcome.ok:
+                ok = False
+                for diag in outcome.diagnostics[:5]:
+                    print("    " + diag.format().splitlines()[0])
+        for name, outcome in sorted(placement.items()):
+            status = "caught" if outcome.ok else "MISSED"
+            print("place[%s] %-30s %s" % (name, outcome.description, status))
             if not outcome.ok:
                 ok = False
                 for diag in outcome.diagnostics[:5]:
@@ -244,6 +253,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ):
             targets.append((name, bench.build(scale=args.scale)))
 
+    if args.synthesize or args.minimize:
+        return _verify_placement_modes(args, config, targets)
+
     reports = []
     failed = 0
     for name, program in targets:
@@ -272,6 +284,102 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print("wrote %s" % args.json)
 
     print("verified %d target(s): %d failure(s)" % (len(reports), failed))
+    return 1 if failed else 0
+
+
+def _verify_placement_modes(args, config, targets) -> int:
+    """``repro verify --synthesize/--minimize``: run the placement
+    engine over each target, print the placement report, optionally emit
+    the repaired ``.lir`` and the JSON report artifact."""
+    import json as _json
+    import os
+
+    from .compiler.pipeline import compile_program
+    from .compiler.textir import print_program
+    from .verify.place import (
+        PLACE_VERSION,
+        minimize_compiled,
+        synthesize_placement,
+    )
+
+    mode = "synthesize" if args.synthesize else "minimize"
+    budget = args.budget if args.budget is not None else args.threshold
+    if args.emit_dir:
+        os.makedirs(args.emit_dir, exist_ok=True)
+
+    reports = []
+    failed = 0
+    for name, program in targets:
+        if args.synthesize:
+            result = synthesize_placement(
+                program, config, budget=budget, check=False
+            )
+            compiled, preport = result.compiled, result.report
+        else:
+            compiled = compile_program(program, config, verify=False)
+            preport = minimize_compiled(compiled, check=False)
+        reports.append((name, preport))
+        if not preport.verify_ok:
+            failed += 1
+        print(preport.format(limit=args.limit if args.verbose else 0))
+        if args.emit_dir:
+            base = os.path.basename(name)
+            if base.endswith(".lir"):
+                base = base[:-4]
+            path = os.path.join(args.emit_dir, base + ".lir")
+            with open(path, "w") as fh:
+                fh.write(print_program(compiled.program))
+            print("  wrote %s" % path)
+
+    if args.bench:
+        if not args.minimize:
+            print("--bench requires --minimize")
+            return 2
+        from .verify.place.bench import placement_bench
+
+        payload = placement_bench(config=config, scale=args.scale)
+        for row in payload["rows"]:
+            print(
+                "bench %-10s boundaries %d -> %d (%.1f%%)  slowdown "
+                "%+.6f" % (
+                    row["benchmark"], row["boundaries_base"],
+                    row["boundaries_minimized"], row["removed_pct"],
+                    row["slowdown_delta"],
+                )
+            )
+        with open(args.bench, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.bench)
+
+    differential = None
+    if args.differential:
+        from .verify.place import placement_differential
+
+        differential = placement_differential(
+            mode=mode, config=config, seed=args.seed
+        )
+        print(differential.format())
+        if not differential.ok:
+            failed += differential.violations
+
+    if args.report:
+        payload = {
+            "kind": "repro-placement-set",
+            "version": PLACE_VERSION,
+            "mode": mode,
+            "threshold": args.threshold,
+            "budget": budget,
+            "failed": failed,
+            "targets": {name: rep.to_json() for name, rep in reports},
+        }
+        if differential is not None:
+            payload["differential"] = differential.to_json()
+        with open(args.report, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.report)
+
+    print("%s: %d target(s), %d failure(s)" % (mode, len(reports), failed))
     return 1 if failed else 0
 
 
@@ -803,7 +911,49 @@ def main(argv=None) -> int:
     p_verify.add_argument(
         "--self-test", action="store_true",
         help="run the mutation harness: seed one violation per rule and "
-             "check each is caught with a witness",
+             "check each is caught with a witness (plus the seeded "
+             "placement-engine defects)",
+    )
+    mode = p_verify.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--synthesize", action="store_true",
+        help="strip all instrumentation and synthesize a fresh "
+             "rule-satisfying boundary placement from the verifier's "
+             "own CFG/liveness analyses",
+    )
+    mode.add_argument(
+        "--minimize", action="store_true",
+        help="compile normally, then delete every boundary whose "
+             "removal the verifier proves safe",
+    )
+    p_verify.add_argument(
+        "--budget", type=int, default=None,
+        help="store budget for --synthesize (default: --threshold)",
+    )
+    p_verify.add_argument(
+        "--emit-dir", default=None, metavar="DIR",
+        help="write the repaired/synthesized program of each target as "
+             "DIR/<name>.lir",
+    )
+    p_verify.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON placement report (--synthesize/--minimize)",
+    )
+    p_verify.add_argument(
+        "--differential", action="store_true",
+        help="with --synthesize/--minimize: also run the fixed-seed "
+             "differential crash campaign over the deterministic "
+             "workload subset (image, crash-sweep, and trace oracles)",
+    )
+    p_verify.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="with --minimize: measure the slowdown delta of "
+             "minimization through the timing model and write the "
+             "placement-bench JSON artifact",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="schedule seed for --differential",
     )
     p_verify.add_argument(
         "--json", default=None, metavar="PATH",

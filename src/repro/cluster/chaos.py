@@ -40,7 +40,7 @@ each, and shrinking any failure to a minimal fault schedule.
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.model import MSG_OPS

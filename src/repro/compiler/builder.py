@@ -187,7 +187,7 @@ class FunctionBuilder:
     def fence(self) -> Instr:
         return self.emit(Instr(Op.FENCE))
 
-    def io(self, device: int, payload=None) -> Instr:
+    def io(self, device: int, payload: Optional[Operand] = None) -> Instr:
         """An irrevocable external operation (console write, NIC doorbell,
         block-device command).  §IV-A: the compiler brackets it with
         boundaries so a power-interrupted I/O restarts from just before

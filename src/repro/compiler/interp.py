@@ -20,7 +20,7 @@ bound (callee-saved-everything, which makes per-function liveness sound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..sim.trace import EK, TraceEvent
 from .ir import WORD_BYTES, Instr, Op, Program
@@ -153,7 +153,7 @@ class ThreadVM:
         self.io_log: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
-    def _value(self, operand) -> int:
+    def _value(self, operand: Union[int, str]) -> int:
         if isinstance(operand, int):
             return operand
         return self.regs.get(operand, 0)

@@ -19,7 +19,7 @@ can never be violated by running them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from .interp import _binop, _wrap
 from .ir import Function, Instr, Op
@@ -48,7 +48,7 @@ def fold_constants(func: Function) -> int:
         for i, instr in enumerate(block.instrs):
             op = instr.op
 
-            def value_of(operand) -> Optional[int]:
+            def value_of(operand: Union[int, str]) -> Optional[int]:
                 if isinstance(operand, int):
                     return operand
                 return known.get(operand)

@@ -16,7 +16,6 @@ dynamic counterparts).
 
 from __future__ import annotations
 
-import copy
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -74,6 +73,7 @@ class CompileStats:
     pruned_checkpoints: int = 0
     data_stores: int = 0
     max_region_stores: int = 0
+    minimized_boundaries: int = 0
     converged: bool = True
     folded: int = 0
     eliminated: int = 0
@@ -122,6 +122,7 @@ def compile_program(
     program: Program,
     config: Optional[CompilerConfig] = None,
     verify: Optional[bool] = None,
+    minimize_boundaries: bool = False,
 ) -> CompiledProgram:
     """Run the full Fig. 3 pipeline on a clone of ``program``.
 
@@ -129,7 +130,12 @@ def compile_program(
     verifier (:mod:`repro.verify`) and raises
     :class:`~repro.verify.VerificationError` on any rule violation.
     ``verify=None`` defers to :func:`set_default_verify` and then the
-    ``REPRO_VERIFY`` environment variable; the default is off."""
+    ``REPRO_VERIFY`` environment variable; the default is off.
+
+    ``minimize_boundaries=True`` runs the verifier-backed minimizer
+    (:func:`repro.verify.place.minimize_compiled`) as a final pass,
+    deleting every boundary whose removal the rule checkers prove safe;
+    the count lands in ``stats.minimized_boundaries``."""
     config = config or CompilerConfig()
     program.validate()
     prog = clone_program(program)
@@ -155,6 +161,13 @@ def compile_program(
             stats.max_region_stores, max_region_store_count(func)
         )
     prog.validate()
+
+    if minimize_boundaries:
+        # Imported lazily for the same reason as the verify gate below.
+        from ..verify.place import minimize_compiled
+
+        minimize_compiled(compiled)
+        prog.validate()
 
     if _verify_enabled(verify):
         # Imported lazily: repro.verify audits this module's output and

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .ir import Function, Instr, Op
+from .ir import BasicBlock, Function, Instr, Op
 from .loops import NaturalLoop, constant_trip_count, find_loops
 
 __all__ = ["unroll_loops", "UnrollStats"]
@@ -94,7 +94,7 @@ def unroll_loops(
     return stats
 
 
-def _unroll_static(block, factor: int) -> None:
+def _unroll_static(block: BasicBlock, factor: int) -> None:
     """Replicate the body ``factor`` times, keeping only the final exit
     check.  Safe because the caller verified the trip count is a multiple
     of the factor (the dropped checks could never fire)."""

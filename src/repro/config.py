@@ -20,7 +20,6 @@ The defaults follow the paper exactly:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Dict
 

@@ -12,7 +12,7 @@ place wall time is a recorded, informational metric).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from .schema import ensure_supported_version
 

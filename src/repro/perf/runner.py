@@ -83,16 +83,26 @@ class BenchReport:
 
 def _run_sim_entry(spec: BenchSpec, scale: float) -> Dict[str, float]:
     from ..analysis import ExperimentContext
-    from ..config import DEFAULT_CONFIG
+    from ..compiler.pipeline import compile_program
+    from ..config import DEFAULT_CONFIG, CompilerConfig
     from ..runtime import get_backend
+    from ..workloads.suite import BENCHMARKS
 
     backend = get_backend(None)  # lightwsp-lrpo
     ctx = ExperimentContext(scale=scale, benchmarks=[spec.target])
     slowdown, res = ctx.slowdown(spec.target, backend.policy)
     ns = DEFAULT_CONFIG.cycles_to_ns(res.cycles)
+    # Static placement footprint (ungated observability: the placement
+    # minimizer's effect shows up here and in the regress diff notes).
+    stats = compile_program(
+        BENCHMARKS[spec.target].build(scale=scale),
+        CompilerConfig(), verify=False,
+    ).stats
     return {
         "cycles": res.cycles,
         "slowdown": slowdown,
+        "boundaries": float(stats.boundaries),
+        "instrumentation_stores": float(stats.instrumentation_stores),
         "instructions": float(res.instructions),
         "throughput_minst_s": (res.instructions / ns * 1e3) if ns else 0.0,
         "persist_entries": float(res.persist_entries),

@@ -20,7 +20,7 @@ derived from the failure-free boundary schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from .backend import BACKENDS, PersistBackend, get_backend

@@ -30,15 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from .layout import (
-    META_NREQ,
-    OP_DELETE,
-    OP_GET,
-    OP_PUT,
-    OP_SCAN,
-    StoreLayout,
-    checksum,
-)
+from .layout import OP_DELETE, OP_GET, OP_PUT, OP_SCAN, StoreLayout, checksum
 from .programs import Request
 
 __all__ = [

@@ -33,7 +33,7 @@ persistent NIC request ring).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..compiler.builder import FunctionBuilder
 from ..compiler.ir import Program

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from .layout import OP_DELETE, OP_GET, OP_PUT, OP_SCAN
 from .programs import Request

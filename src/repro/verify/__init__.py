@@ -40,8 +40,19 @@ from .model import (
     VerifyConfig,
     VerifyReport,
 )
-from .mutate import MutationOutcome, mutation_catalog, self_validate
-from .verifier import verify_compiled, verify_function, verify_program
+from .mutate import (
+    MutationOutcome,
+    mutation_catalog,
+    placement_catalog,
+    self_validate,
+    validate_placement,
+)
+from .verifier import (
+    derive_config,
+    verify_compiled,
+    verify_function,
+    verify_program,
+)
 
 __all__ = [
     "RULES",
@@ -51,7 +62,10 @@ __all__ = [
     "VerifyReport",
     "MutationOutcome",
     "mutation_catalog",
+    "placement_catalog",
     "self_validate",
+    "validate_placement",
+    "derive_config",
     "verify_compiled",
     "verify_function",
     "verify_program",

@@ -17,7 +17,7 @@ summaries).  Two deliberate differences matter:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..compiler.ir import Instr, Op
 from .graph import InstrGraph, Node
@@ -73,7 +73,9 @@ class InstrLiveness:
                     pending.append(pred)
 
     # ------------------------------------------------------------------
-    def first_use_path(self, start: Node, reg: str, limit: int = 64):
+    def first_use_path(
+        self, start: Node, reg: str, limit: int = 64
+    ) -> Optional[List[Node]]:
         """A shortest path (list of nodes) from ``start``'s successors to
         an instruction that *uses* ``reg`` before any redefinition — the
         witness that ``reg`` really is live-out of ``start``.  Returns

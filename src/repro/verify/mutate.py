@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..compiler.builder import FunctionBuilder
-from ..compiler.ir import Instr, Op, Program
+from ..compiler.ir import BasicBlock, Function, Instr, Op, Program
 from ..compiler.pipeline import CompiledProgram, compile_program
 from ..config import CompilerConfig
 from .graph import InstrGraph
@@ -34,10 +34,20 @@ from .liveness import InstrLiveness
 from .model import Diagnostic
 from .verifier import verify_compiled
 
-__all__ = ["MutationOutcome", "mutation_catalog", "self_validate"]
+__all__ = [
+    "MutationOutcome",
+    "mutation_catalog",
+    "self_validate",
+    "placement_catalog",
+    "validate_placement",
+]
 
 #: small threshold so the target compiles to several regions
 SELF_TEST_THRESHOLD = 6
+
+#: budget for the off-by-one placement defect: tight enough that one
+#: extra store per region actually crosses the audit threshold
+PLACEMENT_BUG_BUDGET = 3
 
 
 @dataclass
@@ -119,7 +129,9 @@ def _mutate_r1(compiled: CompiledProgram) -> str:
     raise RuntimeError("target program has no data store to amplify")
 
 
-def _live_ckpt_site(compiled: CompiledProgram):
+def _live_ckpt_site(
+    compiled: CompiledProgram,
+) -> Tuple[Function, BasicBlock, int, Instr, str]:
     """(func, block, ckpt_index, boundary, reg): a physically checkpointed
     register that is live-out of its boundary by the verifier's own
     liveness and whose plan recipe is a plain slot reload."""
@@ -214,6 +226,85 @@ def mutation_catalog() -> Dict[str, Tuple[str, Callable[[CompiledProgram], str]]
         "R4": ("region spanning a storing back edge", _mutate_r4),
         "R5": ("plan reloads a slot never checkpointed", _mutate_r5),
     }
+
+
+def placement_catalog() -> Dict[str, Tuple[Tuple[str, ...], str]]:
+    """Seeded placement-engine defects -> (rules expected to fire,
+    description).  Complements :func:`mutation_catalog`: those defects
+    are seeded into *compiler output*; these are seeded into the
+    synthesis/minimization engines themselves, proving the verifier
+    gates the placement tooling too."""
+    return {
+        "off-by-one-budget": (
+            ("R1",),
+            "synthesizer enforces budget+1 stores per region",
+        ),
+        "drop-loop-header": (
+            ("R3", "R4"),
+            "cleanup pass deletes storing-loop header boundaries",
+        ),
+        "unsafe-merge": (
+            ("R1", "R2", "R3", "R4", "R5"),
+            "minimizer merges regions past a verifier veto",
+        ),
+    }
+
+
+def validate_placement(
+    budget: int = SELF_TEST_THRESHOLD,
+) -> Dict[str, MutationOutcome]:
+    """Seed each placement-engine defect and check the verifier catches
+    it.  Clean synthesis and clean minimization of the target must pass
+    first, or the harness itself is broken."""
+    # Imported here: repro.verify.place builds on this package's rules
+    # and importing it at module scope would be circular in spirit (the
+    # placement engines are the thing under test).
+    from .place import minimize_compiled, synthesize_placement
+
+    for clean_budget in (budget, PLACEMENT_BUG_BUDGET):
+        clean = synthesize_placement(_target_program(), budget=clean_budget)
+        base = verify_compiled(clean.compiled)
+        if not base.ok:
+            raise RuntimeError(
+                "clean synthesis (budget %d) does not verify:\n%s"
+                % (clean_budget, base.format())
+            )
+    config = CompilerConfig(store_threshold=budget)
+    clean_min = compile_program(_target_program(), config, verify=False)
+    if not minimize_compiled(clean_min).verify_ok:
+        raise RuntimeError("clean minimization does not verify")
+
+    outcomes: Dict[str, MutationOutcome] = {}
+    catalog = placement_catalog()
+    for name in sorted(catalog):
+        expected, description = catalog[name]
+        if name == "unsafe-merge":
+            compiled = compile_program(_target_program(), config, verify=False)
+            minimize_compiled(compiled, _bug=name)
+            seeded_at = "minimizer ignored its first removal veto"
+        else:
+            bug_budget = (
+                PLACEMENT_BUG_BUDGET if name == "off-by-one-budget" else budget
+            )
+            compiled = synthesize_placement(
+                _target_program(), budget=bug_budget, _bug=name
+            ).compiled
+            seeded_at = "synthesizer ran with seeded defect %r" % name
+        report = verify_compiled(compiled)
+        hits = [
+            d for d in report.diagnostics
+            if d.rule in expected and d.severity == "error"
+        ]
+        outcomes[name] = MutationOutcome(
+            rule="/".join(expected[:2]) if len(expected) < 3 else "any",
+            description=description,
+            seeded_at=seeded_at,
+            caught=bool(hits),
+            with_witness=any(d.witness for d in hits),
+            fired_rules=tuple(sorted({d.rule for d in report.diagnostics})),
+            diagnostics=report.diagnostics,
+        )
+    return outcomes
 
 
 def self_validate(

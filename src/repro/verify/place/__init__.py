@@ -1,0 +1,56 @@
+"""Static boundary-placement synthesis and minimization.
+
+Two engines built on the verifier's own CFG/liveness machinery —
+deliberately independent of the compiler's placement passes, so the
+analysis and the thing it audits cannot share a bug:
+
+* :func:`synthesize_placement` — compute a rule-satisfying boundary +
+  checkpoint placement for a program with no instrumentation;
+* :func:`minimize_compiled` — delete every compiler-placed boundary
+  whose removal the verifier proves safe, with witness diagnostics for
+  every boundary it keeps.
+
+See DESIGN.md ("Boundary synthesis & minimization") for the soundness
+argument and the fixpoint-termination sketch.
+"""
+
+from .differential import (
+    DIFF_CAMPAIGN_BENCHMARKS,
+    DifferentialOutcome,
+    DifferentialResult,
+    placement_differential,
+    trace_digest,
+)
+from .minimize import MINIMIZE_BUGS, minimize_compiled
+from .report import (
+    PLACE_VERSION,
+    KeptBoundary,
+    PlacementAction,
+    PlacementReport,
+)
+from .synthesize import (
+    SYNTH_BUGS,
+    PlacementError,
+    SynthesisResult,
+    strip_instrumentation,
+    synthesize_placement,
+)
+
+__all__ = [
+    "DIFF_CAMPAIGN_BENCHMARKS",
+    "DifferentialOutcome",
+    "DifferentialResult",
+    "placement_differential",
+    "trace_digest",
+    "PLACE_VERSION",
+    "SYNTH_BUGS",
+    "MINIMIZE_BUGS",
+    "PlacementAction",
+    "KeptBoundary",
+    "PlacementReport",
+    "PlacementError",
+    "SynthesisResult",
+    "strip_instrumentation",
+    "synthesize_placement",
+    "minimize_compiled",
+]

@@ -1,0 +1,197 @@
+"""Differential crash-campaign validation of placement changes.
+
+Static proof (the verifier) says a synthesized or minimized placement
+*should* be recoverable; this module checks it *is*, dynamically, the
+same way :mod:`repro.faults` audits the compiler:
+
+* **image oracle** — the failure-free persisted data image of the
+  variant equals the baseline's (boundaries and checkpoints are
+  instrumentation; the acked data state must not move);
+* **crash oracle** — a seeded boundary-adjacent crash sweep over the
+  variant recovers to its own reference image at every probe point
+  (zero acked-state divergence);
+* **trace oracle** — the variant's crash-free instruction trace,
+  filtered of boundary/checkpoint events, is byte-identical to the
+  baseline's: placement must not perturb program semantics at all.
+
+Only the strictly deterministic single-threaded campaign subset is
+eligible, for the same reason the fault campaign excludes multithreaded
+workloads: recovery legitimately perturbs interleavings there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...compiler.interp import run_single
+from ...compiler.pipeline import CompiledProgram, compile_program
+from ...config import CompilerConfig
+from ...core.failure import crash_sweep, reference_pm
+from ...trace import EK
+from .minimize import minimize_compiled
+from .synthesize import synthesize_placement
+
+__all__ = [
+    "DIFF_CAMPAIGN_BENCHMARKS",
+    "DifferentialOutcome",
+    "DifferentialResult",
+    "placement_differential",
+    "trace_digest",
+]
+
+#: deterministic single-threaded subset eligible for the strict oracles
+#: (the fault campaign's own eligibility list, plus the store programs)
+DIFF_CAMPAIGN_BENCHMARKS: Tuple[str, ...] = (
+    "bzip2", "hmmer", "namd", "dsjeng", "xz",
+    "store-ycsb-a", "store-crud",
+)
+
+#: instrumentation-only event kinds excluded from the trace oracle
+_INSTRUMENTATION_KINDS = frozenset({EK.BOUNDARY, EK.CHECKPOINT})
+
+
+def trace_digest(compiled: CompiledProgram, max_steps: int = 2_000_000) -> str:
+    """SHA-256 over the crash-free single-thread trace with boundary and
+    checkpoint events filtered out — the placement-independent view of
+    what the program *does*."""
+    events, _ = run_single(compiled.program, max_steps=max_steps)
+    digest = hashlib.sha256()
+    for ev in events:
+        if ev.kind in _INSTRUMENTATION_KINDS:
+            continue
+        digest.update(
+            ("%s|%s|%s|%s|%s\n"
+             % (ev.kind, ev.addr, ev.tid, ev.lock_id, ev.payload)).encode()
+        )
+    return digest.hexdigest()
+
+
+@dataclass
+class DifferentialOutcome:
+    """One benchmark's verdict."""
+
+    name: str
+    mode: str
+    boundaries_base: int
+    boundaries_variant: int
+    image_match: bool
+    digest_match: bool
+    divergent_points: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.image_match
+            and self.digest_match
+            and not self.divergent_points
+        )
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "boundaries_base": self.boundaries_base,
+            "boundaries_variant": self.boundaries_variant,
+            "image_match": self.image_match,
+            "digest_match": self.digest_match,
+            "divergent_points": list(self.divergent_points),
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class DifferentialResult:
+    """The whole campaign."""
+
+    mode: str
+    seed: int
+    outcomes: List[DifferentialOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": "repro-placement-differential",
+            "mode": self.mode,
+            "seed": self.seed,
+            "ok": self.ok,
+            "violations": self.violations,
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+    def format(self) -> str:
+        lines = []
+        for o in self.outcomes:
+            lines.append(
+                "%-14s %-10s boundaries %d -> %d  image=%s digest=%s "
+                "divergent=%d  %s"
+                % (o.name, o.mode, o.boundaries_base, o.boundaries_variant,
+                   "ok" if o.image_match else "FAIL",
+                   "ok" if o.digest_match else "FAIL",
+                   len(o.divergent_points),
+                   "ok" if o.ok else "VIOLATION")
+            )
+        lines.append(
+            "differential %s: %d benchmark(s), %d violation(s)"
+            % (self.mode, len(self.outcomes), self.violations)
+        )
+        return "\n".join(lines)
+
+
+def placement_differential(
+    benchmarks: Optional[Tuple[str, ...]] = None,
+    mode: str = "minimize",
+    config: Optional[CompilerConfig] = None,
+    scale: float = 0.01,
+    seed: int = 0,
+    max_points: Optional[int] = 48,
+) -> DifferentialResult:
+    """Run the three oracles over each benchmark.  ``mode`` picks the
+    variant: ``"minimize"`` (compile then minimize) or ``"synthesize"``
+    (placement built from scratch at the config's threshold)."""
+    if mode not in ("minimize", "synthesize"):
+        raise ValueError("mode must be 'minimize' or 'synthesize'")
+    from ...faults.campaign import resolve_benchmark
+
+    config = config or CompilerConfig()
+    result = DifferentialResult(mode=mode, seed=seed)
+    for name in benchmarks or DIFF_CAMPAIGN_BENCHMARKS:
+        program = resolve_benchmark(name).build(scale=scale)
+        base = compile_program(program, config, verify=False)
+        if mode == "minimize":
+            variant = compile_program(program, config, verify=False)
+            minimize_compiled(variant)
+        else:
+            # Synthesize over the baseline's *compiled body* (stripped of
+            # its instrumentation), not the raw program: the compiler
+            # also unrolls and folds, and the oracle must compare the
+            # placement change alone, not those body transforms.
+            variant = synthesize_placement(
+                base.program, config, budget=config.store_threshold
+            ).compiled
+
+        base_image = reference_pm(base, schedule_seed=seed)
+        variant_image = reference_pm(variant, schedule_seed=seed)
+        divergent = crash_sweep(
+            variant, schedule_seed=seed, max_points=max_points
+        )
+        result.outcomes.append(
+            DifferentialOutcome(
+                name=name,
+                mode=mode,
+                boundaries_base=base.stats.boundaries,
+                boundaries_variant=variant.stats.boundaries,
+                image_match=base_image == variant_image,
+                digest_match=trace_digest(base) == trace_digest(variant),
+                divergent_points=divergent,
+            )
+        )
+    return result

@@ -1,0 +1,150 @@
+"""The placement report: what the synthesizer/minimizer did and why.
+
+Both engines answer the same two questions for every boundary they
+touched or refused to touch:
+
+* **removed/inserted** — the action taken, anchored to a concrete site;
+* **kept** — for a minimizer candidate that survived, the verifier
+  diagnostics (witness paths included) that vetoed its removal.  Every
+  kept boundary is therefore *justified*: the report carries the proof
+  obligation its removal would violate.
+
+``PlacementReport.to_json()`` is the artifact ``repro verify
+--synthesize/--minimize --report`` writes and the ``verify-placement``
+CI job uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..model import Diagnostic
+
+__all__ = ["PlacementAction", "KeptBoundary", "PlacementReport"]
+
+#: report schema version
+PLACE_VERSION = 1
+
+
+@dataclass
+class PlacementAction:
+    """One boundary inserted (synthesis) or removed (minimization)."""
+
+    action: str               # "inserted" | "removed"
+    kind: str                 # boundary kind note ("entry", "loop", ...)
+    function: str
+    block: str
+    index: int                # instruction index at the time of action
+    checkpoints: int = 0      # checkpoint stores inserted/removed with it
+
+    def to_json(self) -> Dict:
+        return {
+            "action": self.action,
+            "kind": self.kind,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "checkpoints": self.checkpoints,
+        }
+
+
+@dataclass
+class KeptBoundary:
+    """A minimizer candidate that survived, with the veto evidence."""
+
+    kind: str
+    function: str
+    block: str
+    index: int
+    reason: str               # human summary of why removal is unsafe
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "reason": self.reason,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+
+@dataclass
+class PlacementReport:
+    """Everything one synthesis or minimization run decided."""
+
+    program: str
+    mode: str                 # "synthesize" | "minimize"
+    budget: int               # store budget the analysis enforced
+    boundaries_before: int
+    boundaries_after: int
+    checkpoints_before: int
+    checkpoints_after: int
+    iterations: int = 0      # fixpoint passes until quiescence
+    verify_ok: bool = False  # final full-verifier verdict on the output
+    actions: List[PlacementAction] = field(default_factory=list)
+    kept: List[KeptBoundary] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return sum(1 for a in self.actions if a.action == "removed")
+
+    @property
+    def inserted(self) -> int:
+        return sum(1 for a in self.actions if a.action == "inserted")
+
+    @property
+    def removed_pct(self) -> float:
+        if not self.boundaries_before:
+            return 0.0
+        return 100.0 * self.removed / self.boundaries_before
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": "repro-placement",
+            "version": PLACE_VERSION,
+            "program": self.program,
+            "mode": self.mode,
+            "budget": self.budget,
+            "boundaries_before": self.boundaries_before,
+            "boundaries_after": self.boundaries_after,
+            "checkpoints_before": self.checkpoints_before,
+            "checkpoints_after": self.checkpoints_after,
+            "inserted": self.inserted,
+            "removed": self.removed,
+            "removed_pct": round(self.removed_pct, 2),
+            "iterations": self.iterations,
+            "verify_ok": self.verify_ok,
+            "actions": [a.to_json() for a in self.actions],
+            "kept": [k.to_json() for k in self.kept],
+        }
+
+    def format(self, limit: Optional[int] = 8) -> str:
+        lines = [
+            "%s %s: boundaries %d -> %d (%+d), checkpoints %d -> %d, "
+            "budget %d, %d pass(es), verify %s"
+            % (
+                self.mode, self.program,
+                self.boundaries_before, self.boundaries_after,
+                self.boundaries_after - self.boundaries_before,
+                self.checkpoints_before, self.checkpoints_after,
+                self.budget, self.iterations,
+                "ok" if self.verify_ok else "FAILED",
+            )
+        ]
+        shown = self.kept[:limit] if limit is not None else self.kept
+        for kept in shown:
+            lines.append(
+                "  kept %-9s %s:%s:%d  %s"
+                % (kept.kind or "plain", kept.function, kept.block,
+                   kept.index, kept.reason)
+            )
+        if limit is not None and len(self.kept) > limit:
+            lines.append(
+                "  ... %d more kept boundar%s"
+                % (len(self.kept) - limit,
+                   "y" if len(self.kept) - limit == 1 else "ies")
+            )
+        return "\n".join(lines)

@@ -15,7 +15,12 @@ did not come out of this process' pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    # Type-only: the pipeline imports this package lazily at runtime, so
+    # a runtime import here would be circular.
+    from ..compiler.pipeline import CompiledProgram
 
 from ..compiler.checkpoints import RecoveryPlan
 from ..compiler.ir import Function, Program
@@ -30,7 +35,12 @@ from .rules import (
     check_store_budget,
 )
 
-__all__ = ["verify_function", "verify_program", "verify_compiled"]
+__all__ = [
+    "verify_function",
+    "verify_program",
+    "verify_compiled",
+    "derive_config",
+]
 
 #: severity sort: errors first, then by rule and site
 _SEV = {"error": 0, "warn": 1}
@@ -79,22 +89,32 @@ def verify_program(
     return report
 
 
-def verify_compiled(compiled, cfg: Optional[VerifyConfig] = None) -> VerifyReport:
+def derive_config(compiled: "CompiledProgram") -> VerifyConfig:
+    """The :class:`VerifyConfig` a compiled program must be audited
+    under: threshold from the compile config, WPQ from the paper's
+    threshold = WPQ/2 rule run backwards, overshoot tolerance from the
+    compiler's own ``converged`` verdict."""
+    threshold = compiled.config.store_threshold
+    return VerifyConfig(
+        threshold=threshold,
+        # The WPQ is a machine property the compiler does not know;
+        # the paper's rule threshold = WPQ/2 runs backwards here.
+        wpq_entries=max(2 * threshold, threshold + 1),
+        allow_overshoot=not compiled.stats.converged,
+        checkpoint_words=Program.CHECKPOINT_WORDS_PER_CORE
+        * Program.MAX_CONTEXTS,
+    )
+
+
+def verify_compiled(
+    compiled: "CompiledProgram", cfg: Optional[VerifyConfig] = None
+) -> VerifyReport:
     """Verify a :class:`CompiledProgram` against its own compile config.
 
     Accepts anything with ``program`` / ``plans`` / ``stats`` / ``config``
     attributes, so the compiler pipeline can call this lazily without an
     import cycle.
     """
-    if cfg is None:
-        threshold = compiled.config.store_threshold
-        cfg = VerifyConfig(
-            threshold=threshold,
-            # The WPQ is a machine property the compiler does not know;
-            # the paper's rule threshold = WPQ/2 runs backwards here.
-            wpq_entries=max(2 * threshold, threshold + 1),
-            allow_overshoot=not compiled.stats.converged,
-            checkpoint_words=Program.CHECKPOINT_WORDS_PER_CORE
-            * Program.MAX_CONTEXTS,
-        )
-    return verify_program(compiled.program, compiled.plans, cfg)
+    return verify_program(
+        compiled.program, compiled.plans, cfg or derive_config(compiled)
+    )

@@ -1,6 +1,5 @@
 """Tests for the residual-energy (battery) model of §II-C1."""
 
-import pytest
 
 from repro.analysis.battery import (
     ATX_RESIDUAL_J,

@@ -1,6 +1,5 @@
 """Tests for aggregation metrics, the CAM model, and hardware costs."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,7 @@ normalization."""
 
 from helpers import call_program, saxpy_program, straightline_program
 
-from repro.compiler import FunctionBuilder, Op, Program
+from repro.compiler import FunctionBuilder, Op
 from repro.compiler.boundaries import (
     enforce_threshold_in_blocks,
     insert_initial_boundaries,

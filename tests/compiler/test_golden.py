@@ -8,7 +8,6 @@ embedded rather than stored in a file so a failure diff is self-contained.
 
 import textwrap
 
-import pytest
 
 from repro.compiler import FunctionBuilder, Program, compile_program
 from repro.compiler.textir import parse_program, print_program

@@ -1,7 +1,6 @@
 """Edge-case tests for the interpreter: deep calls, register defaults,
 checkpoint addressing, and stepping discipline."""
 
-import pytest
 
 from repro.compiler import FunctionBuilder, Instr, Op, Program
 from repro.compiler.interp import ThreadVM, WordMemory, run_single

@@ -2,12 +2,10 @@
 program generator: the properties every downstream component (machine,
 engine, recovery) silently relies on."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import Op, compile_program
-from repro.compiler.boundaries import REQUIRED_KINDS
 from repro.config import CompilerConfig
 from repro.workloads.randprog import random_program
 

@@ -1,6 +1,5 @@
 """Tests for the scalar optimization passes (constant folding + DCE)."""
 
-import pytest
 
 from helpers import data_words, saxpy_program
 

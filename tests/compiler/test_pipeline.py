@@ -2,17 +2,10 @@
 property tests: compilation must preserve program semantics and respect
 the store threshold."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from helpers import (
-    call_program,
-    data_words,
-    locking_program,
-    saxpy_program,
-    straightline_program,
-)
+from helpers import call_program, data_words, locking_program, saxpy_program
 
 from repro.compiler import (
     FunctionBuilder,

@@ -1,6 +1,5 @@
 """Direct tests for the region-formation pass internals."""
 
-import pytest
 
 from helpers import saxpy_program, straightline_program
 

@@ -1,0 +1,80 @@
+"""The TextIR round-trip invariant: parse(print(p)) prints identically.
+
+``print_program`` is the system's interchange format (``repro compile``,
+``repro verify --emit-dir``, the golden corpus).  The invariant pinned
+here is string-level idempotence — ``print(parse(print(p))) ==
+print(p)`` — for every suite program, every store program, and their
+compiled and synthesized forms.  A printer/parser asymmetry (a note
+dropped, an operand reordered, an array base elided) breaks emitted
+artifacts silently; this suite makes it loud."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_program
+from repro.compiler.textir import parse_program, print_program
+from repro.config import CompilerConfig
+from repro.store.bench import STORE_BENCHMARKS
+from repro.verify.place import synthesize_placement
+from repro.workloads.randprog import random_program
+from repro.workloads.suite import BENCHMARKS
+
+SCALE = 0.02
+
+
+def _roundtrip(program):
+    text = print_program(program)
+    reparsed = parse_program(text)
+    assert print_program(reparsed) == text
+    return reparsed
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_suite_program_roundtrips(name):
+    _roundtrip(BENCHMARKS[name].build(scale=SCALE))
+
+
+@pytest.mark.parametrize("name", sorted(STORE_BENCHMARKS))
+def test_store_program_roundtrips(name):
+    _roundtrip(STORE_BENCHMARKS[name].build(scale=SCALE))
+
+
+@pytest.mark.parametrize("name", ["bzip2", "lbm", "ssca2", "mcf"])
+def test_compiled_program_roundtrips(name):
+    program = BENCHMARKS[name].build(scale=SCALE)
+    compiled = compile_program(program, CompilerConfig(), verify=False)
+    _roundtrip(compiled.program)
+
+
+@pytest.mark.parametrize("name", ["lbm", "mcf"])
+def test_synthesized_program_roundtrips(name):
+    program = BENCHMARKS[name].build(scale=SCALE)
+    result = synthesize_placement(program, budget=32)
+    _roundtrip(result.compiled.program)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_program_roundtrips(seed):
+    _roundtrip(random_program(seed))
+
+
+@pytest.mark.parametrize("seed", range(0, 25, 5))
+def test_compiled_random_program_roundtrips(seed):
+    compiled = compile_program(
+        random_program(seed), CompilerConfig(store_threshold=8),
+        verify=False,
+    )
+    _roundtrip(compiled.program)
+
+
+def test_roundtrip_preserves_structure():
+    program = BENCHMARKS["lbm"].build(scale=SCALE)
+    compiled = compile_program(program, CompilerConfig(), verify=False)
+    reparsed = _roundtrip(compiled.program)
+    assert set(reparsed.functions) == set(compiled.program.functions)
+    for name, func in compiled.program.functions.items():
+        other = reparsed.functions[name]
+        assert other.entry == func.entry
+        assert other.block_order() == func.block_order()
+        for label in func.block_order():
+            ops = [i.op for i in func.blocks[label].instrs]
+            assert [i.op for i in other.blocks[label].instrs] == ops

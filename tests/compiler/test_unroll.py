@@ -2,7 +2,7 @@
 
 from helpers import data_words, saxpy_program
 
-from repro.compiler import FunctionBuilder, Op, Program, run_single
+from repro.compiler import FunctionBuilder, Program, run_single
 from repro.compiler.unroll import unroll_loops
 
 

@@ -9,16 +9,14 @@ capacities (exercising the §IV-D overflow/undo path).
 
 from dataclasses import replace
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compiler import FunctionBuilder, Program, compile_program, run_single
+from repro.compiler import FunctionBuilder, Program, compile_program
 from repro.config import CompilerConfig, SystemConfig
 from repro.core.failure import crash_sweep, reference_pm, run_with_crashes
 from repro.core.machine import PersistentMachine
 
-from helpers import data_words
 
 REGS = ["r%d" % i for i in range(1, 8)]
 

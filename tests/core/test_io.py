@@ -4,7 +4,6 @@ import pytest
 
 from repro.compiler import FunctionBuilder, Op, Program, compile_program, run_single
 from repro.config import CompilerConfig
-from repro.core.failure import reference_pm
 from repro.core.machine import PersistentMachine
 
 

@@ -1,7 +1,6 @@
 """Tests for the functional persistence machine: WPQ gating semantics,
 commit ordering, and basic crash/recovery behaviour."""
 
-import pytest
 
 from helpers import call_program, locking_program, saxpy_program, data_words
 

@@ -1,14 +1,12 @@
 """Machine scheduling behaviour: quanta, seeds, and the §IV-C region-ID
 ordering across synchronization."""
 
-import pytest
 
 from helpers import locking_program
 
 from repro.compiler import compile_program
 from repro.config import CompilerConfig
 from repro.core.machine import PersistentMachine
-from repro.sim.trace import EK
 
 
 def machine_for(n_threads=2, increments=4, **kwargs):

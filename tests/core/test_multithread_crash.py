@@ -7,7 +7,6 @@ image is schedule-independent; elsewhere we assert the invariants that
 every correct schedule satisfies (conserved sums, balanced cursors).
 """
 
-import pytest
 
 from repro.compiler import compile_program
 from repro.config import DEFAULT_CONFIG

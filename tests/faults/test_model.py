@@ -12,7 +12,7 @@ from repro.faults import (
     schedule_to_json,
     tear_value,
 )
-from repro.faults.oracle import SAMPLE_LIMIT, Violation, check_image, diff_images
+from repro.faults.oracle import SAMPLE_LIMIT, check_image, diff_images
 from repro.faults.trace import iter_scenarios
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.compiler import FunctionBuilder, Program, run_single
 

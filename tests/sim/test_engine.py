@@ -6,7 +6,7 @@ from helpers import locking_program, saxpy_program
 
 from repro.baselines import CAPRI, CWSP, MEMORY_MODE, PPA, PSP_IDEAL
 from repro.compiler import compile_program, run_single, run_threads
-from repro.config import CompilerConfig, SystemConfig, VictimPolicy
+from repro.config import SystemConfig, VictimPolicy
 from repro.core.lightwsp import LIGHTWSP, trace_of
 from repro.sim.engine import SchemePolicy, TimingEngine, simulate
 

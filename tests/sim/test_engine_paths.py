@@ -3,7 +3,6 @@ zero-victim eviction delays, deadlock fallback, and implicit regions."""
 
 from dataclasses import replace
 
-import pytest
 
 from repro.config import SystemConfig, VictimPolicy
 from repro.core.lightwsp import LIGHTWSP

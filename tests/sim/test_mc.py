@@ -1,6 +1,5 @@
 """Tests for memory controllers and the commit pipeline."""
 
-import pytest
 
 from repro.config import SystemConfig
 from repro.sim.mc import CommitPipeline, MemoryController

@@ -1,6 +1,5 @@
 """The store-level differential oracle and the acked-write theorem."""
 
-import pytest
 
 from repro.compiler import compile_program
 from repro.config import DEFAULT_CONFIG

@@ -1,6 +1,5 @@
 """Tests for the `python -m repro` CLI."""
 
-import pytest
 
 from repro.__main__ import main
 

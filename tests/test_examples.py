@@ -3,9 +3,7 @@ example mains run minutes of crash sweeps; CI checks their kernels)."""
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
 

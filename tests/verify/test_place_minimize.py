@@ -1,0 +1,130 @@
+"""repro.verify.place.minimize: verifier-backed boundary deletion with
+witness-path justifications for every kept boundary."""
+
+import pytest
+
+from repro.compiler.ir import Op
+from repro.compiler.pipeline import compile_program
+from repro.config import CompilerConfig
+from repro.verify import verify_compiled
+from repro.verify.mutate import SELF_TEST_THRESHOLD, _target_program
+from repro.verify.place import minimize_compiled
+from repro.verify.place.minimize import _ANCHORED
+from repro.workloads.suite import BENCHMARKS
+
+
+def _compiled(name, scale=0.05, threshold=32):
+    program = BENCHMARKS[name].build(scale=scale)
+    return compile_program(
+        program, CompilerConfig(store_threshold=threshold), verify=False
+    )
+
+
+def test_minimize_removes_redundant_loop_boundary():
+    # lbm's nested storing loops: the inner boundary cuts every storing
+    # cycle, so the outer header boundary is provably redundant.
+    compiled = _compiled("lbm")
+    before = compiled.stats.boundaries
+    report = minimize_compiled(compiled)
+    assert report.removed >= 1
+    assert compiled.stats.boundaries == before - report.removed
+    assert compiled.stats.minimized_boundaries == report.removed
+    assert report.verify_ok
+    assert verify_compiled(compiled).ok
+
+
+@pytest.mark.parametrize("name", ["lbm", "ssca2", "mg"])
+def test_minimize_hits_ten_percent_on_suite_programs(name):
+    compiled = _compiled(name)
+    report = minimize_compiled(compiled)
+    assert report.removed_pct >= 10.0, report.format()
+    assert report.verify_ok
+
+
+def test_minimize_never_touches_anchored_kinds():
+    compiled = _compiled("ssca2")
+    report = minimize_compiled(compiled)
+    assert all(a.kind not in _ANCHORED for a in report.actions)
+    assert all(a.action == "removed" for a in report.actions)
+
+
+def test_minimize_is_fixpoint():
+    compiled = _compiled("lbm")
+    minimize_compiled(compiled)
+    again = minimize_compiled(compiled)
+    assert again.removed == 0
+
+
+def test_kept_boundaries_carry_witness_diagnostics():
+    # mcf keeps all boundaries: its loop candidates are genuinely
+    # load-bearing, so each veto carries the verifier's diagnostics.
+    compiled = _compiled("mcf")
+    report = minimize_compiled(compiled)
+    vetoed = [k for k in report.kept if k.diagnostics]
+    assert vetoed, "expected at least one vetoed candidate with evidence"
+    for kept in vetoed:
+        assert kept.reason.startswith("removal vetoed by")
+        assert all(d.rule in ("R1", "R2", "R3", "R4", "R5")
+                   for d in kept.diagnostics)
+    anchored = [k for k in report.kept if not k.diagnostics]
+    assert all(k.kind in _ANCHORED for k in anchored)
+
+
+def test_minimize_drops_checkpoints_with_the_boundary():
+    compiled = _compiled("lbm")
+    ck_before = compiled.stats.checkpoint_stores
+    report = minimize_compiled(compiled)
+    freed = sum(a.checkpoints for a in report.actions)
+    assert compiled.stats.checkpoint_stores == ck_before - freed
+    # no orphaned plans for removed boundaries
+    live_uids = {
+        instr.uid
+        for func in compiled.program.functions.values()
+        for block in func.blocks.values()
+        for instr in block.instrs
+        if instr.op == Op.BOUNDARY
+    }
+    assert set(compiled.plans) <= live_uids
+
+
+def test_pipeline_minimize_flag():
+    program = BENCHMARKS["lbm"].build(scale=0.05)
+    plain = compile_program(program, CompilerConfig(), verify=False)
+    minimized = compile_program(
+        program, CompilerConfig(), verify=True, minimize_boundaries=True
+    )
+    assert minimized.stats.minimized_boundaries >= 1
+    assert (
+        minimized.stats.boundaries
+        == plain.stats.boundaries - minimized.stats.minimized_boundaries
+    )
+    assert plain.stats.minimized_boundaries == 0
+
+
+def test_minimize_report_json_shape():
+    report = minimize_compiled(_compiled("lbm"))
+    payload = report.to_json()
+    assert payload["kind"] == "repro-placement"
+    assert payload["mode"] == "minimize"
+    assert payload["removed"] == report.removed
+    assert payload["boundaries_before"] - payload["removed"] \
+        == payload["boundaries_after"]
+    for kept in payload["kept"]:
+        assert {"kind", "function", "block", "index", "reason",
+                "diagnostics"} <= set(kept)
+
+
+def test_unsafe_merge_bug_is_caught_by_verifier():
+    compiled = compile_program(
+        _target_program(),
+        CompilerConfig(store_threshold=SELF_TEST_THRESHOLD),
+        verify=False,
+    )
+    report = minimize_compiled(compiled, _bug="unsafe-merge")
+    assert not report.verify_ok
+    assert not verify_compiled(compiled).ok
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(ValueError):
+        minimize_compiled(_compiled("lbm"), _bug="nope")

@@ -1,0 +1,73 @@
+"""50-seed property sweep: minimization is invisible to everything but
+the instrumentation footprint.
+
+For every random program: the minimized variant still passes R1-R5,
+its crash-free filtered trace is byte-identical to the unminimized
+one's, its persisted data image is unchanged, and minimization never
+*adds* a boundary.  Plus the placement mutation harness (the seeded
+synthesizer/minimizer defects must all be caught)."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_program
+from repro.config import CompilerConfig
+from repro.core.failure import reference_pm
+from repro.verify import verify_compiled
+from repro.verify.mutate import placement_catalog, validate_placement
+from repro.verify.place import (
+    minimize_compiled,
+    synthesize_placement,
+    trace_digest,
+)
+from repro.workloads.randprog import random_program
+
+SEEDS = range(50)
+_CONFIG = CompilerConfig(store_threshold=8)
+
+
+def _pair(seed):
+    program = random_program(seed)
+    base = compile_program(program, _CONFIG, verify=False)
+    minimized = compile_program(program, _CONFIG, verify=False)
+    report = minimize_compiled(minimized)
+    return base, minimized, report
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_minimized_randprog_invariants(seed):
+    base, minimized, report = _pair(seed)
+    # still passes all five rules
+    verdict = verify_compiled(minimized)
+    assert verdict.ok, verdict.format()
+    assert report.verify_ok
+    # never gains boundaries
+    assert minimized.stats.boundaries <= base.stats.boundaries
+    assert report.boundaries_after <= report.boundaries_before
+    # byte-identical crash-free data trace
+    assert trace_digest(minimized) == trace_digest(base)
+
+
+@pytest.mark.parametrize("seed", list(SEEDS)[::10])
+def test_minimized_randprog_image_unchanged(seed):
+    base, minimized, _ = _pair(seed)
+    assert reference_pm(minimized) == reference_pm(base)
+
+
+@pytest.mark.parametrize("seed", list(SEEDS)[::10])
+def test_synthesized_randprog_passes_rules(seed):
+    program = random_program(seed)
+    base = compile_program(program, _CONFIG, verify=False)
+    result = synthesize_placement(
+        base.program, _CONFIG, budget=_CONFIG.store_threshold
+    )
+    verdict = verify_compiled(result.compiled)
+    assert verdict.ok, verdict.format()
+    assert trace_digest(result.compiled) == trace_digest(base)
+
+
+def test_placement_mutation_harness_catches_all():
+    outcomes = validate_placement()
+    assert set(outcomes) == set(placement_catalog())
+    for name, outcome in outcomes.items():
+        assert outcome.caught, (name, outcome.fired_rules)
+        assert outcome.with_witness, name

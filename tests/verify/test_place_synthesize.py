@@ -1,0 +1,154 @@
+"""repro.verify.place.synthesize: placement from the verifier's own
+dataflow, for boundary-stripped compiler output and raw .lir alike."""
+
+import pytest
+
+from repro.compiler.ir import Op
+from repro.compiler.pipeline import compile_program
+from repro.compiler.textir import parse_program, print_program
+from repro.config import CompilerConfig
+from repro.verify import verify_compiled, verify_program
+from repro.verify.model import VerifyConfig
+from repro.verify.mutate import SELF_TEST_THRESHOLD, _target_program
+from repro.verify.place import (
+    PlacementError,
+    strip_instrumentation,
+    synthesize_placement,
+)
+from repro.workloads.suite import BENCHMARKS
+
+RAW_LIR = """\
+program handwritten
+array a 16 @2112
+
+func main()
+entry:
+    const r1, 0
+    br loop
+loop:
+    load r2, [r1 + a]
+    add r2, r2, 1
+    store r2, [r1 + a]
+    add r1, r1, 1
+    lt r3, r1, 8
+    cbr r3, loop, done
+done:
+    store r1, [15 + a]
+    ret
+"""
+
+
+def _kinds(program):
+    kinds = {}
+    for func in program.functions.values():
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if instr.op == Op.BOUNDARY:
+                    kinds[instr.note] = kinds.get(instr.note, 0) + 1
+    return kinds
+
+
+def test_strip_removes_all_instrumentation():
+    compiled = compile_program(_target_program(), CompilerConfig(
+        store_threshold=SELF_TEST_THRESHOLD))
+    stripped = strip_instrumentation(compiled.program)
+    assert _kinds(stripped) == {}
+    assert not any(
+        instr.op == Op.CHECKPOINT
+        for func in stripped.functions.values()
+        for block in func.blocks.values()
+        for instr in block.instrs
+    )
+    # the input is untouched
+    assert compiled.stats.boundaries > 0
+    assert _kinds(compiled.program)
+
+
+def test_synthesized_target_passes_all_rules():
+    result = synthesize_placement(
+        _target_program(), budget=SELF_TEST_THRESHOLD
+    )
+    report = verify_compiled(result.compiled)
+    assert report.ok, report.format()
+    kinds = _kinds(result.compiled.program)
+    # every R3 obligation class is represented on this target (the
+    # fence's "sync" boundary collapses into the adjacent post-call
+    # boundary, which discharges the same obligation)
+    for kind in ("entry", "exit", "call", "loop"):
+        assert kinds.get(kind, 0) > 0, kinds
+    assert result.report.verify_ok
+    assert result.report.mode == "synthesize"
+    assert result.report.boundaries_after == result.compiled.stats.boundaries
+
+
+def test_synthesize_raw_lir_program():
+    program = parse_program(RAW_LIR)
+    result = synthesize_placement(program, budget=4)
+    assert verify_compiled(result.compiled).ok
+    # storing loop got a header boundary
+    assert _kinds(result.compiled.program).get("loop", 0) >= 1
+
+
+@pytest.mark.parametrize("name", ["lbm", "mcf", "bzip2", "ssca2"])
+def test_synthesize_stripped_suite_program(name):
+    program = BENCHMARKS[name].build(scale=0.02)
+    compiled = compile_program(program, CompilerConfig(), verify=False)
+    stripped = strip_instrumentation(compiled.program)
+    result = synthesize_placement(stripped, budget=32)
+    report = verify_compiled(result.compiled)
+    assert report.ok, report.format()
+    assert result.compiled.stats.boundaries > 0
+
+
+def test_synthesize_stripped_store_program():
+    from repro.store.bench import STORE_BENCHMARKS
+
+    program = STORE_BENCHMARKS["store-ycsb-a"].build(scale=0.02)
+    result = synthesize_placement(program, budget=32)
+    assert verify_compiled(result.compiled).ok
+
+
+def test_budget_fixpoint_inserts_threshold_boundaries():
+    slack = synthesize_placement(_target_program(), budget=32)
+    tight = synthesize_placement(_target_program(), budget=3)
+    assert (
+        tight.compiled.stats.boundaries >= slack.compiled.stats.boundaries
+    )
+    assert verify_compiled(tight.compiled).ok
+    assert tight.report.iterations >= 1
+
+
+def test_emitted_text_verifies_planless():
+    result = synthesize_placement(
+        _target_program(), budget=SELF_TEST_THRESHOLD
+    )
+    text = print_program(result.compiled.program)
+    reparsed = parse_program(text)
+    cfg = VerifyConfig(
+        threshold=SELF_TEST_THRESHOLD,
+        wpq_entries=2 * SELF_TEST_THRESHOLD,
+        allow_overshoot=not result.compiled.stats.converged,
+        checkpoint_words=2112,
+    )
+    assert verify_program(reparsed, None, cfg).ok
+
+
+def test_plans_cover_boundaries():
+    result = synthesize_placement(
+        _target_program(), budget=SELF_TEST_THRESHOLD
+    )
+    for func in result.compiled.program.functions.values():
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if instr.op == Op.BOUNDARY:
+                    assert instr.uid in result.compiled.plans
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(ValueError):
+        synthesize_placement(_target_program(), _bug="no-such-defect")
+
+
+def test_placement_error_carries_report():
+    err = PlacementError("boom", report=None)
+    assert err.report is None

@@ -1,9 +1,7 @@
 """Tests for the workload archetype kernels: termination, correctness of
 their computed results, and the dynamic properties the suite relies on."""
 
-import pytest
 
-from helpers import data_words
 
 from repro.compiler import run_single, run_threads
 from repro.sim.trace import count_events

@@ -1,6 +1,5 @@
 """Tests for the sort and strided archetypes."""
 
-import pytest
 
 from repro.compiler import compile_program, run_single
 from repro.config import CompilerConfig
