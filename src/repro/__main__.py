@@ -415,6 +415,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scale=args.scale,
             jobs=args.jobs,
             trace_path=args.trace,
+            profile_path=args.profile,
         )
     except KeyError as exc:
         print(exc.args[0])
@@ -1001,13 +1002,13 @@ def main(argv=None) -> int:
         help="CI-sized run over the smoke subset",
     )
     p_bench.add_argument("--seed", type=int, default=0)
-    p_bench.add_argument("--scale", type=float, default=0.05)
+    p_bench.add_argument("--scale", type=float, default=0.25)
     p_bench.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (one entry per worker)",
     )
     p_bench.add_argument(
-        "--out", default="BENCH_pr5.json", metavar="PATH",
+        "--out", default="BENCH_pr9.json", metavar="PATH",
         help="where to write the machine-readable report",
     )
     p_bench.add_argument(
@@ -1022,6 +1023,11 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--trace", default=None, metavar="PATH",
         help="also record the run as a trace.v1 JSONL artifact",
+    )
+    p_bench.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="cProfile the run: write a pstats dump at PATH and a "
+             "PATH.json hot-function summary (forces --jobs 1)",
     )
 
     p_sweep = sub.add_parser("crash-sweep", help="crash-test a benchmark")

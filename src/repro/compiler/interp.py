@@ -11,6 +11,26 @@ a :class:`~repro.sim.trace.TraceEvent`, so it serves three masters:
 * multi-threaded scheduling: ``step`` returns ``None`` when the thread is
   blocked on a lock, letting a scheduler interleave threads.
 
+Execution is driven by a precompiled dispatch table: at
+:func:`~repro.compiler.pipeline.compile_program` time (or lazily on first
+execution) every basic block is lowered once into a list of flat code
+tuples — a small-integer opcode plus pre-resolved operands (wrapped
+immediates, a specialized binop function, pre-parsed checkpoint slots,
+callee parameter tuples).  :meth:`ThreadVM.step` is a thin wrapper that
+indexes an opcode → bound-handler table with the tuple's code;
+:meth:`ThreadVM.run_fast` executes a whole batch of instructions in one
+inline loop over the same tuples, surfacing only the instructions the
+outer machine must see (LOCK / ATOMIC_RMW / FENCE / BOUNDARY / IO).  The
+batched loop is byte-for-bit equivalent to repeated ``step`` calls — the
+parity property suite (tests/core) pins that equivalence across random
+programs, and it is the soundness argument for keeping two loops.
+
+The dispatch cache lives on the :class:`~repro.compiler.ir.Program` and
+revalidates cheaply (length + terminator identity) on block entry, so the
+in-place block surgery the mutation self-test and the placement engine
+perform is picked up automatically; code that rewrites *fields* of an
+already-executed instruction must call :func:`invalidate_dispatch`.
+
 Semantics notes: all arithmetic wraps to signed 64-bit; division/modulo by
 zero yield 0 (no traps — power failure is the only "exception" this system
 cares about); every call frame gets a fresh register file with parameters
@@ -20,12 +40,31 @@ bound (callee-saved-everything, which makes per-function liveness sound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
+from ..errors import DeadlockError, MachineLimitError
 from ..sim.trace import EK, TraceEvent
 from .ir import WORD_BYTES, Instr, Op, Program
 
-__all__ = ["WordMemory", "LockTable", "ThreadVM", "run_single", "run_threads"]
+__all__ = [
+    "WordMemory",
+    "LockTable",
+    "ThreadVM",
+    "run_single",
+    "run_threads",
+    "precompile_dispatch",
+    "invalidate_dispatch",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -36,44 +75,204 @@ def _wrap(value: int) -> int:
     return value - (1 << 64) if value >= (1 << 63) else value
 
 
+# ----------------------------------------------------------------------
+# binop dispatch: one specialized function per operator, resolved once at
+# block-compile time instead of string-compared on every execution
+# ----------------------------------------------------------------------
+
+def _b_add(a: int, b: int) -> int:
+    return _wrap(a + b)
+
+
+def _b_sub(a: int, b: int) -> int:
+    return _wrap(a - b)
+
+
+def _b_mul(a: int, b: int) -> int:
+    return _wrap(a * b)
+
+
+def _b_div(a: int, b: int) -> int:
+    return _wrap(a // b) if b else 0
+
+
+def _b_mod(a: int, b: int) -> int:
+    return _wrap(a % b) if b else 0
+
+
+def _b_and(a: int, b: int) -> int:
+    return _wrap(a & b)
+
+
+def _b_or(a: int, b: int) -> int:
+    return _wrap(a | b)
+
+
+def _b_xor(a: int, b: int) -> int:
+    return _wrap(a ^ b)
+
+
+def _b_shl(a: int, b: int) -> int:
+    return _wrap(a << (b & 63))
+
+
+def _b_shr(a: int, b: int) -> int:
+    return _wrap((a & _MASK64) >> (b & 63))
+
+
+def _b_min(a: int, b: int) -> int:
+    return min(a, b)
+
+
+def _b_max(a: int, b: int) -> int:
+    return max(a, b)
+
+
+def _b_eq(a: int, b: int) -> int:
+    return int(a == b)
+
+
+def _b_ne(a: int, b: int) -> int:
+    return int(a != b)
+
+
+def _b_lt(a: int, b: int) -> int:
+    return int(a < b)
+
+
+def _b_le(a: int, b: int) -> int:
+    return int(a <= b)
+
+
+def _b_gt(a: int, b: int) -> int:
+    return int(a > b)
+
+
+def _b_ge(a: int, b: int) -> int:
+    return int(a >= b)
+
+
+_BINOP_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    Op.ADD: _b_add, Op.SUB: _b_sub, Op.MUL: _b_mul, Op.DIV: _b_div,
+    Op.MOD: _b_mod, Op.AND: _b_and, Op.OR: _b_or, Op.XOR: _b_xor,
+    Op.SHL: _b_shl, Op.SHR: _b_shr, Op.MIN: _b_min, Op.MAX: _b_max,
+    Op.EQ: _b_eq, Op.NE: _b_ne, Op.LT: _b_lt, Op.LE: _b_le,
+    Op.GT: _b_gt, Op.GE: _b_ge,
+}
+
+
 def _binop(op: str, a: int, b: int) -> int:
-    if op == Op.ADD:
-        return _wrap(a + b)
-    if op == Op.SUB:
-        return _wrap(a - b)
-    if op == Op.MUL:
-        return _wrap(a * b)
-    if op == Op.DIV:
-        return _wrap(a // b) if b else 0
-    if op == Op.MOD:
-        return _wrap(a % b) if b else 0
-    if op == Op.AND:
-        return _wrap(a & b)
-    if op == Op.OR:
-        return _wrap(a | b)
-    if op == Op.XOR:
-        return _wrap(a ^ b)
-    if op == Op.SHL:
-        return _wrap(a << (b & 63))
-    if op == Op.SHR:
-        return _wrap((a & _MASK64) >> (b & 63))
-    if op == Op.MIN:
-        return min(a, b)
-    if op == Op.MAX:
-        return max(a, b)
-    if op == Op.EQ:
-        return int(a == b)
-    if op == Op.NE:
-        return int(a != b)
-    if op == Op.LT:
-        return int(a < b)
-    if op == Op.LE:
-        return int(a <= b)
-    if op == Op.GT:
-        return int(a > b)
-    if op == Op.GE:
-        return int(a >= b)
-    raise ValueError("unknown binop %r" % op)
+    fn = _BINOP_FUNCS.get(op)
+    if fn is None:
+        raise ValueError("unknown binop %r" % op)
+    return fn(a, b)
+
+
+# ----------------------------------------------------------------------
+# numeric opcodes for the compiled code tuples.  Codes >= _C_PAUSE are
+# the machine-visible instructions the batched loop must not execute.
+# ----------------------------------------------------------------------
+C_CONST = 0
+C_MOV = 1
+C_BINOP = 2
+C_NOP = 3
+C_LOAD = 4
+C_STORE = 5
+C_CKPT = 6
+C_BR = 7
+C_CBR = 8
+C_CALL = 9
+C_RET = 10
+C_UNLOCK = 11
+C_LOCK = 12
+C_ATOMIC = 13
+C_FENCE = 14
+C_BOUNDARY = 15
+C_IO = 16
+
+_C_PAUSE = C_LOCK
+
+#: one compiled instruction: (numeric code, source Instr, *pre-resolved)
+Code = Tuple[Any, ...]
+
+
+def _compile_instr(instr: Instr) -> Code:
+    """Lower one instruction to a flat code tuple with operands resolved
+    as far as they can be without runtime state."""
+    op = instr.op
+    if op == Op.CONST:
+        return (C_CONST, instr, instr.dst, _wrap(cast(int, instr.imm)))
+    if op == Op.MOV:
+        return (C_MOV, instr, instr.dst, instr.srcs[0])
+    if op in Op.BINOPS:
+        return (
+            C_BINOP, instr, instr.dst, _BINOP_FUNCS[op],
+            instr.srcs[0], instr.srcs[1],
+        )
+    if op == Op.NOP:
+        return (C_NOP, instr)
+    if op == Op.LOAD:
+        return (C_LOAD, instr, instr.dst, instr.addr, instr.offset)
+    if op == Op.STORE:
+        return (C_STORE, instr, instr.srcs[0], instr.addr, instr.offset)
+    if op == Op.CHECKPOINT:
+        reg = instr.srcs[0]
+        index: Optional[int] = None
+        if isinstance(reg, str) and reg.startswith("r"):
+            try:
+                parsed = int(reg[1:])
+            except ValueError:
+                parsed = -1
+            if 0 <= parsed < Program.N_ARCH_REGS:
+                index = parsed
+        # invalid registers keep index None so execution raises exactly
+        # where the uncompiled interpreter would (checkpoint_slot)
+        return (C_CKPT, instr, reg, index)
+    if op == Op.BR:
+        return (C_BR, instr, instr.targets[0])
+    if op == Op.CBR:
+        return (C_CBR, instr, instr.srcs[0], instr.targets[0], instr.targets[1])
+    if op == Op.CALL:
+        return (C_CALL, instr, instr.callee, instr.dst)
+    if op == Op.RET:
+        return (C_RET, instr, instr.srcs[0] if instr.srcs else 0)
+    if op == Op.UNLOCK:
+        return (C_UNLOCK, instr, instr.imm)
+    if op == Op.LOCK:
+        return (C_LOCK, instr, instr.imm)
+    if op == Op.ATOMIC_RMW:
+        return (C_ATOMIC, instr)
+    if op == Op.FENCE:
+        return (C_FENCE, instr)
+    if op == Op.BOUNDARY:
+        return (C_BOUNDARY, instr)
+    if op == Op.IO:
+        return (C_IO, instr)
+    raise ValueError("unknown opcode %r" % op)
+
+
+def _compile_block(instrs: List[Instr]) -> List[Code]:
+    return [_compile_instr(i) for i in instrs]
+
+
+def precompile_dispatch(program: Program) -> None:
+    """Lower every basic block of ``program`` to dispatch code now —
+    called once from :func:`~repro.compiler.pipeline.compile_program` so
+    execution never pays the lowering lazily."""
+    dispatch: Dict[str, Dict[str, List[Code]]] = {}
+    for fname, func in program.functions.items():
+        dispatch[fname] = {
+            label: _compile_block(block.instrs)
+            for label, block in func.blocks.items()
+        }
+    program._dispatch = dispatch
+
+
+def invalidate_dispatch(program: Program) -> None:
+    """Drop the dispatch cache.  Needed only when code mutates *fields*
+    of an already-executed instruction in place; block-level insertion or
+    deletion is caught by the fetch-time revalidation."""
+    program._dispatch = None
 
 
 class WordMemory:
@@ -151,6 +350,10 @@ class ThreadVM:
         self.steps = 0
         #: externally visible I/O operations performed: (device, payload)
         self.io_log: List[Tuple[int, int]] = []
+        #: the machine-visible code tuple :meth:`run_fast` paused before
+        #: (None after any other exit) — lets the caller dispatch it
+        #: without re-fetching the block
+        self.paused_code: Optional[Code] = None
 
     # ------------------------------------------------------------------
     def _value(self, operand: Union[int, str]) -> int:
@@ -172,154 +375,389 @@ class ThreadVM:
         return (self.func_name, self.block, self.index)
 
     # ------------------------------------------------------------------
-    def step(self) -> Optional[TraceEvent]:
-        """Execute one instruction.  Returns the trace event, ``None``
-        when blocked on a lock, or a HALT event exactly once at the end."""
-        if self.halted:
-            return None
-        instr = self.current_instr()
-        assert instr is not None
-        op = instr.op
-
-        # Locks may refuse to advance the thread.
-        if op == Op.LOCK:
-            if not self.locks.try_acquire(instr.imm, self.tid):
-                return None
-            self._advance()
-            self.steps += 1
-            return TraceEvent(EK.LOCK, tid=self.tid, lock_id=instr.imm)
-
-        self.steps += 1
-        if op == Op.UNLOCK:
-            self.locks.release(instr.imm, self.tid)
-            self._advance()
-            return TraceEvent(EK.UNLOCK, tid=self.tid, lock_id=instr.imm)
-
-        if op == Op.CONST:
-            self.regs[instr.dst] = _wrap(instr.imm)
-            self._advance()
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.MOV:
-            self.regs[instr.dst] = self._value(instr.srcs[0])
-            self._advance()
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op in Op.BINOPS:
-            a = self._value(instr.srcs[0])
-            b = self._value(instr.srcs[1])
-            self.regs[instr.dst] = _binop(op, a, b)
-            self._advance()
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.NOP:
-            self._advance()
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.LOAD:
-            addr = self._addr(instr)
-            self.regs[instr.dst] = self.memory.read(addr)
-            self._advance()
-            return TraceEvent(EK.LOAD, addr=addr * WORD_BYTES, tid=self.tid)
-
-        if op == Op.STORE:
-            addr = self._addr(instr)
-            self.memory.write(addr, self._value(instr.srcs[0]))
-            self._advance()
-            return TraceEvent(EK.STORE, addr=addr * WORD_BYTES, tid=self.tid)
-
-        if op == Op.ATOMIC_RMW:
-            addr = self._addr(instr)
-            old = self.memory.read(addr)
-            operand = self._value(instr.srcs[0])
-            new = operand if instr.rmw_op == "xchg" else _binop(instr.rmw_op, old, operand)
-            self.memory.write(addr, new)
-            if instr.dst is not None:
-                self.regs[instr.dst] = old
-            self._advance()
-            return TraceEvent(EK.ATOMIC, addr=addr * WORD_BYTES, tid=self.tid)
-
-        if op == Op.CHECKPOINT:
-            reg = instr.srcs[0]
-            slot = Program.checkpoint_slot(self.tid, reg)
-            self.memory.write(slot, self.regs.get(reg, 0))
-            self._advance()
-            return TraceEvent(EK.CHECKPOINT, addr=slot * WORD_BYTES, tid=self.tid)
-
-        if op == Op.BOUNDARY:
-            slot = Program.pc_slot(self.tid)
-            self.memory.write(slot, instr.uid)
-            self._advance()
-            return TraceEvent(
-                EK.BOUNDARY,
-                addr=slot * WORD_BYTES,
-                tid=self.tid,
-                boundary_uid=instr.uid,
-            )
-
-        if op == Op.FENCE:
-            self._advance()
-            return TraceEvent(EK.FENCE, tid=self.tid)
-
-        if op == Op.IO:
-            payload = self._value(instr.srcs[0]) if instr.srcs else 0
-            self.io_log.append((instr.imm, payload))
-            self._advance()
-            return TraceEvent(
-                EK.IO, tid=self.tid, lock_id=instr.imm, payload=payload
-            )
-
-        if op == Op.BR:
-            self._jump(instr.targets[0])
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.CBR:
-            taken = self._value(instr.srcs[0]) != 0
-            self._jump(instr.targets[0] if taken else instr.targets[1])
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.CALL:
-            callee = self.program.functions[instr.callee]
-            frame = Frame(
-                regs=self.regs,
-                func=self.func_name,
-                block=self.block,
-                index=self.index + 1,
-                ret_reg=instr.dst,
-            )
-            self.frames.append(frame)
-            new_regs: Dict[str, int] = {}
-            for param, src in zip(callee.params, instr.srcs):
-                new_regs[param] = self._value(src)
-            self.regs = new_regs
-            self.func_name = instr.callee
-            self.block = callee.entry
-            self.index = 0
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        if op == Op.RET:
-            value = self._value(instr.srcs[0]) if instr.srcs else 0
-            if not self.frames:
-                self.halted = True
-                return TraceEvent(EK.HALT, tid=self.tid)
-            frame = self.frames.pop()
-            self.regs = frame.regs
-            if frame.ret_reg is not None:
-                self.regs[frame.ret_reg] = value
-            self.func_name = frame.func
-            self.block = frame.block
-            self.index = frame.index
-            return TraceEvent(EK.ALU, tid=self.tid)
-
-        raise ValueError("unknown opcode %r" % op)
+    def _code_for(self, func_name: str, label: str) -> List[Code]:
+        """The block's compiled code, (re)lowering when the cache is cold
+        or the block was edited in place (length / terminator identity)."""
+        program = self.program
+        dispatch = program._dispatch
+        if dispatch is None:
+            dispatch = program._dispatch = {}
+        fcode = dispatch.get(func_name)
+        if fcode is None:
+            fcode = dispatch[func_name] = {}
+        code = fcode.get(label)
+        instrs = program.functions[func_name].blocks[label].instrs
+        if (
+            code is None
+            or len(code) != len(instrs)
+            or (len(code) != 0 and code[-1][1] is not instrs[-1])
+        ):
+            code = _compile_block(instrs)
+            fcode[label] = code
+        return code
 
     # ------------------------------------------------------------------
+    def step(self) -> Optional[TraceEvent]:
+        """Execute one instruction.  Returns the trace event, ``None``
+        when blocked on a lock, or a HALT event exactly once at the end.
+
+        A thin wrapper over the precompiled dispatch table: the current
+        instruction's code tuple selects a bound handler."""
+        if self.halted:
+            return None
+        code = self._code_for(self.func_name, self.block)[self.index]
+        handler = _HANDLERS[code[0]]
+        return handler(self, code)
+
+    # -- per-opcode handlers (the single-step semantics reference) ------
     def _advance(self) -> None:
         self.index += 1
 
     def _jump(self, label: str) -> None:
         self.block = label
         self.index = 0
+
+    def _h_const(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        self.regs[c[2]] = c[3]
+        self.index += 1
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_mov(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        v = c[3]
+        self.regs[c[2]] = self.regs.get(v, 0) if type(v) is str else v
+        self.index += 1
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_binop(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        regs = self.regs
+        a = c[4]
+        if type(a) is str:
+            a = regs.get(a, 0)
+        b = c[5]
+        if type(b) is str:
+            b = regs.get(b, 0)
+        regs[c[2]] = c[3](a, b)
+        self.index += 1
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_nop(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        self.index += 1
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_load(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        a = c[3]
+        if type(a) is str:
+            a = self.regs.get(a, 0)
+        addr = _wrap(a + c[4])
+        self.regs[c[2]] = self.memory.read(addr)
+        self.index += 1
+        return TraceEvent(EK.LOAD, addr=addr * WORD_BYTES, tid=self.tid)
+
+    def _h_store(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        regs = self.regs
+        a = c[3]
+        if type(a) is str:
+            a = regs.get(a, 0)
+        addr = _wrap(a + c[4])
+        v = c[2]
+        self.memory.write(addr, regs.get(v, 0) if type(v) is str else v)
+        self.index += 1
+        return TraceEvent(EK.STORE, addr=addr * WORD_BYTES, tid=self.tid)
+
+    def _h_ckpt(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        index = c[3]
+        if index is None:
+            slot = Program.checkpoint_slot(self.tid, c[2])
+        else:
+            slot = self.tid * Program.CHECKPOINT_WORDS_PER_CORE + index
+        self.memory.write(slot, self.regs.get(c[2], 0))
+        self.index += 1
+        return TraceEvent(EK.CHECKPOINT, addr=slot * WORD_BYTES, tid=self.tid)
+
+    def _h_br(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        self.block = c[2]
+        self.index = 0
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_cbr(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        v = c[2]
+        if type(v) is str:
+            v = self.regs.get(v, 0)
+        self.block = c[3] if v != 0 else c[4]
+        self.index = 0
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_call(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        instr: Instr = c[1]
+        callee = self.program.functions[c[2]]
+        self.frames.append(
+            Frame(
+                regs=self.regs,
+                func=self.func_name,
+                block=self.block,
+                index=self.index + 1,
+                ret_reg=c[3],
+            )
+        )
+        regs = self.regs
+        new_regs: Dict[str, int] = {}
+        for param, src in zip(callee.params, instr.srcs):
+            new_regs[param] = regs.get(src, 0) if type(src) is str else src
+        self.regs = new_regs
+        self.func_name = c[2]
+        self.block = callee.entry
+        self.index = 0
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_ret(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        v = c[2]
+        if type(v) is str:
+            v = self.regs.get(v, 0)
+        if not self.frames:
+            self.halted = True
+            return TraceEvent(EK.HALT, tid=self.tid)
+        frame = self.frames.pop()
+        self.regs = frame.regs
+        if frame.ret_reg is not None:
+            self.regs[frame.ret_reg] = v
+        self.func_name = frame.func
+        self.block = frame.block
+        self.index = frame.index
+        return TraceEvent(EK.ALU, tid=self.tid)
+
+    def _h_unlock(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        self.locks.release(c[2], self.tid)
+        self.index += 1
+        return TraceEvent(EK.UNLOCK, tid=self.tid, lock_id=c[2])
+
+    def _h_lock(self, c: Code) -> Optional[TraceEvent]:
+        # Locks may refuse to advance the thread — no step is charged.
+        if not self.locks.try_acquire(c[2], self.tid):
+            return None
+        self.index += 1
+        self.steps += 1
+        return TraceEvent(EK.LOCK, tid=self.tid, lock_id=c[2])
+
+    def _h_atomic(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        instr: Instr = c[1]
+        addr = self._addr(instr)
+        old = self.memory.read(addr)
+        operand = self._value(instr.srcs[0])
+        new = operand if instr.rmw_op == "xchg" else _binop(instr.rmw_op, old, operand)
+        self.memory.write(addr, new)
+        if instr.dst is not None:
+            self.regs[instr.dst] = old
+        self.index += 1
+        return TraceEvent(EK.ATOMIC, addr=addr * WORD_BYTES, tid=self.tid)
+
+    def _h_fence(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        self.index += 1
+        return TraceEvent(EK.FENCE, tid=self.tid)
+
+    def _h_boundary(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        instr: Instr = c[1]
+        slot = Program.pc_slot(self.tid)
+        self.memory.write(slot, instr.uid)
+        self.index += 1
+        return TraceEvent(
+            EK.BOUNDARY,
+            addr=slot * WORD_BYTES,
+            tid=self.tid,
+            boundary_uid=instr.uid,
+        )
+
+    def _h_io(self, c: Code) -> Optional[TraceEvent]:
+        self.steps += 1
+        instr: Instr = c[1]
+        payload = self._value(instr.srcs[0]) if instr.srcs else 0
+        self.io_log.append((instr.imm, payload))
+        self.index += 1
+        return TraceEvent(
+            EK.IO, tid=self.tid, lock_id=instr.imm, payload=payload
+        )
+
+    # ------------------------------------------------------------------
+    def run_fast(self, limit: int) -> Tuple[int, str]:
+        """Execute up to ``limit`` instructions in one inline loop over
+        the compiled code tuples.
+
+        Stops *before* any machine-visible instruction (LOCK /
+        ATOMIC_RMW / FENCE / BOUNDARY / IO) with reason ``"pause"``;
+        executes a halting RET inline and returns ``"halt"``; otherwise
+        retires ``limit`` instructions and returns ``"limit"``.  The
+        executed prefix is byte-for-bit identical to the same number of
+        :meth:`step` calls — the parity property suite pins this."""
+        if self.halted or limit <= 0:
+            return 0, "halt" if self.halted else "limit"
+        self.paused_code = None
+        regs = self.regs
+        memory = self.memory
+        mem_read = memory.read
+        mem_write = memory.write
+        frames = self.frames
+        lock_release = self.locks.release
+        tid = self.tid
+        ckpt_base = tid * Program.CHECKPOINT_WORDS_PER_CORE
+        functions = self.program.functions
+        func_name = self.func_name
+        label = self.block
+        code = self._code_for(func_name, label)
+        index = self.index
+        n = 0
+        reason = "limit"
+        # Per-call block cache: blocks cannot be edited while this loop
+        # runs, so each (re)validated code list is reused for every
+        # re-entry (loop back-edges dominate).  Cleared on function
+        # change so labels never collide across functions.
+        bcache: Dict[str, List[Code]] = {label: code}
+        while n < limit:
+            c = code[index]
+            k = c[0]
+            if k == C_BINOP:
+                a = c[4]
+                if type(a) is str:
+                    a = regs.get(a, 0)
+                b = c[5]
+                if type(b) is str:
+                    b = regs.get(b, 0)
+                regs[c[2]] = c[3](a, b)
+                index += 1
+            elif k == C_CONST:
+                regs[c[2]] = c[3]
+                index += 1
+            elif k == C_LOAD:
+                a = c[3]
+                if type(a) is str:
+                    a = regs.get(a, 0)
+                regs[c[2]] = mem_read(_wrap(a + c[4]))
+                index += 1
+            elif k == C_STORE:
+                a = c[3]
+                if type(a) is str:
+                    a = regs.get(a, 0)
+                v = c[2]
+                if type(v) is str:
+                    v = regs.get(v, 0)
+                mem_write(_wrap(a + c[4]), v)
+                index += 1
+            elif k == C_CBR:
+                v = c[2]
+                if type(v) is str:
+                    v = regs.get(v, 0)
+                label = c[3] if v != 0 else c[4]
+                code = bcache.get(label)
+                if code is None:
+                    code = bcache[label] = self._code_for(func_name, label)
+                index = 0
+            elif k == C_MOV:
+                v = c[3]
+                if type(v) is str:
+                    v = regs.get(v, 0)
+                regs[c[2]] = v
+                index += 1
+            elif k == C_BR:
+                label = c[2]
+                code = bcache.get(label)
+                if code is None:
+                    code = bcache[label] = self._code_for(func_name, label)
+                index = 0
+            elif k == C_CKPT:
+                ri = c[3]
+                if ri is None:
+                    slot = Program.checkpoint_slot(tid, c[2])
+                else:
+                    slot = ckpt_base + ri
+                mem_write(slot, regs.get(c[2], 0))
+                index += 1
+            elif k == C_CALL:
+                frames.append(Frame(regs, func_name, label, index + 1, c[3]))
+                callee = functions[c[2]]
+                instr: Instr = c[1]
+                new_regs: Dict[str, int] = {}
+                for param, src in zip(callee.params, instr.srcs):
+                    new_regs[param] = (
+                        regs.get(src, 0) if type(src) is str else src
+                    )
+                regs = new_regs
+                func_name = c[2]
+                label = callee.entry
+                code = self._code_for(func_name, label)
+                bcache = {label: code}
+                index = 0
+            elif k == C_RET:
+                v = c[2]
+                if type(v) is str:
+                    v = regs.get(v, 0)
+                if not frames:
+                    n += 1
+                    self.halted = True
+                    reason = "halt"
+                    break
+                frame = frames.pop()
+                regs = frame.regs
+                if frame.ret_reg is not None:
+                    regs[frame.ret_reg] = v
+                func_name = frame.func
+                label = frame.block
+                code = self._code_for(func_name, label)
+                bcache = {label: code}
+                index = frame.index
+            elif k == C_NOP:
+                index += 1
+            elif k == C_UNLOCK:
+                lock_release(c[2], tid)
+                index += 1
+            else:
+                # machine-visible: LOCK / ATOMIC_RMW / FENCE / BOUNDARY /
+                # IO — the outer machine executes these through step()
+                # (or dispatches the stashed code tuple directly)
+                reason = "pause"
+                self.paused_code = c
+                break
+            n += 1
+        self.regs = regs
+        self.func_name = func_name
+        self.block = label
+        self.index = index
+        self.steps += n
+        return n, reason
+
+
+#: opcode -> handler; indexed by the code tuple's first element
+_HANDLERS: List[Callable[[ThreadVM, Code], Optional[TraceEvent]]] = [
+    ThreadVM._h_const,      # C_CONST
+    ThreadVM._h_mov,        # C_MOV
+    ThreadVM._h_binop,      # C_BINOP
+    ThreadVM._h_nop,        # C_NOP
+    ThreadVM._h_load,       # C_LOAD
+    ThreadVM._h_store,      # C_STORE
+    ThreadVM._h_ckpt,       # C_CKPT
+    ThreadVM._h_br,         # C_BR
+    ThreadVM._h_cbr,        # C_CBR
+    ThreadVM._h_call,       # C_CALL
+    ThreadVM._h_ret,        # C_RET
+    ThreadVM._h_unlock,     # C_UNLOCK
+    ThreadVM._h_lock,       # C_LOCK
+    ThreadVM._h_atomic,     # C_ATOMIC
+    ThreadVM._h_fence,      # C_FENCE
+    ThreadVM._h_boundary,   # C_BOUNDARY
+    ThreadVM._h_io,         # C_IO
+]
 
 
 def run_single(
@@ -332,15 +770,22 @@ def run_single(
     """Run one thread to completion; returns (events, memory)."""
     vm = ThreadVM(program, func_name, args=args, memory=memory)
     events: List[TraceEvent] = []
+    append = events.append
+    step = vm.step
     while not vm.halted:
         if vm.steps >= max_steps:
-            raise RuntimeError(
-                "execution exceeded %d steps (likely non-terminating)" % max_steps
+            raise MachineLimitError(
+                "execution exceeded %d steps (likely non-terminating)"
+                % max_steps,
+                steps=vm.steps,
+                limit=max_steps,
             )
-        event = vm.step()
+        event = step()
         if event is None:
-            raise RuntimeError("single thread blocked on a lock: deadlock")
-        events.append(event)
+            raise DeadlockError(
+                "single thread blocked on a lock: deadlock", steps=vm.steps
+            )
+        append(event)
     return events, vm.memory
 
 
@@ -376,7 +821,11 @@ def run_threads(
             if vm.halted:
                 break
             if total >= max_steps:
-                raise RuntimeError("multi-thread run exceeded %d steps" % max_steps)
+                raise MachineLimitError(
+                    "multi-thread run exceeded %d steps" % max_steps,
+                    steps=total,
+                    limit=max_steps,
+                )
             event = vm.step()
             if event is None:
                 break  # blocked on a lock; yield the turn
@@ -388,5 +837,7 @@ def run_threads(
         else:
             stalls += 1
             if stalls > 2 * n:
-                raise RuntimeError("all threads blocked: lock deadlock")
+                raise DeadlockError(
+                    "all threads blocked: lock deadlock", steps=total
+                )
     return events, memory

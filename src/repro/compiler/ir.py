@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Op",
@@ -308,6 +308,9 @@ class Program:
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, Tuple[int, int]] = {}  # name -> (base, words)
         self._next_addr = self.CHECKPOINT_WORDS_PER_CORE * self.MAX_CONTEXTS
+        #: interpreter dispatch cache: func -> label -> compiled code
+        #: tuples (see repro.compiler.interp); revalidated on block entry
+        self._dispatch: Optional[Dict[str, Dict[str, List[Tuple[Any, ...]]]]] = None
 
     # ------------------------------------------------------------------
     def add_function(self, func: Function) -> Function:

@@ -28,6 +28,7 @@ from .boundaries import (
     normalize_boundaries,
 )
 from .checkpoints import RecoveryPlan, collect_recovery_plans, prune_checkpoints
+from .interp import precompile_dispatch
 from .ir import Function, Op, Program
 from .opt import optimize_function
 from .regions import RegionFormationStats, form_regions
@@ -177,6 +178,10 @@ def compile_program(
         report = verify_compiled(compiled)
         if not report.ok:
             raise VerificationError(report)
+
+    # Lower every block to interpreter dispatch code now, after the
+    # minimizer has stopped editing blocks, so runs never pay it lazily.
+    precompile_dispatch(prog)
     return compiled
 
 

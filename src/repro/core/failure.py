@@ -31,7 +31,7 @@ def _machine(
     entries: Entries,
     config: SystemConfig,
     schedule_seed: int,
-    backend=None,
+    backend: object = None,
 ) -> PersistentMachine:
     return PersistentMachine(
         compiled, entries=entries, config=config,
@@ -44,7 +44,7 @@ def reference_pm(
     entries: Entries = DEFAULT_ENTRIES,
     config: SystemConfig = DEFAULT_CONFIG,
     schedule_seed: int = 0,
-    backend=None,
+    backend: object = None,
 ) -> Dict[int, int]:
     """Run to completion with no failures; the persisted data image."""
     machine = _machine(compiled, entries, config, schedule_seed, backend)
@@ -59,7 +59,7 @@ def run_with_crashes(
     entries: Entries = DEFAULT_ENTRIES,
     config: SystemConfig = DEFAULT_CONFIG,
     schedule_seed: int = 0,
-    backend=None,
+    backend: object = None,
 ) -> Tuple[Dict[int, int], MachineStats]:
     """Execute, cutting power after each (cumulative-step) crash point,
     recovering, and resuming.  Crash points past program completion are
@@ -91,7 +91,7 @@ def crash_sweep(
     stride: Optional[int] = None,
     schedule_seed: int = 0,
     max_points: Optional[int] = None,
-    backend=None,
+    backend: object = None,
     jobs: int = 1,
     worker_timeout: Optional[float] = None,
 ) -> List[int]:

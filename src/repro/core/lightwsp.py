@@ -54,7 +54,7 @@ def simulate_lightwsp(
     compiled: CompiledProgram,
     config: SystemConfig = DEFAULT_CONFIG,
     entries: Sequence[Tuple[str, Sequence[int]]] = (("main", ()),),
-    cache_scale=None,
+    cache_scale: Optional[float] = None,
 ) -> SimResult:
     """Compile-trace-simulate convenience for the common case."""
     events = trace_of(compiled, entries)

@@ -33,15 +33,35 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..compiler.interp import LockTable, ThreadVM, WordMemory
-from ..compiler.ir import Program
+from ..compiler.interp import (
+    C_BOUNDARY,
+    C_IO,
+    Frame,
+    LockTable,
+    ThreadVM,
+    WordMemory,
+)
+from ..compiler.ir import Op, Program
 from ..compiler.pipeline import CompiledProgram
 from ..config import SystemConfig, DEFAULT_CONFIG
+from ..errors import DeadlockError, MachineLimitError
 from ..trace import EK, TraceEvent
 from .recovery import rebuild_registers
+from .wpq import FunctionalWPQ
 from .regionid import RegionIdAllocator
 
 __all__ = ["PersistentMachine", "Continuation", "MachineStats"]
+
+
+def _copy_frames(frames: List[Frame]) -> List[Frame]:
+    """Snapshot a call stack.  Frames hold only a register dict and
+    resume coordinates — each CALL builds a fresh register dict, so a
+    per-frame shallow dict copy is a full snapshot (this replaces a
+    ``copy.deepcopy`` that dominated boundary cost)."""
+    return [
+        Frame(dict(f.regs), f.func, f.block, f.index, f.ret_reg)
+        for f in frames
+    ]
 
 
 @dataclass
@@ -90,8 +110,14 @@ class _HookedMemory(WordMemory):
         self._machine = machine
 
     def write(self, addr: int, value: int) -> None:
-        super().write(addr, value)
-        self._machine._on_store(addr, value)
+        self.words[addr] = value
+        buf = self._machine._store_buf
+        if buf is None:
+            self._machine._on_store(addr, value)
+        else:
+            # batched quantum: defer persistence bookkeeping, admit the
+            # whole run of same-region stores in one bulk call at the end
+            buf.append((addr, value))
 
 
 class PersistentMachine:
@@ -105,6 +131,11 @@ class PersistentMachine:
     continuations, the durable I/O log, and the recovery protocol's
     orchestration."""
 
+    #: when a batched quantum is running with bulk admission enabled,
+    #: _HookedMemory appends (word, value) here instead of calling
+    #: _on_store per write; None outside a batch (the per-store path)
+    _store_buf: Optional[List[Tuple[int, int]]] = None
+
     def __init__(
         self,
         compiled: CompiledProgram,
@@ -113,7 +144,7 @@ class PersistentMachine:
         quantum: int = 16,
         schedule_seed: int = 0,
         max_steps: int = 2_000_000,
-        backend=None,
+        backend: object = None,
     ) -> None:
         # lazy: repro.runtime imports core submodules (wpq, recovery)
         from ..runtime.backend import get_backend
@@ -174,7 +205,7 @@ class PersistentMachine:
     # The runtime owns the protocol state; these views keep the historic
     # attribute surface (fault injection, campaigns, and tests use it).
     @property
-    def wpqs(self):
+    def wpqs(self) -> List[FunctionalWPQ]:
         return self.persist.wpqs
 
     @property
@@ -208,7 +239,9 @@ class PersistentMachine:
         if occupancy > self.stats.max_wpq_occupancy:
             self.stats.max_wpq_occupancy = occupancy
 
-    def _resolve_full(self, wpq, region: int, word: int, value: int) -> None:
+    def _resolve_full(
+        self, wpq: FunctionalWPQ, region: int, word: int, value: int
+    ) -> None:
         """§IV-D overflow fallback (gated backends); overridable so the
         fault subsystem can model the undo-logging defense switched off."""
         self.persist.resolve_full(wpq, region, word, value)
@@ -222,7 +255,7 @@ class PersistentMachine:
             func=vm.func_name,
             block=vm.block,
             index=vm.index,
-            frames=copy.deepcopy(vm.frames),
+            frames=_copy_frames(vm.frames),
             held_locks=set(
                 lock for lock, owner in self.locks.owner.items() if owner == tid
             ),
@@ -273,24 +306,29 @@ class PersistentMachine:
         self.persist.commit_flush(region)
 
     def _try_commit(self) -> None:
+        persist = self.persist
+        stats = self.stats
         while True:
-            region = self.persist.next_commit()
+            region = persist.next_commit()
             if region is None or not self._region_committable(region):
                 return
             self._commit_flush(region)
-            self.persist.mark_committed(region)
-            self.stats.commits += 1
-            if self.stats.commit_steps is not None:
-                self.stats.commit_steps.append((region, self.stats.steps))
+            persist.mark_committed(region)
+            stats.commits += 1
+            if stats.commit_steps is not None:
+                stats.commit_steps.append((region, stats.steps))
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> Optional[TraceEvent]:
         """One instruction of the round-robin schedule; None when all
-        threads have halted."""
-        from ..compiler.ir import Op
+        threads have halted.
 
+        This is the single-step semantics reference (and the only path
+        that surfaces every TraceEvent); :meth:`run_quantum` batches the
+        uneventful stretches and falls back to this for anything
+        machine-visible."""
         n = len(self.vms)
         for _ in range(2 * n):
             tid = self._turn % n
@@ -334,17 +372,233 @@ class PersistentMachine:
             return event
         if all(vm.halted for vm in self.vms):
             return None
-        raise RuntimeError("all live threads blocked on locks: deadlock")
+        raise DeadlockError(
+            "all live threads blocked on locks: deadlock",
+            steps=self.stats.steps,
+        )
+
+    # -- batched execution hooks (FaultyMachine specializes these) ------
+    def _quantum_cap(self) -> Optional[int]:
+        """Extra bound on how many instructions the next batch may retire
+        before machine state must be re-examined (None: no bound)."""
+        return None
+
+    def _bulk_admit_ok(self) -> bool:
+        """Whether per-store admission may be deferred and fused into one
+        bulk call at batch end (fault injection must interpose per
+        store, so FaultyMachine refuses while MCs are down)."""
+        return True
+
+    def _after_batch(self) -> None:
+        """Called after every batch; FaultyMachine re-checks matured
+        boundary ACKs here (the classic step path checks per step)."""
+
+    def _flush_stores(self, tid: int, stores: List[Tuple[int, int]]) -> None:
+        """Bulk-admit a batch's deferred stores: the per-region fused
+        equivalent of per-store :meth:`_on_store` calls.  Regions cannot
+        change mid-batch (boundaries and syncs pause the batch), so one
+        ``region_of`` lookup and one ``admit_many`` cover the run."""
+        region = self.allocator.region_of(tid)
+        self.stats.stores += len(stores)
+        occupancy = self.persist.admit_many(region, stores)
+        if occupancy > self.stats.max_wpq_occupancy:
+            self.stats.max_wpq_occupancy = occupancy
+
+    def run_quantum(self, limit: Optional[int] = None) -> Optional[int]:
+        """Execute the scheduled thread's quantum (or up to ``limit``
+        instructions) in one batched inner loop; returns the number of
+        instructions retired, or ``None`` when all threads have halted.
+
+        The batch runs through :meth:`ThreadVM.run_fast` and is capped so
+        it never crosses a point where the machine must intervene: the
+        round-robin rotation (``steps % quantum == 0``), ``max_steps``,
+        a subclass cap (:meth:`_quantum_cap`), or any machine-visible
+        instruction (LOCK / ATOMIC_RMW / FENCE / BOUNDARY / IO), which
+        falls back to the classic :meth:`step`.  Byte-for-bit equivalent
+        to single-stepping — the parity suite pins this."""
+        n = len(self.vms)
+        budget = limit if limit is not None else self.quantum
+        if n == 1:
+            return self._run_quantum_single(budget)
+        for _ in range(2 * n):
+            tid = self._turn % n
+            vm = self.vms[tid]
+            if vm.halted:
+                self._turn += 1
+                continue
+            self._stepping_tid = tid
+            cap = self.quantum - self.stats.steps % self.quantum
+            if cap > budget:
+                cap = budget
+            remaining = self.max_steps - self.stats.steps
+            if cap > remaining:
+                cap = remaining
+            hook_cap = self._quantum_cap()
+            if hook_cap is not None and cap > hook_cap:
+                cap = hook_cap
+            if cap < 1:
+                # a subclass deadline is due (or max_steps is exhausted):
+                # advance one instruction, then re-check machine state
+                cap = 1
+            # bulk admission is skipped when _on_store was replaced on
+            # the instance (test spies interpose on the per-store path)
+            if (
+                cap > 1
+                and "_on_store" not in self.__dict__
+                and self._bulk_admit_ok()
+            ):
+                buf: List[Tuple[int, int]] = []
+                self._store_buf = buf
+                try:
+                    retired, why = vm.run_fast(cap)
+                finally:
+                    self._store_buf = None
+                    if buf:
+                        self._flush_stores(tid, buf)
+            else:
+                retired, why = vm.run_fast(cap)
+            if retired:
+                self.stats.steps += retired
+                if self.stats.steps % self.quantum == 0:
+                    self._turn += 1
+                if why == "halt":
+                    self._thread_halted(tid)
+                self._after_batch()
+                return retired
+            # current instruction is machine-visible or a blocked lock:
+            # the classic path owns sync refreshes, event dispatch,
+            # blocked-thread rotation, and deadlock detection
+            event = self.step()
+            return None if event is None else 1
+        if all(vm.halted for vm in self.vms):
+            return None
+        raise DeadlockError(
+            "all live threads blocked on locks: deadlock",
+            steps=self.stats.steps,
+        )
+
+    def _run_quantum_single(self, budget: int) -> Optional[int]:
+        """Single-thread batching: with one VM there is no round-robin
+        fairness point, so batches run visible-event to visible-event
+        and the loop stays here instead of bouncing through :meth:`run`
+        per batch.  ``_turn`` is advanced arithmetically — the classic
+        path bumps it once per ``steps %% quantum == 0`` crossing, which
+        over a batch is ``(after // q) - (before // q)`` increments —
+        keeping it bit-identical for the parity suite."""
+        vm = self.vms[0]
+        if vm.halted:
+            # the classic scan visits the halted VM 2n times (n == 1),
+            # rotating past it each visit, before reporting completion
+            self._turn += 2
+            return None
+        self._stepping_tid = 0
+        stats = self.stats
+        q = self.quantum
+        max_steps = self.max_steps
+        buffered = "_on_store" not in self.__dict__
+        run_fast = vm.run_fast
+        total = 0
+        while total < budget:
+            cap = budget - total
+            remaining = max_steps - stats.steps
+            if cap > remaining:
+                cap = remaining
+            hook_cap = self._quantum_cap()
+            if hook_cap is not None and cap > hook_cap:
+                cap = hook_cap
+            if cap < 1:
+                cap = 1
+            if cap > 1 and buffered and self._bulk_admit_ok():
+                buf: List[Tuple[int, int]] = []
+                self._store_buf = buf
+                try:
+                    retired, why = run_fast(cap)
+                finally:
+                    self._store_buf = None
+                    if buf:
+                        self._flush_stores(0, buf)
+            else:
+                retired, why = run_fast(cap)
+            if retired:
+                before = stats.steps
+                after = before + retired
+                stats.steps = after
+                self._turn += after // q - before // q
+                if why == "halt":
+                    self._thread_halted(0)
+                self._after_batch()
+                total += retired
+                if why == "halt" or after >= max_steps:
+                    break
+                if total >= budget:
+                    break
+                if why == "limit":
+                    # the cap (not a visible instruction) ended the
+                    # batch: recompute caps and keep batching
+                    continue
+            if why != "pause":
+                # nothing visible pending: the thread is blocked on a
+                # lock (or the batch bookkeeping already broke above);
+                # the classic scan owns deadlock detection
+                event = self.step()
+                if event is None:
+                    return total if total else None
+                total += 1
+                if vm.halted or stats.steps >= max_steps:
+                    break
+                continue
+            # The batch paused before a machine-visible instruction whose
+            # code tuple run_fast stashed.  Boundaries and IO dominate
+            # that traffic and have no sync refresh or blocking cases, so
+            # retire them here without the classic scan or a re-fetch;
+            # the per-step ACK recheck the FaultyMachine wrapper does is
+            # exactly _after_batch.  LOCK / ATOMIC_RMW / FENCE keep the
+            # classic path (sync refreshes, deadlock detection).
+            c = vm.paused_code
+            k = c[0] if c is not None else -1
+            if k == C_BOUNDARY:
+                event = vm._h_boundary(c)
+                stats.steps += 1
+                if stats.steps % q == 0:
+                    self._turn += 1
+                self._boundary_executed(0, event.boundary_uid)
+                self._after_batch()
+            elif k == C_IO:
+                event = vm._h_io(c)
+                stats.steps += 1
+                if stats.steps % q == 0:
+                    self._turn += 1
+                region = self.allocator.region_of(0)
+                self.io_log.append([0, event.lock_id, region, event.payload])
+                if stats.io_steps is not None:
+                    stats.io_steps.append(
+                        (event.payload, region, stats.steps)
+                    )
+                self._after_batch()
+            else:
+                event = self.step()
+                if event is None:
+                    return total if total else None
+            total += 1
+            if vm.halted or stats.steps >= max_steps:
+                break
+        return total
 
     def run(self, steps: Optional[int] = None) -> bool:
         """Execute up to ``steps`` instructions (or to completion).
         Returns True when the program has finished."""
-        budget = steps if steps is not None else self.max_steps
-        for _ in range(budget):
-            if self.step() is None:
+        remaining = steps if steps is not None else self.max_steps
+        while remaining > 0:
+            retired = self.run_quantum(remaining)
+            if retired is None:
                 return True
+            remaining -= retired
             if self.stats.steps >= self.max_steps:
-                raise RuntimeError("machine exceeded max_steps")
+                raise MachineLimitError(
+                    "machine exceeded max_steps",
+                    steps=self.stats.steps,
+                    limit=self.max_steps,
+                )
         return all(vm.halted for vm in self.vms)
 
     @property
@@ -422,7 +676,7 @@ class PersistentMachine:
             vm.func_name = resume.func
             vm.block = resume.block
             vm.index = resume.index
-            vm.frames = copy.deepcopy(resume.frames)
+            vm.frames = _copy_frames(resume.frames)
             vm.halted = False
             vm.regs = self._rebuild_registers(tid, resume)
             for lock in resume.held_locks:
@@ -480,7 +734,7 @@ class PersistentMachine:
             nvm.memory = new.volatile
             nvm.locks = new.locks
             nvm.regs = dict(vm.regs)
-            nvm.frames = copy.deepcopy(vm.frames)
+            nvm.frames = _copy_frames(vm.frames)
             nvm.io_log = list(vm.io_log)
             new.vms.append(nvm)
         new.history = copy.deepcopy(self.history)

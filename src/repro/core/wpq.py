@@ -10,12 +10,19 @@ The timing counterpart lives in :mod:`repro.sim.mc`; this class is used by
 the functional :class:`~repro.core.machine.PersistentMachine`, whose
 crash-consistency property tests are the proof that the protocol recovers
 correctly.
+
+Entries are stored in per-region buckets (keyed by region ID, FIFO within
+each bucket) with a global arrival sequence, so the hot path — region
+commit popping its entries — is O(region size) instead of rebuilding the
+whole queue, while every arrival-order view (:attr:`entries`,
+:meth:`search`, :meth:`snapshot`) still sees the exact FIFO the bounded
+buffer models.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["WPQEntry", "FunctionalWPQ", "WPQFullError"]
 
@@ -25,7 +32,7 @@ class WPQFullError(Exception):
     fallback must run."""
 
 
-@dataclass
+@dataclass(slots=True)
 class WPQEntry:
     region: int
     word: int
@@ -39,68 +46,116 @@ class FunctionalWPQ:
         if capacity < 1:
             raise ValueError("WPQ capacity must be positive")
         self.capacity = capacity
-        self.entries: List[WPQEntry] = []
+        self._count = 0
+        self._seq = 0
+        #: region -> [(arrival seq, entry)] in arrival order
+        self._buckets: Dict[int, List[Tuple[int, WPQEntry]]] = {}
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._count
 
     @property
     def full(self) -> bool:
-        return len(self.entries) >= self.capacity
+        return self._count >= self.capacity
+
+    @property
+    def entries(self) -> List[WPQEntry]:
+        """All quarantined entries in global arrival (FIFO) order."""
+        merged = [p for bucket in self._buckets.values() for p in bucket]
+        merged.sort()
+        return [entry for _, entry in merged]
 
     def put(self, region: int, word: int, value: int) -> None:
-        if self.full:
+        if self._count >= self.capacity:
             raise WPQFullError(
                 "WPQ full (%d entries) on store to word %d" % (self.capacity, word)
             )
-        self.entries.append(WPQEntry(region, word, value))
+        bucket = self._buckets.get(region)
+        if bucket is None:
+            bucket = self._buckets[region] = []
+        bucket.append((self._seq, WPQEntry(region, word, value)))
+        self._seq += 1
+        self._count += 1
+
+    def put_many(self, region: int, pairs: List[Tuple[int, int]]) -> int:
+        """Bulk :meth:`put` of one region's ``(word, value)`` stores.
+
+        All-or-nothing: raises :class:`WPQFullError` without admitting
+        anything when the batch does not fit, so callers needing the
+        per-store overflow fallback must fall back to :meth:`put`.
+        Returns the new occupancy."""
+        if self._count + len(pairs) > self.capacity:
+            raise WPQFullError(
+                "WPQ full (%d entries) on bulk admit of %d stores"
+                % (self.capacity, len(pairs))
+            )
+        bucket = self._buckets.get(region)
+        if bucket is None:
+            bucket = self._buckets[region] = []
+        seq = self._seq
+        append = bucket.append
+        for word, value in pairs:
+            append((seq, WPQEntry(region, word, value)))
+            seq += 1
+        self._seq = seq
+        self._count += len(pairs)
+        return self._count
 
     # ------------------------------------------------------------------
     def regions_present(self) -> List[int]:
-        return sorted({e.region for e in self.entries})
+        return sorted(self._buckets)
 
     def has_region(self, region: int) -> bool:
-        return any(e.region == region for e in self.entries)
+        return region in self._buckets
 
     def peek_region(self, region: int) -> List[WPQEntry]:
         """The region's entries in arrival (FIFO) order, without removing
         them — the retention view a battery drain uses while a persist
         write is still unverified (entries stay quarantined until their PM
         write completes, so a torn write can be re-issued)."""
-        return [e for e in self.entries if e.region == region]
+        return [entry for _, entry in self._buckets.get(region, ())]
 
     def occupancy_bytes(self, entry_bytes: int = 8) -> int:
         """Bytes a battery drain of this WPQ must move to PM — the
         quantity the residual-energy model prices (§II-C1)."""
-        return len(self.entries) * entry_bytes
+        return self._count * entry_bytes
 
     def pop_region(self, region: int) -> List[WPQEntry]:
         """Remove and return the region's entries in arrival (FIFO) order —
         the bulk flush that commits the region to PM."""
-        taken = [e for e in self.entries if e.region == region]
-        self.entries = [e for e in self.entries if e.region != region]
-        return taken
+        bucket = self._buckets.pop(region, None)
+        if bucket is None:
+            return []
+        self._count -= len(bucket)
+        return [entry for _, entry in bucket]
 
     def discard_region(self, region: int) -> int:
         """Drop a power-interrupted region's entries (they vanish with the
         failure).  Returns how many were dropped."""
-        before = len(self.entries)
-        self.entries = [e for e in self.entries if e.region != region]
-        return before - len(self.entries)
+        bucket = self._buckets.pop(region, None)
+        if bucket is None:
+            return 0
+        self._count -= len(bucket)
+        return len(bucket)
 
     def discard_all(self) -> int:
-        dropped = len(self.entries)
-        self.entries = []
+        dropped = self._count
+        self._buckets.clear()
+        self._count = 0
         return dropped
 
     # ------------------------------------------------------------------
     def search(self, word: int) -> Optional[int]:
         """CAM search (§IV-H): the *youngest* matching entry's value, or
         None on a miss."""
-        for entry in reversed(self.entries):
-            if entry.word == word:
-                return entry.value
-        return None
+        best_seq = -1
+        best: Optional[int] = None
+        for bucket in self._buckets.values():
+            for seq, entry in bucket:
+                if entry.word == word and seq > best_seq:
+                    best_seq = seq
+                    best = entry.value
+        return best
 
     def snapshot(self) -> List[Tuple[int, int, int]]:
         return [(e.region, e.word, e.value) for e in self.entries]

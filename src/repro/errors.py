@@ -1,0 +1,33 @@
+"""Typed run-loop escapes.
+
+The execution planes (the :mod:`repro.compiler.interp` VM and the
+:class:`repro.core.machine.PersistentMachine` scheduler) used to abort
+with bare ``RuntimeError``\\ s when a program overran its step budget or
+wedged on locks.  Campaigns could not distinguish "the workload is
+broken" from "the harness crashed", so these carry the step counts and
+subclass ``RuntimeError`` for compatibility with existing handlers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MachineLimitError", "DeadlockError"]
+
+
+class MachineLimitError(RuntimeError):
+    """The run loop exceeded its instruction budget (``max_steps``)."""
+
+    def __init__(self, message: str, steps: int, limit: int) -> None:
+        super().__init__(message)
+        #: instructions retired when the limit fired
+        self.steps = steps
+        #: the budget that was exceeded
+        self.limit = limit
+
+
+class DeadlockError(RuntimeError):
+    """Every live thread is blocked on a lock: no schedule can advance."""
+
+    def __init__(self, message: str, steps: int) -> None:
+        super().__init__(message)
+        #: instructions retired when the deadlock was detected
+        self.steps = steps

@@ -33,6 +33,7 @@ from ..analysis.battery import per_entry_drain_joules
 from ..compiler.pipeline import CompiledProgram, compile_program
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..core.failure import reference_pm
+from ..errors import DeadlockError, MachineLimitError
 from ..workloads.suite import BENCHMARKS
 from .defenses import ALL_ON, DEFENSE_OFF_MODES, Defenses
 from .injector import run_scenario
@@ -391,10 +392,30 @@ def _run_one(
     trace,
     backend=None,
 ) -> Tuple[Optional[Violation], Dict]:
-    result = run_scenario(
-        compiled, schedule, config=config, defenses=defenses, trace=trace,
-        backend=backend,
-    )
+    try:
+        result = run_scenario(
+            compiled, schedule, config=config, defenses=defenses, trace=trace,
+            backend=backend,
+        )
+    except (MachineLimitError, DeadlockError) as exc:
+        # A wedged or runaway run loop is a scenario verdict, not a
+        # harness crash: a fault schedule that livelocks recovery is
+        # exactly what the campaign exists to flag.
+        kind = (
+            "machine_limit" if isinstance(exc, MachineLimitError)
+            else "deadlock"
+        )
+        violation = Violation(kind=kind, detail=str(exc))
+        record = {
+            "schedule": schedule_to_json(schedule),
+            "image_hash": image_hash({}),
+            "steps": exc.steps,
+            "crashes": 0,
+            "skipped_events": 0,
+            "counters": {},
+            "violation": violation.to_json(),
+        }
+        return violation, record
     violation = check_image(result.finished, result.image, reference)
     record = {
         "schedule": schedule_to_json(schedule),

@@ -149,6 +149,21 @@ class FaultyMachine(PersistentMachine):
             return
         self.persist.region_ended(region)
         self._boundary_seq += 1
+        if (
+            not self._armed_msgs
+            and not self._pending_msgs
+            and not self.down_mcs
+            and region >= self.persist.committed_upto
+        ):
+            # Clean interconnect, no straggler: every MC sees the
+            # boundary now and the ACK matures one latency later —
+            # the generic per-MC _deliver walk collapsed to its net
+            # effect (identical counters, identical ack schedule).
+            for seen in self.mc_seen:
+                seen.add(region)
+            if region not in self._ack_due and self.mc_seen:
+                self._ack_due[region] = self.stats.steps + ACK_LATENCY_STEPS
+            return
         self._deliver_due()
         for mc in range(len(self.wpqs)):
             armed = self._take_armed_msg(mc)
@@ -217,8 +232,15 @@ class FaultyMachine(PersistentMachine):
             self._deliver(mc, region)
 
     def _seen_ok(self, region: int) -> bool:
-        seen = [region in s for s in self.mc_seen]
-        return all(seen) if self.defenses.ack_wait else any(seen)
+        if self.defenses.ack_wait:
+            for s in self.mc_seen:
+                if region not in s:
+                    return False
+            return True
+        for s in self.mc_seen:
+            if region in s:
+                return True
+        return False
 
     def finish_messages(self) -> None:
         """The program has halted but the persist tail is still settling:
@@ -242,9 +264,10 @@ class FaultyMachine(PersistentMachine):
     # commit gating
     # ------------------------------------------------------------------
     def _region_committable(self, region: int) -> bool:
-        if not self.persist.gated:
+        persist = self.persist
+        if not persist.gated:
             return super()._region_committable(region)
-        if region not in self.boundary_issued:
+        if region not in persist.boundary_issued:
             return False
         if not self._seen_ok(region):
             return False
@@ -256,10 +279,36 @@ class FaultyMachine(PersistentMachine):
     def step(self):
         event = super().step()
         if event is not None and self.persist.gated:
-            due = self._ack_due.get(self.committed_upto)
+            due = self._ack_due.get(self.persist.committed_upto)
             if due is not None and self.stats.steps >= due:
                 self._try_commit()
         return event
+
+    # -- batched-execution hooks ---------------------------------------
+    # _ack_due / committed_upto only change on boundary, sync, halt, or
+    # commit paths — all machine-visible, so none can fire mid-batch.
+    # Capping the batch at the pending ACK deadline and re-checking in
+    # _after_batch is therefore byte-identical to the per-step check.
+    def _quantum_cap(self):
+        persist = self.persist
+        if not persist.gated:
+            return None
+        due = self._ack_due.get(persist.committed_upto)
+        if due is None:
+            return None
+        return due - self.stats.steps
+
+    def _bulk_admit_ok(self) -> bool:
+        # a downed MC loses stores one at a time (_on_store interposes);
+        # bulk admission must stay off while any MC is dark
+        return not (self.persist.gated and self.down_mcs)
+
+    def _after_batch(self) -> None:
+        persist = self.persist
+        if persist.gated:
+            due = self._ack_due.get(persist.committed_upto)
+            if due is not None and self.stats.steps >= due:
+                self._try_commit()
 
     def _commit_flush(self, region: int) -> None:
         if not self.persist.gated:

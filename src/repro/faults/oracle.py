@@ -18,12 +18,15 @@ SAMPLE_LIMIT = 8
 class Violation:
     """One oracle failure, with enough detail to read the diff."""
 
-    kind: str  # "pm_divergence" | "incomplete"
+    #: "pm_divergence" | "incomplete" | "machine_limit" | "deadlock"
+    kind: str
     missing: int = 0    # words in the reference but not the final image
     extra: int = 0      # words in the final image but not the reference
     differing: int = 0  # words present in both with different values
     #: up to SAMPLE_LIMIT (word, got, want) triples; got/want None when absent
     sample: Tuple = field(default_factory=tuple)
+    #: free text for run-loop verdicts (the typed exception's message)
+    detail: str = ""
 
     def to_json(self) -> Dict:
         return {
@@ -32,11 +35,16 @@ class Violation:
             "extra": self.extra,
             "differing": self.differing,
             "sample": [list(s) for s in self.sample],
+            "detail": self.detail,
         }
 
     def describe(self) -> str:
         if self.kind == "incomplete":
             return "execution did not finish"
+        if self.kind == "machine_limit":
+            return "run loop exceeded its step budget: " + self.detail
+        if self.kind == "deadlock":
+            return "run loop deadlocked: " + self.detail
         parts = []
         if self.differing:
             parts.append("%d differing" % self.differing)

@@ -34,6 +34,9 @@ SMOKE_SCALE = 0.02
 SMOKE_OPS = 200
 SMOKE_KEYSPACE = 32
 
+#: how many functions the --profile JSON summary keeps
+PROFILE_TOP_N = 40
+
 
 @dataclass
 class BenchEntry:
@@ -141,15 +144,46 @@ def _run_store_entry(
     }
 
 
+def _write_profile(prof: "cProfile.Profile", path: str) -> None:
+    """Persist a profile twice: the raw pstats dump next to a JSON
+    summary of the hottest functions (by cumulative time), so the
+    artifact is both loadable into ``pstats``/snakeviz and greppable."""
+    import pstats
+
+    prof.dump_stats(path)
+    stats = pstats.Stats(prof)
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: -item[1][3]
+    )[:PROFILE_TOP_N]:
+        rows.append({
+            "function": "%s:%d(%s)" % (filename, lineno, func),
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    summary = {
+        "kind": "repro-bench-profile",
+        "total_calls": stats.total_calls,
+        "total_time_s": round(stats.total_tt, 6),
+        "top_cumulative": rows,
+    }
+    with open(path + ".json", "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def run_bench(
     entries: Optional[List[str]] = None,
     smoke: bool = False,
     seed: int = 0,
-    scale: float = 0.05,
+    scale: float = 0.25,
     jobs: int = 1,
     worker_timeout: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace_path: Optional[str] = None,
+    profile_path: Optional[str] = None,
 ) -> BenchReport:
     """Run the curated benchmark entries and return the report.
 
@@ -160,13 +194,28 @@ def run_bench(
     artifact (bench_start, one bench_entry per entry, bench_end) —
     note the wall_s fields there are informational, so a bench trace
     is *not* byte-reproducible across runs, unlike every other trace
-    the system writes."""
+    the system writes.  ``profile_path`` wraps the measurement in
+    cProfile and writes a pstats dump there plus a ``<path>.json``
+    hot-function summary; it forces ``jobs=1`` so the work stays in
+    the profiled process."""
+    import cProfile
+
     from ..parallel import fan_out
     from ..trace import JsonlTrace, NullTrace
 
     say = progress or (lambda msg: None)
     specs = select_specs(entries, smoke=smoke)
     sim_scale = min(scale, SMOKE_SCALE) if smoke else scale
+    if profile_path:
+        jobs = 1  # forked workers would escape the profiler
+
+    # Import the measurement dependencies in the parent before forking:
+    # workers inherit warm modules, so per-entry wall_s measures the
+    # run, not a cold import of the analysis/store planes per worker.
+    from .. import analysis as _analysis  # noqa: F401
+    from .. import store as _store  # noqa: F401
+    from ..runtime import get_backend as _get_backend  # noqa: F401
+    from ..workloads import suite as _workload_suite  # noqa: F401
 
     def measure(spec: BenchSpec) -> BenchEntry:
         t0 = time.perf_counter()
@@ -184,10 +233,16 @@ def run_bench(
         "bench_start", seed=seed, scale=sim_scale, smoke=smoke,
         jobs=max(1, jobs), entries=[spec.name for spec in specs],
     )
+    prof = cProfile.Profile() if profile_path else None
+    if prof is not None:
+        prof.enable()
     t0 = time.perf_counter()
     measured = fan_out(
         measure, specs, jobs=jobs, timeout=worker_timeout, label="bench"
     )
+    if prof is not None:
+        prof.disable()
+        _write_profile(prof, profile_path)
     report = BenchReport(
         seed=seed, scale=sim_scale, smoke=smoke, jobs=max(1, jobs),
         entries=measured,

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import copy
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Set, Tuple
 
 # repro.core pulls in the compiler package, which imports repro.sim — a
 # cycle if resolved while repro.sim.engine is importing this package for
@@ -81,6 +81,21 @@ class PersistRuntime:
     # -- admission ------------------------------------------------------
     def admit(self, region: int, word: int, value: int) -> int:
         raise NotImplementedError
+
+    def admit_many(self, region: int, stores: List[Tuple[int, int]]) -> int:
+        """Admit a batch of same-region stores in order; returns the
+        maximum occupancy any single admission reached (the machine's
+        high-water stat).  Must be byte-identical to calling
+        :meth:`admit` per store — schemes override it to fuse the
+        per-store bookkeeping into one pass (O(regions), not O(stores),
+        of Python-level overhead on the batched hot path)."""
+        admit = self.admit
+        occupancy = 0
+        for word, value in stores:
+            occ = admit(region, word, value)
+            if occ > occupancy:
+                occupancy = occ
+        return occupancy
 
     def resolve_full(self, wpq, region: int, word: int, value: int) -> None:
         raise NotImplementedError("overflow fallback is a gated-path event")
@@ -153,21 +168,64 @@ class LrpoRuntime(PersistRuntime):
     def __init__(self, backend, machine) -> None:
         super().__init__(backend, machine)
         cfg = machine.config.mc
-        from ..core.wpq import FunctionalWPQ
+        from ..core.wpq import FunctionalWPQ, WPQFullError
 
         self.wpqs = [FunctionalWPQ(cfg.wpq_entries) for _ in range(cfg.n_mcs)]
+        # cached so the admission hot path skips the per-call import
+        # (module-level would close the repro.core <-> repro.sim cycle)
+        self._full_error = WPQFullError
 
     def admit(self, region: int, word: int, value: int) -> int:
-        from ..core.wpq import WPQFullError
-
         wpq = self.wpqs[self.machine._mc_of_word(word)]
         try:
             wpq.put(region, word, value)
-        except WPQFullError:
+        except self._full_error:
             # through the machine hook so FaultyMachine's no-undo
             # defense-off mode can intercept the fallback
             self.machine._resolve_full(wpq, region, word, value)
         return len(wpq)
+
+    def admit_many(self, region: int, stores: List[Tuple[int, int]]) -> int:
+        # Group by target MC, then bulk-admit each group: grouping keeps
+        # every WPQ's own arrival order (and hence its length trajectory
+        # and seq numbering) exactly what the per-store loop produces,
+        # since seqs are per-WPQ and words never alias across MCs.
+        machine = self.machine
+        mc_of = machine._mc_of_word
+        wpqs = self.wpqs
+        if len(wpqs) == 1:
+            groups = [(0, stores)]
+        else:
+            by_mc: Dict[int, List[Tuple[int, int]]] = {}
+            for pair in stores:
+                mc = mc_of(pair[0])
+                group = by_mc.get(mc)
+                if group is None:
+                    group = by_mc[mc] = []
+                group.append(pair)
+            groups = list(by_mc.items())
+        resolve = machine._resolve_full
+        full_error = self._full_error
+        occupancy = 0
+        for mc, pairs in groups:
+            wpq = wpqs[mc]
+            try:
+                length = wpq.put_many(region, pairs)
+            except full_error:
+                # overflow: replay this group store-by-store so the
+                # §IV-D fallback fires exactly where it classically would
+                for word, value in pairs:
+                    try:
+                        wpq.put(region, word, value)
+                    except full_error:
+                        resolve(wpq, region, word, value)
+                    length = len(wpq)
+                    if length > occupancy:
+                        occupancy = length
+                continue
+            if length > occupancy:
+                occupancy = length
+        return occupancy
 
     def resolve_full(self, wpq, region: int, word: int, value: int) -> None:
         """§IV-D deadlock fallback: flush the *oldest region present* in
@@ -285,6 +343,19 @@ class EagerUndoRuntime(_CommittedSetRuntime):
         machine.pm[word] = value
         return 0
 
+    def admit_many(self, region: int, stores: List[Tuple[int, int]]) -> int:
+        machine = self.machine
+        pm = machine.pm
+        pm_get = pm.get
+        stats = machine.stats
+        undo = self.undo_log.setdefault(region, {})
+        for word, value in stores:
+            if word not in undo:
+                undo[word] = pm_get(word, 0)
+                stats.undo_writes += 1
+            pm[word] = value
+        return 0
+
 
 class EadrRuntime(_CommittedSetRuntime):
     """PSP/eADR: the whole cache hierarchy sits inside the persistence
@@ -297,6 +368,12 @@ class EadrRuntime(_CommittedSetRuntime):
 
     def admit(self, region: int, word: int, value: int) -> int:
         self.machine.pm[word] = value
+        return 0
+
+    def admit_many(self, region: int, stores: List[Tuple[int, int]]) -> int:
+        # dict.update over the (word, value) pairs applies them in batch
+        # order — identical to per-store assignment
+        self.machine.pm.update(stores)
         return 0
 
 
@@ -315,6 +392,10 @@ class VolatileCacheRuntime(_CommittedSetRuntime):
 
     def admit(self, region: int, word: int, value: int) -> int:
         self.dirty[word] = value
+        return 0
+
+    def admit_many(self, region: int, stores: List[Tuple[int, int]]) -> int:
+        self.dirty.update(stores)
         return 0
 
     def discard(self) -> int:

@@ -12,7 +12,7 @@ mode; the ideal-PSP configuration simply omits it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import CacheConfig, SystemConfig
 
@@ -53,8 +53,11 @@ class Cache:
         self.n_sets = config.n_sets
         self.ways = config.ways
         self.block = config.block_bytes
-        # per-set list of [block_addr, dirty], LRU order (index 0 oldest)
-        self.sets: List[List[List]] = [[] for _ in range(self.n_sets)]
+        # per-set list of [block_addr, dirty], LRU order (index 0 oldest);
+        # sets materialize on first touch — a smoke-scale trace visits a
+        # tiny fraction of a realistically sized cache's index space, so
+        # eagerly allocating n_sets empty lists would dominate setup
+        self.sets: Dict[int, List[List]] = {}
         self.stats = LevelStats()
 
     def block_of(self, addr: int) -> int:
@@ -73,7 +76,10 @@ class Cache:
         hit/miss and any eviction performed."""
         self.stats.accesses += 1
         block_addr = self.block_of(addr)
-        cache_set = self.sets[self._set_of(block_addr)]
+        index = self._set_of(block_addr)
+        cache_set = self.sets.get(index)
+        if cache_set is None:
+            cache_set = self.sets[index] = []
 
         for i, line in enumerate(cache_set):
             if line[0] == block_addr:
@@ -104,12 +110,13 @@ class Cache:
     def contains(self, addr: int) -> bool:
         block_addr = self.block_of(addr)
         return any(
-            line[0] == block_addr for line in self.sets[self._set_of(block_addr)]
+            line[0] == block_addr
+            for line in self.sets.get(self._set_of(block_addr), ())
         )
 
     def invalidate(self, addr: int) -> bool:
         block_addr = self.block_of(addr)
-        cache_set = self.sets[self._set_of(block_addr)]
+        cache_set = self.sets.get(self._set_of(block_addr), [])
         for i, line in enumerate(cache_set):
             if line[0] == block_addr:
                 cache_set.pop(i)

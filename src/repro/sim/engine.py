@@ -26,6 +26,7 @@ The model is a deterministic multi-core discrete-event replay:
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -33,7 +34,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..config import SystemConfig, VictimPolicy
 from ..runtime.policy import SchemePolicy
 from .snoop import make_victim_selector
-from .cache import CacheHierarchy
+from .cache import CacheHierarchy, HierarchyOutcome, VictimSelector
 from .mc import AckFaults, CommitPipeline, MemoryController
 from .memory import AddressMap
 from .queues import SerialServer
@@ -52,6 +53,55 @@ IO_OP_CYCLES = 300.0
 # SchemePolicy lives in repro.runtime.policy now (one definition shared
 # by the timing and functional planes); re-exported here for the
 # historic ``from repro.sim.engine import SchemePolicy`` spelling.
+
+
+#: below this many trace events the numpy import costs more than the
+#: vectorised scan saves; small traces use the pure-Python path
+_VECTOR_MIN_EVENTS = 4096
+
+
+def _vector_enabled() -> bool:
+    """Whether numpy-backed trace precomputation is allowed.  Set
+    ``REPRO_SIM_VECTOR=0`` to force the pure-Python fallback (the two
+    paths are value-identical; the hatch exists for triage and for
+    environments without numpy)."""
+    return os.environ.get("REPRO_SIM_VECTOR", "1") not in ("", "0")
+
+
+def _next_nontrivial(events: List[TraceEvent]) -> List[int]:
+    """For every index ``i``, the index of the first event at or after
+    ``i`` that is not ALU/FENCE (with a sentinel ``n`` entry at the end).
+    ALU and FENCE only advance the core clock by ``base_cpi`` — they
+    touch no shared simulator state — so the replay loop folds each such
+    run into one batch instead of a heap round-trip per event."""
+    n = len(events)
+    # The numpy path only pays off past a few thousand events: below
+    # that the one-time interpreter import costs more than it saves,
+    # so smoke-sized traces stay on the pure-Python scan.
+    if n >= _VECTOR_MIN_EVENTS and _vector_enabled():
+        try:
+            import numpy
+        except ImportError:
+            numpy = None  # type: ignore[assignment]
+        if numpy is not None:
+            trivial = numpy.fromiter(
+                (ev.kind == EK.ALU or ev.kind == EK.FENCE for ev in events),
+                dtype=bool,
+                count=n,
+            )
+            stops = numpy.where(trivial, n, numpy.arange(n, dtype=numpy.int64))
+            stops = numpy.minimum.accumulate(stops[::-1])[::-1]
+            out: List[int] = stops.tolist()
+            out.append(n)
+            return out
+    out = [n] * (n + 1)
+    nxt = n
+    for i in range(n - 1, -1, -1):
+        kind = events[i].kind
+        if kind != EK.ALU and kind != EK.FENCE:
+            nxt = i
+        out[i] = nxt
+    return out
 
 
 @dataclass
@@ -130,6 +180,8 @@ class _Core:
     park_reason: str = ""
     park_region: int = -1
     park_lock: int = -1
+    #: next_stop[i]: first non-ALU/FENCE event index at or after i
+    next_stop: List[int] = field(default_factory=list)
 
 
 class TimingEngine:
@@ -139,7 +191,7 @@ class TimingEngine:
         self,
         config: SystemConfig,
         policy: SchemePolicy,
-        cache_scale=None,
+        cache_scale: Optional[float] = None,
         hardware_cores: Optional[int] = None,
         ack_faults: Optional[AckFaults] = None,
     ) -> None:
@@ -196,10 +248,13 @@ class TimingEngine:
         ]
         for core in cores:
             core.region = self._alloc_region(core)
+            core.next_stop = _next_nontrivial(core.events)
 
         ready: List[Tuple[float, int]] = [(0.0, c.cid) for c in cores]
         heapq.heapify(ready)
         self.cores = cores
+        base_cpi = self.config.base_cpi
+        result = self.result
 
         while ready or any(c.parked for c in cores):
             if not ready:
@@ -254,14 +309,35 @@ class TimingEngine:
             core = cores[cid]
             if core.done or core.parked:
                 continue
-            progressed = self._step(core)
-            if core.done:
-                continue
-            if core.parked:
-                continue
-            heapq.heappush(ready, (core.time, core.cid))
-            if progressed:
-                self._wake_parked(ready)
+            # Batched advancement: stay on this core while it is the
+            # globally earliest runnable one, instead of a heap push/pop
+            # round-trip per event.  Heap entries are unique per cid, so
+            # "would be popped next" is exactly (time, cid) < ready[0].
+            while True:
+                # Fold the run of ALU/FENCE events in one batch: they
+                # touch no shared simulator state, so they commute with
+                # every other core's events and can never wake or park
+                # anyone.  The clock still advances by one sequential
+                # float add per event — bit-identical to stepping.
+                index = core.index
+                stop = core.next_stop[index] if index < len(core.events) else index
+                if stop > index:
+                    t = core.time
+                    for _ in range(stop - index):
+                        t += base_cpi
+                    core.time = t
+                    core.index = stop
+                    result.instructions += stop - index
+                # The next event is machine-visible (or stream end):
+                # yield to any core that is earlier in global time order.
+                if ready and ready[0] < (core.time, core.cid):
+                    heapq.heappush(ready, (core.time, core.cid))
+                    break
+                progressed = self._step(core)
+                if core.done or core.parked:
+                    break
+                if progressed:
+                    self._wake_parked(ready)
 
         self.result.cycles = max((c.time for c in cores), default=0.0)
         self._finalize()
@@ -361,7 +437,7 @@ class TimingEngine:
     # ------------------------------------------------------------------
     # memory operations
     # ------------------------------------------------------------------
-    def _victim_selector(self, core: _Core):
+    def _victim_selector(self, core: _Core) -> Optional[VictimSelector]:
         if not self.policy.persists or not self.policy.snoop:
             return None
         self._prune_inflight(core)
@@ -425,7 +501,9 @@ class TimingEngine:
             return
         self._persist_enqueue(core, addr)
 
-    def _post_access(self, core: _Core, outcome, addr: int) -> None:
+    def _post_access(
+        self, core: _Core, outcome: HierarchyOutcome, addr: int
+    ) -> None:
         if outcome.l1_eviction is not None:
             self.result.l1_evictions += 1
             if outcome.l1_eviction_delayed and self.policy.persists:
@@ -658,7 +736,7 @@ def simulate(
     events: Sequence[TraceEvent],
     config: SystemConfig,
     policy: SchemePolicy,
-    cache_scale=None,
+    cache_scale: Optional[float] = None,
     hardware_cores: Optional[int] = None,
     ack_faults: Optional[AckFaults] = None,
 ) -> SimResult:

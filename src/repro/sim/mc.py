@@ -144,7 +144,7 @@ class MemoryController:
         # flushes pipeline through it at PM write bandwidth.  The PM write
         # *latency* is charged on the commit marker by the pipeline, not
         # here, so it overlaps across regions.
-        releases = [self.drain.service(begin) for _ in entries]
+        releases = self.drain.service_run(begin, len(entries))
         self.wpq.release_many(releases)
         self.stats.flushed += len(entries)
         end = releases[-1] if releases else begin

@@ -32,8 +32,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import latency_summary
-from ..compiler.ir import Program
-from ..compiler.pipeline import compile_program
+from ..compiler.interp import precompile_dispatch
+from ..compiler.ir import Instr, Op, Program
+from ..compiler.pipeline import CompiledProgram, compile_program
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..faults.defenses import ALL_ON
 from ..faults.machine import FaultyMachine
@@ -193,6 +194,10 @@ class StoreServer:
         self.progress = progress or (lambda msg: None)
         self.trace = trace if trace is not None else NullTrace()
         self.shards = [_Shard(i, self.layout) for i in range(n_shards)]
+        #: (template, patchable epoch_base instr) — see _compiled_for
+        self._compiled_cache: Optional[
+            Tuple[CompiledProgram, Optional[Instr]]
+        ] = None
         self.violations: List[str] = []
         self.sim_ns = 0.0
         self._cycles_per_step = config.base_cpi
@@ -208,6 +213,52 @@ class StoreServer:
             # ids are per shard: position in the shard's own sequence,
             # which is what makes the acked set a checkable prefix
             shard.requests.append((len(shard.requests), request))
+
+    # ------------------------------------------------------------------
+    def _fresh_compile(self, epoch_base: int) -> CompiledProgram:
+        prog, placed = build_store_program(self.layout, epoch_base=epoch_base)
+        if placed != self.layout:
+            raise RuntimeError("store layout moved between epochs")
+        return compile_program(prog, self.config.compiler, verify=self.verify)
+
+    def _compiled_for(self, epoch_base: int) -> CompiledProgram:
+        """The epoch's compiled program, one pipeline run per server.
+
+        Epochs of one layout differ only in ``epoch_base``, which
+        survives the pipeline as the immediate of the single
+        ``add r11, r1, <base>`` in main's "finish" block (the io-ack
+        payload offset).  Running the full Fig. 3 pipeline per epoch
+        costs more than executing a smoke-scale epoch, so compile once,
+        patch that immediate, and relower the dispatch tables — the
+        result is instruction-for-instruction what a fresh compile
+        produces.  If the pipeline ever stops leaving exactly one
+        matching instruction, every epoch falls back to a fresh compile.
+        """
+        cached = self._compiled_cache
+        if cached is None:
+            compiled = self._fresh_compile(epoch_base)
+            sites = [
+                ins
+                for block in compiled.program.functions["main"].blocks.values()
+                for ins in block.instrs
+                if ins.op == Op.ADD
+                and ins.dst == "r11"
+                and len(ins.srcs) == 2
+                and ins.srcs[0] == "r1"
+                and isinstance(ins.srcs[1], int)
+                and ins.srcs[1] == epoch_base
+            ]
+            self._compiled_cache = (
+                compiled, sites[0] if len(sites) == 1 else None
+            )
+            return compiled
+        compiled, site = cached
+        if site is None:
+            return self._fresh_compile(epoch_base)
+        if site.srcs[1] != epoch_base:
+            site.srcs = (site.srcs[0], epoch_base)
+            precompile_dispatch(compiled.program)
+        return compiled
 
     # ------------------------------------------------------------------
     def _run_epoch(
@@ -238,17 +289,14 @@ class StoreServer:
                 )
             )
         requests = [r for _, r in batch]
-        prog, placed = build_store_program(lay, epoch_base=first_id)
-        if placed != lay:
-            raise RuntimeError("store layout moved between epochs")
-        compiled = compile_program(prog, self.config.compiler, verify=self.verify)
+        compiled = self._compiled_for(first_id)
         machine = FaultyMachine(
             compiled, config=self.config, defenses=ALL_ON,
             max_steps=8_000_000, backend=self.backend,
         )
         machine.pm.update(shard.image)
         machine.volatile.words.update(shard.image)
-        ring = request_words(placed, requests)
+        ring = request_words(lay, requests)
         machine.pm.update(ring)
         machine.volatile.words.update(ring)
         machine.stats.commit_steps = []
