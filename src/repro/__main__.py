@@ -580,7 +580,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         from .cluster import run_cluster_campaign
 
         trace_path = args.trace or (
-            "cluster-chaos-seed%d.jsonl" % args.seed
+            ("cluster-failover-seed%d.jsonl" if args.replicate
+             else "cluster-chaos-seed%d.jsonl") % args.seed
         )
         backends = (
             (args.backend,) if args.backend
@@ -592,6 +593,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 seeds=tuple(range(args.seed, args.seed + 3)),
                 jobs=args.jobs,
                 trace_path=trace_path,
+                replicate=args.replicate,
+                ship_lag=args.lag,
+                reshard_at=args.reshard_at,
+                follower_kills=(
+                    args.follower_kills if args.replicate else 0
+                ),
                 progress=print,
             )
         except (KeyError, ValueError) as exc:
@@ -744,6 +751,8 @@ def cmd_cluster(args) -> int:
             args.seed, args.shards, horizon=args.horizon,
             kills=args.kills, transport=args.transport,
             partitions=args.partitions, msg_faults=args.msg_faults,
+            reshard_at=args.reshard_at,
+            follower_kills=args.follower_kills if args.replicate else 0,
         )
         digests = {}
         for jobs in args.jobs_levels:
@@ -751,6 +760,8 @@ def cmd_cluster(args) -> int:
                 n_shards=args.shards, keyspace=args.keyspace,
                 ops=args.ops, seed=args.seed, backend=args.backend,
                 mix=args.mix, chaos=chaos, jobs=jobs,
+                replicate=args.replicate, ship_lag=args.lag,
+                reshard_at=args.reshard_at,
             )
             t0 = time.monotonic()
             session.run()
@@ -765,7 +776,10 @@ def cmd_cluster(args) -> int:
         print("PARITY BROKEN: digests differ across --jobs levels")
         return 1
 
-    # serve: one chaos session, optionally traced
+    # serve / reshard: one chaos session, optionally traced
+    if args.cluster_command == "reshard" and args.reshard_at < 0:
+        print("reshard needs --reshard-at >= 0")
+        return 2
     if args.smoke:
         args.shards = min(args.shards, 2)
         args.ops = min(args.ops, 20)
@@ -775,6 +789,8 @@ def cmd_cluster(args) -> int:
         args.seed, args.shards, horizon=args.horizon,
         kills=args.kills, transport=args.transport,
         partitions=args.partitions, msg_faults=args.msg_faults,
+        reshard_at=args.reshard_at,
+        follower_kills=args.follower_kills if args.replicate else 0,
     ) if not args.no_chaos else []
     trace = JsonlTrace(args.trace) if args.trace else NullTrace()
     try:
@@ -782,7 +798,8 @@ def cmd_cluster(args) -> int:
             n_shards=args.shards, keyspace=args.keyspace, ops=args.ops,
             seed=args.seed, backend=args.backend, mix=args.mix,
             txn_every=args.txn_every, chaos=chaos, jobs=args.jobs,
-            trace=trace,
+            trace=trace, replicate=args.replicate, ship_lag=args.lag,
+            reshard_at=args.reshard_at,
         )
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc))
@@ -801,6 +818,8 @@ def cmd_cluster(args) -> int:
     interesting = (
         "kills", "retries", "replays_rejected", "acks_dropped",
         "acks_delayed", "reqs_dropped", "partition_drops",
+        "promotions", "shipped", "fenced_rejected", "follower_kills",
+        "migrated_keys",
     )
     print("chaos:     %s" % " ".join(
         "%s=%d" % (c, session.counters[c]) for c in interesting
@@ -809,6 +828,16 @@ def cmd_cluster(args) -> int:
         print("  shard %d: served=%d epochs=%d crashes=%d image=%s"
               % (state.shard, state.served, state.epochs,
                  state.crashes, state.image_digest()))
+    if args.replicate:
+        for rs in session.ranges:
+            print("  range %d: fence=%d promotions=%d follower_served=%d"
+                  % (rs.range_id, rs.fence, rs.promotions,
+                     rs.follower.served if rs.follower else 0))
+    mig = getattr(session, "_mig", None)
+    if mig is not None:
+        print("reshard:   new shard %d, %d/%d keys migrated, state=%s"
+              % (mig["target"], mig["copied"], len(mig["moved"]),
+                 mig["state"]))
     if args.trace:
         print("trace: %s" % args.trace)
     if session.violations:
@@ -1091,6 +1120,25 @@ def main(argv=None) -> int:
              "sharded round-robin; the trace is bit-identical to "
              "--jobs 1)",
     )
+    p_camp.add_argument(
+        "--replicate", action="store_true",
+        help="(--workload cluster) per-range replication with "
+             "promote-on-DEAD failover",
+    )
+    p_camp.add_argument(
+        "--lag", type=int, default=1,
+        help="(--workload cluster) bounded log-shipping lag window",
+    )
+    p_camp.add_argument(
+        "--reshard-at", type=int, default=-1,
+        help="(--workload cluster) epoch a new shard joins and its "
+             "arcs migrate live (-1: no reshard)",
+    )
+    p_camp.add_argument(
+        "--follower-kills", type=int, default=0,
+        help="(--workload cluster) follower power-cuts per scenario "
+             "(needs --replicate)",
+    )
     p_replay = fsub.add_parser(
         "replay", help="re-run every scenario of a recorded trace"
     )
@@ -1130,6 +1178,25 @@ def main(argv=None) -> int:
                        help="machine-level message-path faults")
         p.add_argument("--horizon", type=int, default=24,
                        help="last epoch chaos may land on")
+        p.add_argument(
+            "--replicate", action="store_true",
+            help="per-range primary+follower replication: log shipping, "
+                 "promote-on-DEAD failover behind a fencing token",
+        )
+        p.add_argument(
+            "--lag", type=int, default=1,
+            help="bounded log-shipping lag window (with --replicate)",
+        )
+        p.add_argument(
+            "--follower-kills", type=int, default=0,
+            help="follower power-cuts in the chaos schedule "
+                 "(with --replicate)",
+        )
+        p.add_argument(
+            "--reshard-at", type=int, default=-1,
+            help="epoch a new shard joins and its arcs migrate live "
+                 "(-1: no reshard)",
+        )
 
     p_cserve = csub.add_parser(
         "serve",
@@ -1149,6 +1216,26 @@ def main(argv=None) -> int:
                           help="fault-free run (sanity baseline)")
     p_cserve.add_argument("--smoke", action="store_true",
                           help="small fixed shape for CI smoke tests")
+
+    p_creshard = csub.add_parser(
+        "reshard",
+        help="live resharding: a new shard joins mid-run and its key "
+             "arcs migrate while clients keep being served",
+    )
+    _cluster_common(p_creshard)
+    p_creshard.set_defaults(reshard_at=3)
+    p_creshard.add_argument("--txn-every", type=int, default=6,
+                            help="every Nth mixed-phase PUT becomes a "
+                                 "cross-shard transaction")
+    p_creshard.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (shard epochs fan "
+                                 "out; bit-identical to --jobs 1)")
+    p_creshard.add_argument("--trace", default=None,
+                            help="JSONL session trace path")
+    p_creshard.add_argument("--no-chaos", action="store_true",
+                            help="fault-free migration (sanity baseline)")
+    p_creshard.add_argument("--smoke", action="store_true",
+                            help="small fixed shape for CI smoke tests")
 
     p_cbench = csub.add_parser(
         "bench",

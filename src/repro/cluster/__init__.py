@@ -11,9 +11,17 @@ epoch-ordered two-phase commits over shadow keys.  The robustness spine:
 * a client protocol with idempotency tokens, per-request deadlines, and
   seeded-jitter exponential backoff — retries through duplicate and
   delayed deliveries never double-apply an operation;
-* graceful degradation: a shard dead past its deadline turns its key
-  range into typed ``unavailable`` errors while every other range keeps
-  serving.
+* graceful degradation: un-replicated, a shard dead past its deadline
+  turns its key range into typed ``unavailable`` errors while every
+  other range keeps serving;
+* per-range **replication** (``replicate=True``): primary + follower
+  images with epoch-ordered log shipping, promote-on-DEAD behind a
+  bumped fencing token — the range keeps serving with zero acked-write
+  loss instead of degrading;
+* **live resharding** (``reshard_at``): a new shard joins the extended
+  hash ring and the arcs it steals migrate — chunked copy, dirty-key
+  delta sync, one atomic handoff between epochs — while clients keep
+  being served.
 
 The cluster oracle (:mod:`repro.cluster.oracle`) extends the store's
 acked-prefix theorem: zero acked-write loss and no visible 2PC
@@ -45,19 +53,24 @@ from .chaos import (
     replay_cluster_trace,
     run_cluster_campaign,
 )
-from .coordinator import ClusterSession
+from .coordinator import Applied, ClusterSession
 from .oracle import check_cluster
 from .protocol import (
     ABORTED,
     DEADLINE_EXCEEDED,
+    FOLLOWER,
     OK,
+    PRIMARY,
+    ROLES,
     STATUSES,
     UNAVAILABLE,
     ClusterResponse,
     RetryPolicy,
+    SessionTracker,
+    fence_admits,
 )
-from .ring import DEFAULT_VNODES, HashRing
-from .shard import EpochResult, ShardState, execute_shard_epoch
+from .ring import DEFAULT_VNODES, HashRing, moved_keys
+from .shard import EpochResult, RangeState, ShardState, execute_shard_epoch
 from .supervisor import DEAD, DOWN, RECOVERING, SUSPECT, UP, Supervisor
 from .workload import LogicalOp, generate_cluster_ops
 
@@ -71,18 +84,26 @@ __all__ = [
     "generate_cluster_chaos",
     "replay_cluster_trace",
     "run_cluster_campaign",
+    "Applied",
     "ClusterSession",
     "check_cluster",
     "ABORTED",
     "DEADLINE_EXCEEDED",
+    "FOLLOWER",
     "OK",
+    "PRIMARY",
+    "ROLES",
     "STATUSES",
     "UNAVAILABLE",
     "ClusterResponse",
     "RetryPolicy",
+    "SessionTracker",
+    "fence_admits",
     "DEFAULT_VNODES",
     "HashRing",
+    "moved_keys",
     "EpochResult",
+    "RangeState",
     "ShardState",
     "execute_shard_epoch",
     "DEAD",

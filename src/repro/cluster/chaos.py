@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.model import MSG_OPS
 from ..parallel import fan_out
@@ -84,6 +84,7 @@ class ClusterFault:
     delay: int = 1          # delay_ack: epochs of ack lateness
     op: str = ""            # msg: "drop" | "delay" | "dup"
     mc: int = -1            # msg: target memory controller
+    replica: int = 0        # kill: 0 = primary, 1 = the range's follower
 
     def __post_init__(self) -> None:
         if self.kind not in CLUSTER_FAULT_KINDS:
@@ -92,6 +93,10 @@ class ClusterFault:
             raise ValueError("fault needs epoch >= 0 and shard >= 0")
         if self.kind == "kill" and self.down_for < 1:
             raise ValueError("kill needs down_for >= 1")
+        if self.replica not in (0, 1):
+            raise ValueError("replica must be 0 (primary) or 1 (follower)")
+        if self.replica == 1 and self.kind != "kill":
+            raise ValueError("only kill faults target a follower replica")
         if self.kind == "partition" and self.until <= self.epoch:
             raise ValueError("partition needs until > epoch")
         if self.kind == "msg":
@@ -104,7 +109,7 @@ class ClusterFault:
         data = asdict(self)
         for key, default in (
             ("down_for", 0), ("until", 0), ("delay", 1),
-            ("op", ""), ("mc", -1),
+            ("op", ""), ("mc", -1), ("replica", 0),
         ):
             if data[key] == default:
                 del data[key]
@@ -132,12 +137,17 @@ def generate_cluster_chaos(
     partitions: int = 1,
     msg_faults: int = 2,
     n_mcs: int = 4,
+    reshard_at: int = -1,
+    follower_kills: int = 0,
 ) -> List[ClusterFault]:
     """A seeded chaos schedule within ``horizon`` epochs: ``kills`` power
     cuts (each healing within the horizon), ``transport`` request/ack
     faults, ``partitions`` coordinator-side partitions, and
-    ``msg_faults`` machine-level broadcast faults.  Deterministic in its
-    arguments."""
+    ``msg_faults`` machine-level broadcast faults.  When ``reshard_at``
+    names a migration epoch, kills landing at or after it may target the
+    joining shard too (kill-during-migration schedules);
+    ``follower_kills`` adds ``replica=1`` power cuts for replicated
+    runs.  Deterministic in its arguments."""
     rng = random.Random(seed * 2654435761 + 0x5EED)
     out: List[ClusterFault] = []
     span = max(2, horizon - 1)
@@ -146,9 +156,19 @@ def generate_cluster_chaos(
         # shard_deadline and exercise declared-death degradation
         down = rng.randint(2, 6)
         epoch = rng.randint(1, max(1, span - down - 1))
+        targets = n_shards
+        if reshard_at >= 0 and epoch >= reshard_at:
+            targets = n_shards + 1
         out.append(ClusterFault(
             kind="kill", epoch=epoch,
-            shard=rng.randrange(n_shards), down_for=down,
+            shard=rng.randrange(targets), down_for=down,
+        ))
+    for _ in range(follower_kills):
+        down = rng.randint(2, 6)
+        epoch = rng.randint(1, max(1, span - down - 1))
+        out.append(ClusterFault(
+            kind="kill", epoch=epoch,
+            shard=rng.randrange(n_shards), down_for=down, replica=1,
         ))
     kinds = ("drop_req", "dup_req", "drop_ack", "delay_ack", "dup_ack")
     for _ in range(transport):
@@ -172,7 +192,9 @@ def generate_cluster_chaos(
             op=MSG_OPS[rng.randrange(len(MSG_OPS))],
             mc=rng.randrange(n_mcs),
         ))
-    out.sort(key=lambda f: (f.epoch, f.shard, f.kind, f.until, f.delay))
+    out.sort(key=lambda f: (
+        f.epoch, f.shard, f.kind, f.replica, f.until, f.delay
+    ))
     return out
 
 
@@ -194,6 +216,8 @@ class ClusterScenario:
     unavailable_shards: List[int]
     shrunk: Optional[List[ClusterFault]] = None
     shrink_evals: int = 0
+    promotions: int = 0                 # failovers served (replicate)
+    resharded: bool = False             # a live migration completed
 
     @property
     def ok(self) -> bool:
@@ -225,6 +249,10 @@ def _scenario_unit(unit: Tuple[str, int], params: Dict) -> ClusterScenario:
         seed, params["n_shards"], params["horizon"],
         kills=params["kills"], transport=params["transport"],
         partitions=params["partitions"], msg_faults=params["msg_faults"],
+        reshard_at=params["reshard_at"],
+        follower_kills=(
+            params["follower_kills"] if params["replicate"] else 0
+        ),
     )
 
     def run_once(schedule: Sequence[ClusterFault]) -> "ClusterSession":
@@ -236,6 +264,9 @@ def _scenario_unit(unit: Tuple[str, int], params: Dict) -> ClusterScenario:
             backend=backend,
             mix=params["mix"],
             chaos=list(schedule),
+            replicate=params["replicate"],
+            ship_lag=params["ship_lag"],
+            reshard_at=params["reshard_at"],
         )
         session.run()
         return session
@@ -255,6 +286,9 @@ def _scenario_unit(unit: Tuple[str, int], params: Dict) -> ClusterScenario:
     counts: Dict[str, int] = {}
     for resp in session.responses.values():
         counts[resp.status] = counts.get(resp.status, 0) + 1
+    resharded = bool(
+        session._mig is not None and session._mig["state"] == "done"
+    )
     return ClusterScenario(
         backend=backend,
         seed=seed,
@@ -269,6 +303,8 @@ def _scenario_unit(unit: Tuple[str, int], params: Dict) -> ClusterScenario:
         }),
         shrunk=shrunk,
         shrink_evals=evals,
+        promotions=session.counters.get("promotions", 0),
+        resharded=resharded,
     )
 
 
@@ -287,7 +323,11 @@ def run_cluster_campaign(
     msg_faults: int = 2,
     horizon: int = 24,
     shrink_budget: int = 40,
-    progress=None,
+    replicate: bool = False,
+    ship_lag: int = 1,
+    reshard_at: int = -1,
+    follower_kills: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ClusterCampaignReport:
     """The seeded cluster chaos campaign: every (backend, seed) pair gets
     its own generated fault schedule, cluster run, and oracle check;
@@ -302,7 +342,9 @@ def run_cluster_campaign(
         "n_shards": n_shards, "keyspace": keyspace, "ops": ops, "mix": mix,
         "kills": kills, "transport": transport, "partitions": partitions,
         "msg_faults": msg_faults, "horizon": horizon,
-        "shrink_budget": shrink_budget,
+        "shrink_budget": shrink_budget, "replicate": replicate,
+        "ship_lag": ship_lag, "reshard_at": reshard_at,
+        "follower_kills": follower_kills,
     }
     units = [(b, s) for b in backends for s in seeds]
     say("cluster campaign: %d scenarios (%d backends x %d seeds), jobs=%d"
@@ -312,6 +354,13 @@ def run_cluster_campaign(
         units, jobs=jobs, label="cluster-chaos",
     )
     trace = JsonlTrace(trace_path) if trace_path else NullTrace()
+    extras: Dict = {}
+    if replicate:
+        extras["replicate"] = True
+        extras["ship_lag"] = ship_lag
+        extras["follower_kills"] = follower_kills
+    if reshard_at >= 0:
+        extras["reshard_at"] = reshard_at
     trace.emit(
         "cluster_campaign_start",
         backends=list(backends), seeds=list(seeds), n_shards=n_shards,
@@ -320,6 +369,7 @@ def run_cluster_campaign(
         horizon=horizon,
         sharding="unit order is (backend-major, seed-minor); results are "
                  "merged by unit index, so jobs never changes this trace",
+        **extras,
     )
     for scenario in scenarios:
         record = {
@@ -331,6 +381,10 @@ def run_cluster_campaign(
             "responses": scenario.responses,
             "unavailable_shards": scenario.unavailable_shards,
         }
+        if scenario.promotions:
+            record["promotions"] = scenario.promotions
+        if scenario.resharded:
+            record["resharded"] = True
         if scenario.shrunk is not None:
             record["shrunk"] = chaos_to_json(scenario.shrunk)
             record["shrink_evals"] = scenario.shrink_evals
@@ -352,7 +406,10 @@ def run_cluster_campaign(
     )
 
 
-def replay_cluster_trace(records: List[Dict], progress=None) -> List[str]:
+def replay_cluster_trace(
+    records: List[Dict],
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[str]:
     """Re-run every ``cluster_scenario`` in a campaign trace and verify
     its outcome (digest + violations) reproduces exactly.  Returns the
     mismatches (empty = faithful replay)."""
@@ -381,6 +438,9 @@ def replay_cluster_trace(records: List[Dict], progress=None) -> List[str]:
             backend=record["backend"],
             mix=start["mix"],
             chaos=chaos_from_json(record["chaos"]),
+            replicate=start.get("replicate", False),
+            ship_lag=start.get("ship_lag", 1),
+            reshard_at=start.get("reshard_at", -1),
         )
         session.run()
         label = "%s seed=%d" % (record["backend"], record["seed"])

@@ -35,18 +35,44 @@ are clamped to the real keyspace), so a half-prepared transaction is
 invisible by construction and a *visible* shadow key at quiesce is a
 cluster-oracle violation.
 
+Replication phase two (``replicate=True``) upgrades every key range to
+a **primary + follower** pair.  The primary's settled per-epoch batches
+are shipped to the follower in epoch order (the follower re-applies
+them through the same pure executor, lagging by at most ``ship_lag``
+settled batches); when the supervisor declares a primary DEAD, the
+coordinator catches the follower up on the full shipped log, bumps the
+range's fencing token, swaps the follower into the primary slot, clones
+a fresh follower, and delivers the dead primary's dark acknowledgements
+from the replicated log — the range keeps serving with zero acked-write
+loss instead of degrading to ``unavailable``.  **Live resharding**
+(``reshard_at >= 0``) migrates the arcs a new shard steals from the
+extended hash ring while the cluster serves: copied in chunks with
+dirty-key tracking, then one delta-sync + migrate-out handoff between
+epochs flips the ring and reroutes in-flight sub-operations, reusing
+the sequence-fence machinery so no epoch is ever double-served.
+
 Everything is deterministic in ``(workload seed, chaos schedule,
 policy)``: executor calls are pure functions fanned out per epoch and
-merged in shard order, and the JSONL trace is emitted only from the
-merged timeline — so the same seed produces a byte-identical trace at
-any ``--jobs``.
+merged in shard order — replication shipping, promotion, and migration
+are coordinator-side inline work — and the JSONL trace is emitted only
+from the merged timeline, so the same seed produces a byte-identical
+trace at any ``--jobs``.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..compiler.pipeline import compile_program
 from ..config import DEFAULT_CONFIG, SystemConfig
@@ -65,21 +91,42 @@ from .protocol import (
     UNAVAILABLE,
     ClusterResponse,
     RetryPolicy,
+    SessionTracker,
 )
-from .ring import HashRing
-from .shard import ShardState, execute_shard_epoch
+from .ring import HashRing, moved_keys
+from .shard import RangeState, ShardState, execute_shard_epoch
 from .supervisor import Supervisor
 from .workload import LogicalOp, generate_cluster_ops
 
-__all__ = ["ClusterSession", "mix_int"]
+__all__ = ["ClusterSession", "Applied", "mix_int"]
 
 
-def mix_int(*parts) -> int:
+def mix_int(*parts: object) -> int:
     """Seeded, PYTHONHASHSEED-independent integer stream."""
     text = ":".join(str(p) for p in parts)
     return int.from_bytes(
         hashlib.sha256(text.encode()).digest()[:8], "big"
     )
+
+
+class Applied(NamedTuple):
+    """One ground-truth log entry: a request a shard actually executed.
+
+    ``request`` stays at index 3 (the pre-replication tuple shape) so
+    positional consumers keep working.  ``role`` distinguishes client
+    traffic (``serve``) from resharding's internal copies
+    (``migrate_in`` at the target, ``migrate_out`` at the source);
+    ``fence`` is the range's fencing token at application time and
+    ``epoch`` the cluster epoch — together they let the oracle prove no
+    demoted primary's write ever entered the log."""
+
+    shard: int
+    gid: int
+    token: int                  # client token; -1 internal; -2 probe
+    request: Request
+    role: str = "serve"
+    fence: int = 1
+    epoch: int = 0
 
 
 @dataclass
@@ -95,6 +142,8 @@ class _SubOp:
     attempts: int = 0
     next_due: int = 0
     value: Optional[int] = None
+    gid: int = -1               # log position of the accepted ack
+    served_by: int = -1         # shard slot that produced that ack
 
 
 @dataclass
@@ -130,7 +179,7 @@ class ClusterSession:
         keyspace: int,
         ops: Sequence[LogicalOp],
         seed: int = 0,
-        backend: str = None,
+        backend: Optional[str] = None,
         policy: Optional[RetryPolicy] = None,
         chaos: Sequence[ClusterFault] = (),
         value_words: int = 2,
@@ -139,13 +188,22 @@ class ClusterSession:
         jobs: int = 1,
         max_epochs: int = 400,
         config: SystemConfig = DEFAULT_CONFIG,
-        trace=None,
+        trace: Any = None,
         verify: Optional[bool] = None,
+        replicate: bool = False,
+        ship_lag: int = 1,
+        reshard_at: int = -1,
+        copy_chunk: int = 4,
     ) -> None:
         from ..store.layout import StoreLayout
 
         if n_shards < 1:
             raise ValueError("need at least one shard")
+        if ship_lag < 0:
+            raise ValueError("ship_lag must be >= 0")
+        if reshard_at >= 0 and batch < 2:
+            raise ValueError("live resharding needs max_batch >= 2 "
+                             "(a key and its shadow copy in one batch)")
         self.n_shards = n_shards
         self.keyspace = keyspace
         self.seed = seed
@@ -169,6 +227,26 @@ class ClusterSession:
             ShardState(shard=i, model=StoreModel(self.layout))
             for i in range(n_shards)
         ]
+        self.replicate = replicate
+        self.ship_lag = ship_lag
+        self.reshard_at = reshard_at
+        self.copy_chunk = max(1, copy_chunk)
+        self.ranges: List[RangeState] = []
+        if replicate:
+            self.ranges = [
+                RangeState(
+                    range_id=i,
+                    follower=ShardState(
+                        shard=i, model=StoreModel(self.layout)
+                    ),
+                )
+                for i in range(n_shards)
+            ]
+        self.sessions = SessionTracker()
+        #: (epoch, range, new fence) per promotion, in order
+        self.promotion_log: List[Tuple[int, int, int]] = []
+        self._follower_dark: Dict[int, int] = {}
+        self._mig: Optional[Dict[str, Any]] = None
         self.supervisor = Supervisor(n_shards, self.policy.shard_deadline)
         self.pending: List[LogicalOp] = list(ops)
         self.ops_by_token: Dict[int, LogicalOp] = {
@@ -179,19 +257,22 @@ class ClusterSession:
         self.responses: Dict[int, ClusterResponse] = {}
         self.violations: List[str] = []
         #: ground truth: every request actually applied, in application
-        #: order per shard: (shard, global_id, token, request)
-        self.applied_log: List[Tuple[int, int, int, Request]] = []
+        #: order per shard (see :class:`Applied`)
+        self.applied_log: List[Applied] = []
         self.decision_log: List[Tuple[int, int, str]] = []
         self.epoch = 0
         self.admit_cap = max(2, 2 * n_shards)
         # chaos, indexed for O(1) lookup per (epoch, shard)
         self._kills: Dict[Tuple[int, int], ClusterFault] = {}
+        self._follower_kills: Dict[Tuple[int, int], ClusterFault] = {}
         self._transport: Dict[Tuple[int, int], List[ClusterFault]] = {}
         self._partitions: List[ClusterFault] = []
         self._msg: Dict[Tuple[int, int], List[ClusterFault]] = {}
         for fault in chaos:
             key = (fault.epoch, fault.shard)
-            if fault.kind == "kill":
+            if fault.kind == "kill" and fault.replica == 1:
+                self._follower_kills[key] = fault
+            elif fault.kind == "kill":
                 self._kills[key] = fault
             elif fault.kind == "partition":
                 self._partitions.append(fault)
@@ -208,6 +289,8 @@ class ClusterSession:
             "dispatches": 0, "retries": 0, "replays_rejected": 0,
             "acks_dropped": 0, "acks_delayed": 0, "acks_duplicated": 0,
             "reqs_dropped": 0, "partition_drops": 0, "kills": 0,
+            "promotions": 0, "shipped": 0, "fenced_rejected": 0,
+            "follower_kills": 0, "migrated_keys": 0, "ryw_checked": 0,
         }
 
     # ------------------------------------------------------------------
@@ -218,12 +301,12 @@ class ClusterSession:
         keyspace: int = 16,
         ops: int = 32,
         seed: int = 0,
-        backend: str = None,
+        backend: Optional[str] = None,
         mix: str = "crud",
         dist: str = "zipfian",
         txn_every: int = 6,
         chaos: Sequence[ClusterFault] = (),
-        **kwargs,
+        **kwargs: Any,
     ) -> "ClusterSession":
         """Session over a generated workload (the common entry point)."""
         logical = generate_cluster_ops(
@@ -257,6 +340,12 @@ class ClusterSession:
     # the epoch loop
     # ------------------------------------------------------------------
     def run(self) -> None:
+        extras: Dict[str, Any] = {}
+        if self.replicate:
+            extras["replicate"] = True
+            extras["ship_lag"] = self.ship_lag
+        if self.reshard_at >= 0:
+            extras["reshard_at"] = self.reshard_at
         self.trace.emit(
             "cluster_start",
             n_shards=self.n_shards, keyspace=self.keyspace,
@@ -274,8 +363,9 @@ class ClusterSession:
             chaos=[f.to_json() for f in self.chaos],
             sharding="epoch executors are pure per-shard functions merged "
                      "in shard order; --jobs never changes this trace",
+            **extras,
         )
-        while self.pending or self.inflight:
+        while self.pending or self.inflight or self._reshard_active():
             if self.epoch >= self.max_epochs:
                 self.violations.append(
                     "cluster did not quiesce within %d epochs "
@@ -289,11 +379,15 @@ class ClusterSession:
     def step_epoch(self) -> None:
         e = self.epoch
         rejoined = self.supervisor.tick(e)
+        self._promote_dead(e)
+        self._strike_followers(e)
         self._deliver_held(e)
+        self._reshard_tick(e)
         self._admit(e)
         completions = self._dispatch(e)
         completions.extend(self._expire(e))
         self._settle_flights()
+        self._ship(e)
         transitions = self.supervisor.drain_transitions()
         if completions or transitions or rejoined:
             self.trace.emit(
@@ -430,6 +524,7 @@ class ClusterSession:
                 "msg": msg_events,
                 "kill": kill,
                 "faults": faults,
+                "fence": self._fence_of(shard_id),
             })
 
         # the actual shard work: pure executors over worker processes
@@ -437,7 +532,7 @@ class ClusterSession:
         backend_name = self.backend.name
         shard_states = self.shards
 
-        def unit_worker(unit):
+        def unit_worker(unit: Dict[str, Any]) -> Any:
             state = shard_states[unit["shard"]]
             return execute_shard_epoch(
                 unit["shard"], compiled, layout,
@@ -445,6 +540,7 @@ class ClusterSession:
                 unit["first_id"], state.model, backend_name,
                 config=config, crash_step=unit["crash_step"],
                 crash_event=unit["crash_event"], msg_faults=unit["msg"],
+                batch_fence=unit["fence"], range_fence=unit["fence"],
             )
         results = fan_out(
             unit_worker, exec_units, jobs=self.jobs, label="cluster-epoch"
@@ -472,14 +568,14 @@ class ClusterSession:
         return completions
 
     # ------------------------------------------------------------------
-    def _merge(self, e: int, unit: Dict, result) -> List[int]:
+    def _merge(self, e: int, unit: Dict[str, Any], result: Any) -> List[int]:
         shard_id = unit["shard"]
         state = self.shards[shard_id]
         subs: List[_SubOp] = unit["subs"]
         first_id: int = unit["first_id"]
         requests: List[Request] = unit["requests"]
         self.violations.extend(result.violations)
-        if result.outcome == "replay_rejected":
+        if result.outcome in ("replay_rejected", "fenced_rejected"):
             # a live dispatch must always be at the shard's fence; the
             # dup_req chaos path exercises the fence via _replay_probe
             state.replays_rejected += 1
@@ -504,10 +600,17 @@ class ClusterSession:
         state.steps += result.steps
         for k, v in result.fault_counters.items():
             state.fault_counters[k] = state.fault_counters.get(k, 0) + v
+        fence = unit["fence"]
         for i, sub in enumerate(subs):
-            self.applied_log.append(
-                (shard_id, first_id + i, sub.token, requests[i])
+            self.applied_log.append(Applied(
+                shard_id, first_id + i, sub.token, requests[i],
+                "serve", fence, e,
+            ))
+        if self.replicate:
+            self.ranges[shard_id].ship_log.append(
+                (e, first_id, list(requests))
             )
+        self._track_dirty(requests)
 
         acks = [
             (first_id + p, result.results[p]) for p in result.acked_local
@@ -579,6 +682,446 @@ class ClusterSession:
         )
 
     # ------------------------------------------------------------------
+    # replication: log shipping, failover, fencing
+    # ------------------------------------------------------------------
+    def _fence_of(self, shard_id: int) -> int:
+        """The range's current fencing token (1 when un-replicated)."""
+        if self.replicate and shard_id < len(self.ranges):
+            return self.ranges[shard_id].fence
+        return 1
+
+    def _ship(self, e: int) -> None:
+        """Epoch-ordered log shipping: apply the primary's settled
+        batches at the follower until each range's lag is within the
+        bounded window.  Inline coordinator work — identical at any
+        ``--jobs``."""
+        if not self.replicate:
+            return
+        for rs in self.ranges:
+            if self._follower_dark.get(rs.range_id, 0) > e:
+                continue  # follower dark: shipping pauses, backlog grows
+            while rs.lag > self.ship_lag:
+                self._ship_one(rs)
+
+    def _ship_one(self, rs: RangeState) -> None:
+        """Apply the oldest unshipped settled batch at the follower,
+        through the same pure executor the primary used."""
+        _settled_epoch, first_id, requests = rs.ship_log[rs.shipped]
+        follower = rs.follower
+        assert follower is not None
+        result = execute_shard_epoch(
+            rs.range_id, self.compiled, self.layout,
+            follower.image, follower.served, requests, first_id,
+            follower.model, self.backend.name, config=self.config,
+        )
+        self.violations.extend(result.violations)
+        rs.shipped += 1
+        if result.outcome != "ok":
+            self.violations.append(
+                "range %d: follower refused shipped batch at id %d (%s)"
+                % (rs.range_id, first_id, result.outcome)
+            )
+            return
+        want = follower.model.apply_all(requests)
+        if result.results != want:
+            self.violations.append(
+                "range %d: follower replay of shipped batch at id %d "
+                "diverged from the model" % (rs.range_id, first_id)
+            )
+        follower.image = result.image
+        follower.served += len(requests)
+        follower.epochs += 1
+        follower.steps += result.steps
+        self.counters["shipped"] += 1
+
+    def _promote_dead(self, e: int) -> None:
+        """Promote-on-DEAD: a range whose primary the supervisor just
+        declared dead fails over to its follower instead of degrading."""
+        if not self.replicate:
+            return
+        for rs in self.ranges:
+            if self.supervisor[rs.range_id].declared_dead:
+                self._promote(rs, e)
+
+    def _promote(self, rs: RangeState, e: int) -> None:
+        r = rs.range_id
+        caught_up = rs.lag
+        # 1. fence the follower at the last replicated epoch: catch it up
+        #    on the full shipped log (every settled batch, including the
+        #    one the dead primary completed during its crash-recovery)
+        self._follower_dark.pop(r, None)
+        while rs.shipped < len(rs.ship_log):
+            self._ship_one(rs)
+        # 2. bump the fencing token and retire the dead primary: any
+        #    batch it could still utter carries the old token and is
+        #    refused by fence_admits
+        retired = self.shards[r]
+        rs.retired = retired
+        rs.retired_fence = rs.fence
+        rs.fence += 1
+        rs.promotions += 1
+        promoted = rs.follower
+        assert promoted is not None
+        self.shards[r] = promoted
+        # 3. re-replicate: clone the new primary as the next follower
+        rs.follower = ShardState(
+            shard=r, image=dict(promoted.image),
+            model=promoted.model.copy(), served=promoted.served,
+        )
+        rs.ship_log = []
+        rs.shipped = 0
+        self.promotion_log.append((e, r, rs.fence))
+        self.counters["promotions"] += 1
+        self.supervisor.reset(r, e)
+        # 4. the dark acknowledgements: every settled-but-undelivered ack
+        #    is in the replicated log the new primary serves from, so it
+        #    is deliverable immediately — zero acked-write loss
+        self._held = [
+            (min(due, e), shard, acks) if shard == r else
+            (due, shard, acks)
+            for due, shard, acks in self._held
+        ]
+        self.trace.emit(
+            "promote", epoch=e, range=r, fence=rs.fence,
+            caught_up=caught_up, served=promoted.served,
+        )
+
+    def _strike_followers(self, e: int) -> None:
+        """Follower power cuts (``kill`` faults with ``replica=1``):
+        whole-system persistence means the interrupted ship apply resumes
+        on restored power, so the only effect is a paused replication
+        channel — the backlog drains at the rejoin."""
+        if not self.replicate:
+            return
+        for (fe, r), kill in sorted(self._follower_kills.items()):
+            if fe != e or r >= len(self.ranges):
+                continue
+            self._follower_dark[r] = e + kill.down_for
+            self.counters["follower_kills"] += 1
+            self.trace.emit(
+                "shard_kill", epoch=e, shard=r, step=0,
+                down_for=kill.down_for, acked_before_cut=0,
+                completed_in_dark=0, replica=1,
+            )
+
+    # ------------------------------------------------------------------
+    # live resharding
+    # ------------------------------------------------------------------
+    def _reshard_active(self) -> bool:
+        if self.reshard_at < 0:
+            return False
+        return self._mig is None or self._mig["state"] != "done"
+
+    def _reshard_tick(self, e: int) -> None:
+        if self.reshard_at < 0:
+            return
+        if self._mig is None:
+            if e < self.reshard_at:
+                return
+            self._reshard_setup(e)
+        m = self._mig
+        assert m is not None
+        if m["state"] == "copy":
+            self._reshard_copy(e)
+        elif m["state"] == "handoff":
+            self._reshard_handoff(e)
+
+    def _reshard_setup(self, e: int) -> None:
+        """Open the migration: one new shard joins the extended ring;
+        the arcs it steals are the complete copy plan."""
+        old = self.ring
+        new = old.extended()
+        moved = moved_keys(old, new, self.keyspace)
+        target = self.supervisor.add_shard()
+        self.shards.append(
+            ShardState(shard=target, model=StoreModel(self.layout))
+        )
+        if self.replicate:
+            self.ranges.append(RangeState(
+                range_id=target,
+                follower=ShardState(
+                    shard=target, model=StoreModel(self.layout)
+                ),
+            ))
+        self._mig = {
+            "state": "copy", "target": target,
+            "moved": moved, "moved_set": set(moved),
+            "copied": 0, "dirty": set(),
+            "old_ring": old, "new_ring": new,
+        }
+        self.trace.emit(
+            "reshard_start", epoch=e, new_shard=target,
+            moved=len(moved), ring_from=old.digest(),
+            ring_to=new.digest(),
+        )
+
+    def _track_dirty(self, requests: Sequence[Request]) -> None:
+        """While a migration is copying, every write to a moved key (or
+        its shadow) applied at the old owner is re-synced at handoff."""
+        m = self._mig
+        if m is None or m["state"] not in ("copy", "handoff"):
+            return
+        for opcode, key, _arg in requests:
+            if opcode not in (OP_PUT, OP_DELETE):
+                continue
+            real = key - self.keyspace if key > self.keyspace else key
+            if real in m["moved_set"]:
+                m["dirty"].add(key)
+
+    def _reshard_copy(self, e: int) -> None:
+        """Copy one chunk of moved keys (values from the old owners'
+        settled state, shadows included) into the target shard."""
+        m = self._mig
+        assert m is not None
+        target: int = m["target"]
+        if not self.supervisor[target].serving or \
+                self._partitioned(target, e):
+            return  # migration pauses while the target is unreachable
+        moved: List[int] = m["moved"]
+        if m["copied"] < len(moved):
+            chunk = max(1, min(self.copy_chunk, self.layout.max_batch // 2))
+            keys = moved[m["copied"]:m["copied"] + chunk]
+            requests: List[Request] = []
+            for k in keys:
+                kv = self.shards[m["old_ring"].shard_for(k)].model.kv
+                if k in kv:
+                    requests.append((OP_PUT, k, kv[k]))
+                shadow = k + self.keyspace
+                if shadow in kv:
+                    requests.append((OP_PUT, shadow, kv[shadow]))
+            kill = self._kills.pop((e, target), None)
+            if requests:
+                self._apply_internal(
+                    target, requests, e, "migrate_in", kill=kill
+                )
+            elif kill is not None:
+                # nothing to copy this chunk, but the power cut strikes
+                # regardless — the idle-kill path, migration edition
+                self.counters["kills"] += 1
+                self.supervisor.observe_crash(target, e, kill.down_for)
+                self.shards[target].crashes += 1
+                self.trace.emit(
+                    "shard_kill", epoch=e, shard=target, step=0,
+                    down_for=kill.down_for, acked_before_cut=0,
+                    completed_in_dark=0,
+                )
+            m["copied"] += len(keys)
+            self.counters["migrated_keys"] += len(keys)
+            self.trace.emit(
+                "reshard_copy", epoch=e, new_shard=target,
+                keys=len(keys), copied=m["copied"], total=len(moved),
+            )
+        if m["copied"] >= len(moved):
+            m["state"] = "handoff"
+
+    def _reshard_handoff(self, e: int) -> None:
+        """The one-shot handoff between epochs: delta-sync the dirty
+        keys, drop the moved arc at the sources, flip the ring, and
+        reroute in-flight sub-operations — no epoch double-served, no
+        frozen window a client can observe."""
+        m = self._mig
+        assert m is not None
+        target: int = m["target"]
+        old_ring: HashRing = m["old_ring"]
+        sources = sorted({old_ring.shard_for(k) for k in m["moved"]})
+        involved = sources + [target]
+        if any(
+            not self.supervisor[s].serving or self._partitioned(s, e)
+            for s in involved
+        ):
+            return  # partition/darkness during handoff: postpone whole
+        max_batch = self.layout.max_batch
+        # delta sync: re-copy every key written behind the copy pass
+        delta: List[Request] = []
+        for key in sorted(m["dirty"]):
+            real = key - self.keyspace if key > self.keyspace else key
+            kv = self.shards[old_ring.shard_for(real)].model.kv
+            if key in kv:
+                delta.append((OP_PUT, key, kv[key]))
+            else:
+                delta.append((OP_DELETE, key, 0))
+        for i in range(0, len(delta), max_batch):
+            self._apply_internal(
+                target, delta[i:i + max_batch], e, "migrate_in"
+            )
+        # migrate out: the sources drop the arc they no longer own
+        dropped = 0
+        for src in sources:
+            kv = self.shards[src].model.kv
+            drops: List[Request] = []
+            for k in m["moved"]:
+                if old_ring.shard_for(k) != src:
+                    continue
+                for kk in (k, k + self.keyspace):
+                    if kk in kv:
+                        drops.append((OP_DELETE, kk, 0))
+            for i in range(0, len(drops), max_batch):
+                self._apply_internal(
+                    src, drops[i:i + max_batch], e, "migrate_out"
+                )
+            dropped += len(drops)
+        # the flip: one atomic ownership switch between epochs
+        self.ring = m["new_ring"]
+        self.n_shards = len(self.shards)
+        self._reroute(e)
+        m["state"] = "done"
+        self.trace.emit(
+            "reshard_handoff", epoch=e, new_shard=target,
+            delta=len(delta), dropped=dropped, moved=len(m["moved"]),
+        )
+
+    def _reroute(self, e: int) -> None:
+        """Point every unacknowledged in-flight sub-op at the new ring.
+        Scans restart whole (a half-old, half-new scan would double- or
+        under-count the moved arc); single-key sub-ops just re-aim."""
+        for token in sorted(self.inflight):
+            flight = self.inflight[token]
+            if flight.response is not None:
+                continue
+            if flight.op.kind == "scan" and \
+                    any(not s.acked for s in flight.subops):
+                start, count = flight.op.keys[0], flight.op.args[0]
+                flight.subops = [
+                    _SubOp(
+                        token=token, index=i, shard=shard,
+                        request=(OP_SCAN, start, count), next_due=e,
+                    )
+                    for i, shard in enumerate(self._scan_targets(flight.op))
+                ]
+                continue
+            for sub in flight.subops:
+                if not sub.acked:
+                    sub.shard = self.owner(sub.request[1])
+
+    def _apply_internal(
+        self,
+        shard_id: int,
+        requests: List[Request],
+        e: int,
+        role: str,
+        kill: Optional[ClusterFault] = None,
+    ) -> None:
+        """Apply one coordinator-internal batch (migration traffic) at a
+        shard, through the same executor, fences, ground-truth log, and
+        ship log as client batches — a kill mid-copy crashes the real
+        machine and recovery completes the batch."""
+        if not requests:
+            return
+        state = self.shards[shard_id]
+        first_id = state.served
+        fence = self._fence_of(shard_id)
+        crash_step = None
+        crash_event = None
+        if kill is not None:
+            crash_step = 1 + mix_int(
+                self.seed, "kill", e, shard_id
+            ) % (60 * len(requests))
+            crash_event = FaultEvent(kind="cut", step=crash_step)
+            self.counters["kills"] += 1
+        result = execute_shard_epoch(
+            shard_id, self.compiled, self.layout,
+            state.image, state.served, requests, first_id,
+            state.model, self.backend.name, config=self.config,
+            crash_step=crash_step, crash_event=crash_event,
+            batch_fence=fence, range_fence=fence,
+        )
+        self.violations.extend(result.violations)
+        if result.outcome in ("replay_rejected", "fenced_rejected"):
+            self.violations.append(
+                "shard %d epoch %d: internal %s batch at id %d was "
+                "refused (%s) — coordinator sequencing bug"
+                % (shard_id, e, role, first_id, result.outcome)
+            )
+            return
+        want = state.model.apply_all(requests)
+        if result.results != want:
+            self.violations.append(
+                "shard %d epoch %d: internal %s batch results diverge "
+                "from model" % (shard_id, e, role)
+            )
+        state.image = result.image
+        state.served += len(requests)
+        state.epochs += 1
+        state.steps += result.steps
+        for k, v in result.fault_counters.items():
+            state.fault_counters[k] = state.fault_counters.get(k, 0) + v
+        for i, req in enumerate(requests):
+            self.applied_log.append(Applied(
+                shard_id, first_id + i, -1, req, role, fence, e,
+            ))
+        if self.replicate:
+            self.ranges[shard_id].ship_log.append(
+                (e, first_id, list(requests))
+            )
+        if result.outcome == "crashed" and kill is not None:
+            state.crashes += 1
+            self.supervisor.observe_crash(shard_id, e, kill.down_for)
+            self.trace.emit(
+                "shard_kill", epoch=e, shard=shard_id,
+                step=result.crash_step, down_for=kill.down_for,
+                acked_before_cut=len(result.acked_local),
+                completed_in_dark=len(result.late_local),
+            )
+
+    # ------------------------------------------------------------------
+    # negative-oracle hooks (the cluster's mutation self-test)
+    # ------------------------------------------------------------------
+    def inject_stale_primary_write(
+        self, range_id: int, request: Request, honor_fence: bool = True
+    ) -> bool:
+        """Test/chaos hook: a demoted primary tries to serve one more
+        write.  With ``honor_fence`` the executor's fence refuses it
+        (the defended path); with ``honor_fence=False`` the fence check
+        is bypassed — modelling a broken fencing layer — the write lands
+        and is recorded under the stale token, which
+        :func:`~repro.cluster.oracle.check_cluster` must flag.  Returns
+        True iff the write was (wrongly) applied."""
+        rs = self.ranges[range_id]
+        retired = rs.retired
+        if retired is None:
+            raise ValueError(
+                "range %d has no retired primary to probe" % range_id
+            )
+        guard = rs.fence if honor_fence else rs.retired_fence
+        result = execute_shard_epoch(
+            range_id, self.compiled, self.layout,
+            retired.image, retired.served, [request], retired.served,
+            retired.model, self.backend.name, config=self.config,
+            batch_fence=rs.retired_fence, range_fence=guard,
+        )
+        if result.outcome == "fenced_rejected":
+            self.counters["fenced_rejected"] += 1
+            return False
+        retired.model.apply_all([request])
+        retired.image = result.image
+        gid = retired.served
+        retired.served += 1
+        self.applied_log.append(Applied(
+            range_id, gid, -2, request, "serve", rs.retired_fence,
+            self.epoch,
+        ))
+        return True
+
+    def drop_shipped_batch(self, range_id: int) -> int:
+        """Test/chaos hook: the shipping layer silently loses one
+        settled batch — the follower's book-keeping advances as if it
+        applied, its durable image does not.  The replica-divergence
+        check in :func:`~repro.cluster.oracle.check_cluster` must flag
+        the gap at quiesce.  Returns the number of ops dropped."""
+        rs = self.ranges[range_id]
+        if rs.shipped >= len(rs.ship_log):
+            raise ValueError(
+                "range %d has no unshipped batch to drop" % range_id
+            )
+        _epoch, _first_id, requests = rs.ship_log[rs.shipped]
+        follower = rs.follower
+        assert follower is not None
+        follower.model.apply_all(requests)
+        follower.served += len(requests)
+        rs.shipped += 1
+        return len(requests)
+
+    # ------------------------------------------------------------------
     def _deliver_held(self, e: int) -> None:
         due = [h for h in self._held if h[0] <= e]
         if not due:
@@ -605,6 +1148,8 @@ class ClusterSession:
             return []  # duplicate or superseded: the token absorbs it
         sub.acked = True
         sub.value = value
+        sub.gid = global_id
+        sub.served_by = shard_id
         flight = self.inflight.get(sub.token)
         if flight is None or flight.response is not None:
             return []
@@ -681,7 +1226,35 @@ class ClusterSession:
             indeterminate=indeterminate,
         )
         self.responses[token] = flight.response
+        if status == OK:
+            self._track_session(flight)
         return [token]
+
+    def _track_session(self, flight: _Flight) -> None:
+        """Read-your-writes certification at acknowledgement time: an OK
+        write records its log position for the client session, an OK
+        read must observe a position at least as new (per key, per
+        range) — the guarantee a promoted follower must preserve."""
+        op = flight.op
+        if op.kind == "get":
+            sub = flight.subops[0]
+            problem = self.sessions.check_read(
+                op.token, op.keys[0], sub.served_by, sub.gid
+            )
+            if problem:
+                self.violations.append(problem)
+        elif op.kind in ("put", "delete"):
+            sub = flight.subops[0]
+            self.sessions.note_write(
+                op.token, op.keys[0], sub.served_by, sub.gid
+            )
+        elif op.kind == "txn" and flight.phase == "commit":
+            for sub in flight.subops:
+                if sub.request[0] == OP_PUT and \
+                        sub.request[1] <= self.keyspace:
+                    self.sessions.note_write(
+                        op.token, sub.request[1], sub.served_by, sub.gid
+                    )
 
     def _settle_flights(self) -> List[int]:
         """Release locks and retire flights whose response is out and
@@ -767,7 +1340,33 @@ class ClusterSession:
     def finalize(self) -> None:
         from .oracle import check_cluster
 
+        if self.replicate:
+            # drain the ship backlog: at quiesce the replica pair must
+            # have converged for the oracle's divergence check
+            self._follower_dark.clear()
+            for rs in self.ranges:
+                while rs.lag > 0:
+                    self._ship_one(rs)
+        self.counters["ryw_checked"] = self.sessions.reads_checked
         self.violations.extend(check_cluster(self))
+        extras: Dict[str, Any] = {}
+        if self.replicate:
+            extras["ranges"] = [
+                {
+                    "range": rs.range_id, "fence": rs.fence,
+                    "promotions": rs.promotions,
+                    "follower_served": (
+                        rs.follower.served if rs.follower else 0
+                    ),
+                }
+                for rs in self.ranges
+            ]
+        if self._mig is not None:
+            extras["resharded"] = {
+                "new_shard": self._mig["target"],
+                "moved": len(self._mig["moved"]),
+                "done": self._mig["state"] == "done",
+            }
         self.trace.emit(
             "cluster_end",
             epochs=self.epoch,
@@ -786,4 +1385,5 @@ class ClusterSession:
                 for s in self.shards
             ],
             digest=self.digest(),
+            **extras,
         )

@@ -1,4 +1,5 @@
-"""The cluster-level oracle: zero acked-write loss and 2PC atomicity.
+"""The cluster-level oracle: zero acked-write loss and 2PC atomicity,
+extended with the replication/failover/resharding invariants.
 
 Checked at quiesce, against two independent sources of truth:
 
@@ -17,7 +18,9 @@ The theorem, cluster edition:
    (status ``ok``) was applied; since the final value of every key is by
    (1) the last *applied* write, an acknowledged write can only be
    superseded by another applied — i.e. legitimately issued — write,
-   never silently dropped.
+   never silently dropped.  Failover preserves this: a promoted
+   follower serves from the full shipped log, so the dead primary's
+   acknowledged writes survive the promotion.
 3. **No phantom writes.**  A write that failed *determinately* (the
    coordinator proved no dispatch could have reached a shard) appears
    nowhere in the applied log; only ``indeterminate`` failures may have
@@ -26,10 +29,26 @@ The theorem, cluster edition:
    PUT is applied; an aborted transaction touched no real key at all
    (its prepares live under shadow keys); and no shadow key is visible
    anywhere at quiesce — so no client-visible half-commit exists after
-   any shard-kill schedule.
+   any shard-kill schedule, including kills during a live migration.
 5. **Completion.**  Every admitted token carries exactly one response
    (idempotent retries never double-complete) and nothing is left in
    flight.
+6. **No double-serving.**  Per shard slot, the applied log's positions
+   are exactly ``0..served-1``, each applied once, in order — a
+   duplicated or skipped epoch (the failure live resharding and
+   promotion must not introduce) breaks the sequence.
+7. **Key placement.**  Every key visible at quiesce lives on the shard
+   the final hash ring assigns it — after a live reshard the moved arc
+   exists only at the joining shard (the sources dropped it at
+   handoff).
+8. **Fence integrity** (replicated runs).  Every applied op carries the
+   fencing token its range held at that epoch; an op under a stale
+   token is a demoted primary speaking after its promotion — split
+   brain — and is flagged.
+9. **Replica convergence** (replicated runs).  At quiesce, after the
+   ship backlog drains, each range's follower has applied exactly the
+   primary's log: same served count, same durable image.  A shipping
+   layer that silently lost a batch cannot pass.
 """
 
 from __future__ import annotations
@@ -52,10 +71,12 @@ def check_cluster(session: "ClusterSession") -> List[str]:
     keyspace = session.keyspace
     layout = session.layout
 
-    # (1) shard honesty: independent replay of the applied log
+    # (1) shard honesty: independent replay of the applied log,
+    # (7) key placement under the final ring
     per_shard: Dict[int, List] = {s.shard: [] for s in session.shards}
-    for shard_id, _gid, _token, request in session.applied_log:
-        per_shard[shard_id].append(request)
+    for entry in session.applied_log:
+        if entry.shard in per_shard:
+            per_shard[entry.shard].append(entry.request)
     for state in session.shards:
         replay = StoreModel(layout)
         replay.apply_all(per_shard[state.shard])
@@ -79,8 +100,32 @@ def check_cluster(session: "ClusterSession") -> List[str]:
                 "shard %d: shadow keys %s visible at quiesce "
                 "(2PC half-commit left behind)" % (state.shard, shadows[:6])
             )
+        misplaced = sorted(
+            k for k in visible
+            if k <= keyspace and session.owner(k) != state.shard
+        )
+        if misplaced:
+            violations.append(
+                "shard %d: keys %s visible but owned by another shard "
+                "under the final ring (migration left the arc behind)"
+                % (state.shard, misplaced[:6])
+            )
 
-    applied_tokens: Set[int] = {t for _, _, t, _ in session.applied_log}
+    # (6) no double-serving: per-slot positions are 0..served-1 in order
+    next_gid: Dict[int, int] = {}
+    for entry in session.applied_log:
+        want = next_gid.get(entry.shard, 0)
+        if entry.gid != want:
+            violations.append(
+                "shard %d: application order broke at position %d "
+                "(expected %d) — an epoch was double-served or skipped"
+                % (entry.shard, entry.gid, want)
+            )
+        next_gid[entry.shard] = max(want, entry.gid) + 1
+
+    applied_tokens: Set[int] = {
+        e.token for e in session.applied_log if e.token >= 0
+    }
 
     # (5) completion: one response per admitted token, nothing in flight
     if session.inflight:
@@ -110,9 +155,9 @@ def check_cluster(session: "ClusterSession") -> List[str]:
             "unavailable", "deadline_exceeded"
         ):
             wrote = [
-                (s, g) for s, g, t, req in session.applied_log
-                if t == token and req[0] in (OP_PUT, OP_DELETE)
-                and req[1] <= keyspace
+                (e.shard, e.gid) for e in session.applied_log
+                if e.token == token and e.request[0] in (OP_PUT, OP_DELETE)
+                and e.request[1] <= keyspace
             ]
             if wrote:
                 violations.append(
@@ -127,8 +172,9 @@ def check_cluster(session: "ClusterSession") -> List[str]:
         decision = decisions[token]
         resp = session.responses.get(token)
         real_puts = [
-            req for _, _, t, req in session.applied_log
-            if t == token and req[0] == OP_PUT and req[1] <= keyspace
+            e.request for e in session.applied_log
+            if e.token == token and e.request[0] == OP_PUT
+            and e.request[1] <= keyspace
         ]
         if decision == "commit":
             if resp is None or resp.status != "ok":
@@ -155,6 +201,46 @@ def check_cluster(session: "ClusterSession") -> List[str]:
                 violations.append(
                     "txn %d: aborted but client saw ok" % token
                 )
+
+    # (8) fence integrity: every applied op under its range's live token
+    promos: Dict[int, List] = {}
+    for pe, pr, pf in session.promotion_log:
+        promos.setdefault(pr, []).append((pe, pf))
+    if session.replicate:
+        for entry in session.applied_log:
+            want_fence = 1
+            for pe, pf in promos.get(entry.shard, []):
+                if pe <= entry.epoch:
+                    want_fence = pf
+            if entry.fence != want_fence:
+                violations.append(
+                    "shard %d: op at position %d applied under fencing "
+                    "token %d but the range's token at epoch %d was %d "
+                    "(a demoted primary's write entered the log)"
+                    % (entry.shard, entry.gid, entry.fence,
+                       entry.epoch, want_fence)
+                )
+
+    # (9) replica convergence at quiesce
+    if session.replicate:
+        for rs in session.ranges:
+            primary = session.shards[rs.range_id]
+            follower = rs.follower
+            if follower is None:
+                violations.append(
+                    "range %d: no follower at quiesce" % rs.range_id
+                )
+                continue
+            if follower.served != primary.served or \
+                    follower.image_digest() != primary.image_digest():
+                violations.append(
+                    "range %d: replica divergence at quiesce (primary "
+                    "served %d image %s, follower served %d image %s) "
+                    "— a shipped batch was lost or reordered"
+                    % (rs.range_id, primary.served,
+                       primary.image_digest(), follower.served,
+                       follower.image_digest())
+                )
     return violations
 
 
@@ -165,7 +251,8 @@ def _txn_keys(session: "ClusterSession", token: int) -> Set[int]:
         return set(op.keys)
     # fall back to the prepare-phase shadow writes
     return {
-        req[1] - session.keyspace
-        for _, _, t, req in session.applied_log
-        if t == token and req[0] == OP_PUT and req[1] > session.keyspace
+        e.request[1] - session.keyspace
+        for e in session.applied_log
+        if e.token == token and e.request[0] == OP_PUT
+        and e.request[1] > session.keyspace
     }

@@ -23,12 +23,29 @@ Responses are data, not exceptions: a :class:`ClusterResponse` carries
 the status and, for failures, which shard / key range degraded — the
 "typed Unavailable" the coordinator serves for a dead range while the
 surviving ranges keep answering.
+
+Replication phase two adds two more protocol-level concepts:
+
+* **replica roles and fencing tokens** — every key range is served by a
+  :data:`PRIMARY` image and replicated to a :data:`FOLLOWER` image.
+  Each range carries a monotonically increasing *fencing token*, bumped
+  at every promotion; a batch is admitted to the range's settled log
+  only if it carries the current token (:func:`fence_admits`).  A
+  demoted primary — dead, promoted past, then resurrected — still holds
+  its old token, so nothing it serves can ever re-enter the log.
+* **read-your-writes session tokens** — logical ops are grouped into
+  client sessions; a :class:`SessionTracker` remembers, per session and
+  key, the log position of the last acknowledged write, and certifies
+  that every later read in the same session observed a position at
+  least that new.  Retries and failovers must preserve this: a retry
+  that lands on a freshly promoted follower may only be acknowledged
+  from a log that already contains the session's writes.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
@@ -37,6 +54,11 @@ __all__ = [
     "DEADLINE_EXCEEDED",
     "ABORTED",
     "STATUSES",
+    "PRIMARY",
+    "FOLLOWER",
+    "ROLES",
+    "fence_admits",
+    "SessionTracker",
     "ClusterResponse",
     "RetryPolicy",
 ]
@@ -49,8 +71,79 @@ ABORTED = "aborted"                    # 2PC transaction aborted pre-decision
 
 STATUSES: Tuple[str, ...] = (OK, UNAVAILABLE, DEADLINE_EXCEEDED, ABORTED)
 
+#: replica roles within one key range
+PRIMARY = "primary"
+FOLLOWER = "follower"
+ROLES: Tuple[str, ...] = (PRIMARY, FOLLOWER)
 
-def _mix(*parts) -> int:
+
+def fence_admits(range_fence: int, batch_fence: int) -> bool:
+    """Whether a batch stamped with ``batch_fence`` may enter the
+    range's settled log when the range's current fencing token is
+    ``range_fence``.  Only the exact current token is admitted: a stale
+    token is a demoted primary speaking after its promotion (split
+    brain), a newer token is a sequencing bug — both are refused."""
+    return batch_fence == range_fence
+
+
+@dataclass
+class SessionTracker:
+    """Read-your-writes bookkeeping per client session.
+
+    Sessions partition the token space (session = ``token % n_sessions``
+    — a deterministic stand-in for per-client connections).  Positions
+    are ``(range_id, gid)`` pairs: within one range the per-range log
+    position ``gid`` totally orders applications, which is exactly what
+    a promoted follower inherits (it serves from the same settled log),
+    so the guarantee survives failover.  Reads routed to a *different*
+    range than the session's last write to that key (a completed
+    migration) are certified by the migration machinery instead — the
+    delta sync puts every settled write in the target's log before the
+    arc flips — and are not double-counted here."""
+
+    n_sessions: int = 4
+    #: (session, key) -> (range_id, gid) of the last acked write
+    writes: Dict[Tuple[int, int], Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    reads_checked: int = 0
+
+    def session_of(self, token: int) -> int:
+        return token % max(1, self.n_sessions)
+
+    def note_write(
+        self, token: int, key: int, range_id: int, gid: int
+    ) -> None:
+        """An acknowledged write of ``key`` applied at log position
+        ``(range_id, gid)``."""
+        self.writes[(self.session_of(token), key)] = (range_id, gid)
+
+    def check_read(
+        self, token: int, key: int, range_id: int, gid: int
+    ) -> Optional[str]:
+        """Certify one acknowledged read of ``key`` served from log
+        position ``(range_id, gid)``.  Returns a violation description
+        if the session had acknowledged a *later* write to the key at
+        the same range — a stale read — else None."""
+        last = self.writes.get((self.session_of(token), key))
+        if last is None:
+            return None
+        wrange, wgid = last
+        if wrange != range_id:
+            return None  # cross-range: certified by migration handoff
+        self.reads_checked += 1
+        if gid < wgid:
+            return (
+                "read-your-writes: session %d token %d read key %d at "
+                "range %d position %d, but the session's write was "
+                "acknowledged at position %d"
+                % (self.session_of(token), token, key, range_id, gid,
+                   wgid)
+            )
+        return None
+
+
+def _mix(*parts: object) -> int:
     text = ":".join(str(p) for p in parts)
     return int.from_bytes(
         hashlib.sha256(text.encode()).digest()[:8], "big"

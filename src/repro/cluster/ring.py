@@ -12,10 +12,13 @@ The ring exists for the property the modulo hash lacks: adding or
 removing one shard remaps only the arcs adjacent to its points (about
 ``1/n`` of the keyspace) instead of reshuffling almost every key.  The
 cluster keeps placement *fixed* while a shard is down — a dead shard's
-arc degrades to typed ``Unavailable`` errors rather than migrating, so
-recovery-and-rejoin never moves data — but the stability property is
-what would make a future live-resharding step incremental, and the test
-suite pins it.
+arc fails over to its replica (or, un-replicated, degrades to typed
+``Unavailable`` errors) rather than migrating, so recovery-and-rejoin
+never moves data.  The stability property is what makes *live
+resharding* incremental: :meth:`HashRing.extended` adds one shard's
+points without touching any existing point, so :func:`moved_keys` — the
+arcs the new shard steals — is the complete migration plan, about
+``1/(n+1)`` of the keyspace, and the test suite pins it.
 """
 
 from __future__ import annotations
@@ -24,12 +27,12 @@ import bisect
 import hashlib
 from typing import Dict, List, Tuple
 
-__all__ = ["HashRing", "DEFAULT_VNODES"]
+__all__ = ["HashRing", "DEFAULT_VNODES", "moved_keys"]
 
 DEFAULT_VNODES = 64
 
 
-def _point(*parts) -> int:
+def _point(*parts: object) -> int:
     text = ":".join(str(p) for p in parts)
     return int.from_bytes(
         hashlib.sha256(text.encode()).digest()[:8], "big"
@@ -54,6 +57,14 @@ class HashRing:
         self._hashes = [h for h, _ in points]
         self._owners = [s for _, s in points]
 
+    def extended(self) -> "HashRing":
+        """The ring with one more shard.  Existing shard points are a
+        pure function of ``(shard, replica)``, so every point of this
+        ring survives unchanged — the new shard only *steals* arcs,
+        which is what makes live resharding an incremental copy of
+        :func:`moved_keys` instead of a full reshuffle."""
+        return HashRing(self.n_shards + 1, self.vnodes)
+
     def shard_for(self, key: int) -> int:
         """The shard owning ``key`` (clockwise-next point on the ring)."""
         h = _point("key", key)
@@ -77,3 +88,15 @@ class HashRing:
         for point, owner in zip(self._hashes[:64], self._owners[:64]):
             h.update(("%d=%d;" % (point, owner)).encode())
         return h.hexdigest()[:16]
+
+
+def moved_keys(old: HashRing, new: HashRing, keyspace: int) -> List[int]:
+    """The migration plan: keys in ``1..keyspace`` whose owner differs
+    between the two rings, sorted.  With ``new = old.extended()`` every
+    moved key lands on the new shard (pinned by the ring tests), so this
+    list is exactly what the live reshard must copy."""
+    return [
+        key
+        for key in range(1, keyspace + 1)
+        if old.shard_for(key) != new.shard_for(key)
+    ]

@@ -14,12 +14,17 @@ makes :func:`execute_shard_epoch` a deterministic, picklable function of
 its arguments — exactly what lets the coordinator fan shards out over
 real worker processes with bit-identical results at any ``--jobs``.
 
-Two robustness guards live here, at the point of application:
+Three robustness guards live here, at the point of application:
 
 * **sequence fencing** — a batch whose ``first_id`` does not equal the
   shard's served count is refused (``replay_rejected`` outcome, mirroring
   :class:`repro.store.ReplayedEpochError`): a duplicated or re-ordered
   epoch delivery can never double-apply non-idempotent ops.
+* **promotion fencing** — with replication every batch is stamped with
+  its range's fencing token; a token that is not the range's current one
+  is refused (``fenced_rejected``), checked *before* the sequence fence:
+  a demoted primary speaking after failover is split brain, not replay,
+  and nothing it applies may count.
 * **crash-means-finish** — a power cut mid-epoch triggers the machine's
   real recovery, and — whole-system persistence — the interrupted batch
   *resumes and completes* on restored power.  The executor reports which
@@ -28,13 +33,18 @@ Two robustness guards live here, at the point of application:
   the dark window between the kill and the shard's rejoin.  The store's
   acked-prefix theorem is checked at the cut via
   :func:`repro.store.check_recovery`.
+
+:class:`RangeState` is the coordinator-held replication record per key
+range: the fencing token, the follower image the primary's settled
+batches are shipped to, the ship log itself, and — after a failover —
+the retired primary kept around for the oracle's split-brain checks.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.pipeline import CompiledProgram
 from ..config import DEFAULT_CONFIG, SystemConfig
@@ -45,8 +55,15 @@ from ..store.layout import StoreLayout
 from ..store.oracle import StoreModel, check_recovery
 from ..store.programs import Request, request_words
 from ..store.server import DATA_FLOOR
+from .protocol import fence_admits
 
-__all__ = ["ShardState", "EpochResult", "execute_shard_epoch"]
+__all__ = [
+    "ShardState",
+    "RangeState",
+    "ShipEntry",
+    "EpochResult",
+    "execute_shard_epoch",
+]
 
 #: per-epoch machine step budget — a batch that exceeds it is a bug, not
 #: a slow run, and surfaces as a violation instead of a hang
@@ -74,12 +91,47 @@ class ShardState:
         return h.hexdigest()[:16]
 
 
+#: one shipped unit of the replication log: the epoch the batch settled,
+#: its sequence-fence position, and the requests it applied, in order
+ShipEntry = Tuple[int, int, List[Request]]
+
+
+@dataclass
+class RangeState:
+    """Replication bookkeeping for one key range (coordinator-held).
+
+    The *range* is the unit of failover: its primary is always
+    ``ClusterSession.shards[range_id]`` (promotion swaps the object into
+    that slot), its follower re-applies the primary's settled batches
+    from ``ship_log`` — each exactly once, in order, through the same
+    executor — lagging by at most the configured window.  ``fence``
+    starts at 1 and bumps at every promotion; the retired primary and
+    the token it was fenced at stay on record so the oracle can prove no
+    post-demotion write of it was ever admitted."""
+
+    range_id: int
+    fence: int = 1
+    follower: Optional[ShardState] = None
+    #: settled batches not all of which have reached the follower yet
+    ship_log: List[ShipEntry] = field(default_factory=list)
+    shipped: int = 0          # ship_log prefix applied at the follower
+    promotions: int = 0
+    retired: Optional[ShardState] = None
+    retired_fence: int = 0    # token the retired primary was fenced at
+
+    @property
+    def lag(self) -> int:
+        """Settled batches the follower has not applied yet."""
+        return len(self.ship_log) - self.shipped
+
+
 @dataclass
 class EpochResult:
     """What one :func:`execute_shard_epoch` call produced (picklable)."""
 
     shard: int
-    outcome: str = "ok"               # "ok" | "crashed" | "replay_rejected"
+    #: "ok" | "crashed" | "replay_rejected" | "fenced_rejected"
+    outcome: str = "ok"
     image: Dict[int, int] = field(default_factory=dict)
     #: local request indices whose acks were durable before any cut —
     #: the acknowledgements a live coordinator actually receives
@@ -109,11 +161,19 @@ def execute_shard_epoch(
     crash_step: Optional[int] = None,
     crash_event: Optional[FaultEvent] = None,
     msg_faults: Sequence[FaultEvent] = (),
+    batch_fence: int = 1,
+    range_fence: int = 1,
 ) -> EpochResult:
     """Run one epoch of one shard.  Pure in its arguments; touches no
     global state, so it can run in a forked worker or inline with
     identical results."""
     result = EpochResult(shard=shard)
+    if not fence_admits(range_fence, batch_fence):
+        # promotion fence: a batch stamped with a stale (or future)
+        # fencing token is split brain, refused before anything applies
+        result.outcome = "fenced_rejected"
+        result.image = dict(image)
+        return result
     if first_id != served:
         # sequence fence: the message layer (or a buggy driver) delivered
         # an epoch the shard is not at — refuse rather than double-apply

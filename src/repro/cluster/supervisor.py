@@ -27,6 +27,12 @@ A small explicit state machine per shard, ticked once per cluster epoch:
   the interrupted batch; the acks it completes in the dark are delivered
   now.  The shard serves again next epoch.
 
+With replication the DEAD verdict stops meaning degraded service: the
+coordinator promotes the range's follower and calls :meth:`reset` — the
+slot restarts UP immediately (the promoted image *is* up), while the
+retired primary's crash history stays on the record.  :meth:`add_shard`
+grows the cluster by one supervised slot for live resharding.
+
 Every transition is recorded (and emitted into the cluster trace) so a
 chaos run's supervision history replays bit-for-bit.
 """
@@ -136,6 +142,25 @@ class Supervisor:
                     # declared dead: the router degrades this key range
                     h._move(epoch, DEAD)
         return rejoined
+
+    # ------------------------------------------------------------------
+    # replication-phase-two hooks
+    # ------------------------------------------------------------------
+    def reset(self, shard: int, epoch: int) -> None:
+        """A promoted follower took over the slot: serving resumes *now*.
+        The transition to UP is logged (it is part of the supervision
+        history the trace replays) and the dark-window timer is cleared —
+        the retired image's pending rejoin no longer governs the range."""
+        h = self.health[shard]
+        h.down_until = 0
+        h._move(epoch, UP)
+
+    def add_shard(self) -> int:
+        """Grow the cluster by one supervised slot (live resharding).
+        Returns the new shard id; it starts UP with a clean history."""
+        shard = len(self.health)
+        self.health.append(ShardHealth(shard=shard))
+        return shard
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[int, str]:

@@ -113,6 +113,7 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "n_shards": "int", "keyspace": "int", "backend": "str",
         "seed": "int", "ring": "str", "vnodes": "int", "ops": "int",
         "policy": "dict", "chaos": "list", "sharding": "str",
+        "replicate": "?bool", "ship_lag": "?int", "reshard_at": "?int",
     },
     "cluster_epoch": {
         "epoch": "int", "rejoined": "list", "transitions": "list",
@@ -121,6 +122,24 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
     "shard_kill": {
         "epoch": "int", "shard": "int", "step": "int", "down_for": "int",
         "acked_before_cut": "int", "completed_in_dark": "int",
+        "replica": "?int",
+    },
+    # added in 1.1: per-range failover and live resharding
+    "promote": {
+        "epoch": "int", "range": "int", "fence": "int",
+        "caught_up": "int", "served": "int",
+    },
+    "reshard_start": {
+        "epoch": "int", "new_shard": "int", "moved": "int",
+        "ring_from": "str", "ring_to": "str",
+    },
+    "reshard_copy": {
+        "epoch": "int", "new_shard": "int", "keys": "int",
+        "copied": "int", "total": "int",
+    },
+    "reshard_handoff": {
+        "epoch": "int", "new_shard": "int", "delta": "int",
+        "dropped": "int", "moved": "int",
     },
     "replay_rejected": {"epoch": "int", "shard": "int",
                         "first_id": "int"},
@@ -130,6 +149,7 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
     "cluster_end": {
         "epochs": "int", "responses": "dict", "violations": "list",
         "counters": "dict", "shards": "list", "digest": "str",
+        "ranges": "?list", "resharded": "?dict",
     },
     # ---- cluster chaos campaign (repro.cluster.chaos) ----------------
     "cluster_campaign_start": {
@@ -137,12 +157,15 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "keyspace": "int", "ops": "int", "mix": "str", "kills": "int",
         "transport": "int", "partitions": "int", "msg_faults": "int",
         "horizon": "int", "sharding": "?str",
+        "replicate": "?bool", "ship_lag": "?int",
+        "follower_kills": "?int", "reshard_at": "?int",
     },
     "cluster_scenario": {
         "backend": "str", "seed": "int", "chaos": "list",
         "violations": "list", "digest": "str", "epochs": "int",
         "responses": "dict", "unavailable_shards": "list",
         "shrunk": "?list", "shrink_evals": "?int",
+        "promotions": "?int", "resharded": "?bool",
     },
     "cluster_campaign_end": {"scenarios": "int", "failures": "int"},
     # ---- store server (repro.store.server) ---------------------------

@@ -131,10 +131,15 @@ def _cluster_verdicts(records: Sequence[Dict], report: VerdictsReport):
             verdict = "VIOLATION: %s" % "; ".join(
                 str(v) for v in r["violations"][:2]
             )
+        tags = ""
+        if r.get("promotions"):
+            tags += " promotions=%d" % r["promotions"]
+        if r.get("resharded"):
+            tags += " resharded"
         report.lines.append(
-            "%-14s seed=%-3s epochs=%-3s digest=%s %s"
+            "%-14s seed=%-3s epochs=%-3s digest=%s%s %s"
             % (r.get("backend"), r.get("seed"), r.get("epochs"),
-               r.get("digest"), verdict)
+               r.get("digest"), tags, verdict)
         )
         cell = per_backend.setdefault(str(r.get("backend")), [0, 0])
         cell[0] += 1

@@ -56,7 +56,7 @@ __all__ = [
 
 #: the trace.v1 contract version stamped into every JSONL record (see
 #: :mod:`repro.obs.schema` for the event catalogue and version rules)
-TRACE_SCHEMA_VERSION = "1.0"
+TRACE_SCHEMA_VERSION = "1.1"
 TRACE_SCHEMA_MAJOR = 1
 
 

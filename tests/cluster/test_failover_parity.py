@@ -1,0 +1,81 @@
+"""--jobs parity on the replication and resharding paths: the JSONL
+trace (promote, reshard_*, shipping effects and all) must be byte for
+bit identical at any worker count."""
+
+import pytest
+
+from repro.cluster import ClusterFault, ClusterSession, \
+    generate_cluster_chaos
+from repro.trace import JsonlTrace, read_trace
+
+JOBS_LEVELS = (1, 2, 4)
+
+
+def _trace_bytes(tmp_path, tag, jobs, chaos, **kwargs):
+    path = tmp_path / ("%s-j%d.jsonl" % (tag, jobs))
+    trace = JsonlTrace(str(path))
+    session = ClusterSession.build(
+        n_shards=3, keyspace=16, ops=28, chaos=chaos, jobs=jobs,
+        trace=trace, **kwargs,
+    )
+    session.run()
+    trace.close()
+    assert not session.violations, session.violations[:4]
+    return path.read_bytes(), session
+
+
+class TestFailoverParity:
+    def test_promote_path_is_byte_identical(self, tmp_path):
+        chaos = generate_cluster_chaos(
+            7, 3, horizon=20, kills=0, transport=3, partitions=1,
+            msg_faults=1,
+        )
+        chaos.append(
+            ClusterFault(kind="kill", epoch=3, shard=1, down_for=8)
+        )
+        blobs = {}
+        for jobs in JOBS_LEVELS:
+            blob, session = _trace_bytes(
+                tmp_path, "failover", jobs, chaos, seed=7,
+                replicate=True,
+            )
+            blobs[jobs] = blob
+            assert session.counters["promotions"] >= 1
+        assert blobs[1] == blobs[2] == blobs[4]
+        types = {r["type"] for r in read_trace(
+            str(tmp_path / "failover-j1.jsonl"))}
+        assert "promote" in types
+
+    def test_reshard_path_is_byte_identical(self, tmp_path):
+        chaos = generate_cluster_chaos(
+            7, 3, horizon=22, kills=2, transport=3, partitions=1,
+            msg_faults=1, reshard_at=4, follower_kills=1,
+        )
+        blobs = {}
+        for jobs in JOBS_LEVELS:
+            blob, session = _trace_bytes(
+                tmp_path, "reshard", jobs, chaos, seed=7,
+                replicate=True, reshard_at=4,
+            )
+            blobs[jobs] = blob
+            assert session._mig["state"] == "done"
+        assert blobs[1] == blobs[2] == blobs[4]
+        types = {r["type"] for r in read_trace(
+            str(tmp_path / "reshard-j1.jsonl"))}
+        assert {"reshard_start", "reshard_handoff"} <= types
+
+    @pytest.mark.parametrize("jobs", (2, 4))
+    def test_campaign_trace_parity_with_replication(self, tmp_path, jobs):
+        from repro.cluster import run_cluster_campaign
+
+        paths = {}
+        for j in (1, jobs):
+            path = str(tmp_path / ("camp-j%d.jsonl" % j))
+            run_cluster_campaign(
+                backends=("lightwsp-lrpo",), seeds=(0, 1), n_shards=3,
+                keyspace=16, ops=28, jobs=j, trace_path=path,
+                replicate=True, follower_kills=1, reshard_at=5,
+            )
+            paths[j] = path
+        with open(paths[1], "rb") as a, open(paths[jobs], "rb") as b:
+            assert a.read() == b.read()

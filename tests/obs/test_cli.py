@@ -27,7 +27,7 @@ class TestTimeline:
         assert main(["trace", "timeline", CAMPAIGN]) == 0
         out = capsys.readouterr().out
         assert "faults campaign" in out
-        assert "schema 1.0" in out
+        assert "schema 1.1" in out
         assert "steps" in out
         assert "defense-off validation" in out
 

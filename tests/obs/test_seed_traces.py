@@ -11,6 +11,7 @@ from repro.trace import TRACE_SCHEMA_VERSION, read_trace
 DATA = os.path.join(os.path.dirname(__file__), "..", "data")
 CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
 CLUSTER = os.path.join(DATA, "cluster-chaos-seed0.jsonl")
+FAILOVER = os.path.join(DATA, "cluster-failover-seed0.jsonl")
 
 
 class TestSeedTraces:
@@ -25,8 +26,30 @@ class TestSeedTraces:
         records = read_trace(CLUSTER)
         assert replay_cluster_trace(records) == []
 
+    def test_failover_seed_trace_replays_bit_for_bit(self):
+        records = read_trace(FAILOVER)
+        assert replay_cluster_trace(records) == []
+
+    def test_failover_seed_trace_shape(self):
+        records = read_trace(FAILOVER)
+        start = records[0]
+        assert start["type"] == "cluster_campaign_start"
+        assert start["replicate"] is True
+        assert start["follower_kills"] >= 1
+        scenarios = [
+            r for r in records if r["type"] == "cluster_scenario"
+        ]
+        assert scenarios
+        assert all(not r["violations"] for r in scenarios)
+        # failover, not degradation: at least one scenario promoted, and
+        # none left a key range unavailable
+        assert any(r.get("promotions", 0) >= 1 for r in scenarios)
+        assert all(not r["unavailable_shards"] for r in scenarios)
+        assert records[-1]["type"] == "cluster_campaign_end"
+        assert records[-1]["failures"] == 0
+
     def test_seed_traces_are_fully_stamped(self):
-        for path in (CAMPAIGN, CLUSTER):
+        for path in (CAMPAIGN, CLUSTER, FAILOVER):
             records = read_trace(path)
             assert records
             assert all(

@@ -20,7 +20,7 @@ class TestCampaignTimeline:
         tl = build_timeline(records, CAMPAIGN)
         assert tl.kind == "faults campaign"
         assert tl.records == len(records)
-        assert tl.schema_versions == ["1.0"]
+        assert tl.schema_versions == ["1.1"]
         # one phase per benchmark plus the defense-off phase
         start = records[0]
         bench_phases = [p for p in tl.phases
@@ -38,7 +38,7 @@ class TestCampaignTimeline:
         tl = build_timeline(read_trace(CAMPAIGN), CAMPAIGN)
         text = format_timeline(tl)
         assert "faults campaign" in text
-        assert "schema 1.0" in text
+        assert "schema 1.1" in text
         assert "scenarios: bzip2" in text
 
     def test_cluster_campaign_trace(self):

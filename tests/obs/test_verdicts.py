@@ -12,6 +12,7 @@ from repro.trace import read_trace
 DATA = os.path.join(os.path.dirname(__file__), "..", "data")
 CAMPAIGN = os.path.join(DATA, "faults-campaign-seed0.jsonl")
 CLUSTER = os.path.join(DATA, "cluster-chaos-seed0.jsonl")
+FAILOVER = os.path.join(DATA, "cluster-failover-seed0.jsonl")
 
 
 def _copy_without_line(src, dst, drop_type=None, mutate=None):
@@ -48,6 +49,27 @@ class TestByteParity:
         assert report.kind == "cluster chaos campaign"
         assert report.byte_match is True
         assert report.ok
+
+    def test_committed_failover_byte_matches_and_renders_promotions(self):
+        report = render_verdicts(FAILOVER)
+        assert report.kind == "cluster chaos campaign"
+        assert report.byte_match is True
+        assert report.ok
+        # the replicated campaign's failovers show up per scenario
+        assert any("promotions=" in line for line in report.lines)
+
+    def test_resharded_scenarios_are_tagged(self, tmp_path):
+        from repro.cluster import run_cluster_campaign
+
+        path = str(tmp_path / "reshard-camp.jsonl")
+        run_cluster_campaign(
+            backends=("lightwsp-lrpo",), seeds=(0,), n_shards=3,
+            keyspace=16, ops=28, trace_path=path,
+            replicate=True, reshard_at=5,
+        )
+        report = render_verdicts(path)
+        assert report.byte_match is True
+        assert any("resharded" in line for line in report.lines)
 
     def test_format_states_the_proof(self):
         text = format_verdicts(render_verdicts(CAMPAIGN))
